@@ -1,0 +1,40 @@
+"""Shared benchmark configuration.
+
+Each figure bench does two things:
+
+1. regenerates the figure's series with a moderate configuration and
+   prints it (the "rows the paper reports"), asserting the expected
+   qualitative shape;
+2. times a representative unit of the pipeline with pytest-benchmark.
+
+``BENCH_CONFIG`` is sized so the full benchmark suite completes in a
+few minutes; scale it up via the ``ExperimentConfig`` defaults for a
+paper-grade run (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+BENCH_CONFIG = ExperimentConfig(
+    n_links_sweep=(100, 200, 300),
+    alpha_sweep=(2.5, 3.0, 3.5, 4.5),
+    n_links_fixed=300,
+    n_repetitions=3,
+    n_trials=200,
+    root_seed=2017,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return BENCH_CONFIG
+
+
+def print_series(sweep, metric: str, title: str) -> None:
+    from repro.experiments.reporting import format_series
+
+    print()
+    print(format_series(sweep, metric, title=title))

@@ -1,0 +1,46 @@
+"""Ablation A1: LDP's one-sided length classes vs [14]'s two-sided.
+
+The paper's claimed improvement: classes bounded only from above give
+every class more candidates, so with any rates the winner's rate can
+only improve.  Measured on the exponential-length workload where the
+diversity g(L) is large enough for the policy to matter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ldp import ldp_schedule
+from repro.core.problem import FadingRLS
+from repro.experiments.ablations import ldp_class_ablation
+from repro.experiments.reporting import format_table
+from repro.network.topology import exponential_length_topology
+
+
+def test_a1_one_sided_never_worse(benchmark):
+    out = benchmark.pedantic(
+        ldp_class_ablation,
+        kwargs=dict(n_links=200, n_repetitions=5, diverse_lengths=True),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [name, r.means[0], r.stds[0]] for name, r in sorted(out.items())
+    ]
+    print()
+    print(format_table(["variant", "mean_throughput", "std"], rows))
+    assert out["one_sided"].means[0] >= out["two_sided"].means[0] - 1e-9
+
+
+def test_a1_one_sided_benchmark(benchmark):
+    links = exponential_length_topology(300, seed=0)
+    problem = FadingRLS(links=links, alpha=3.0)
+    problem.interference_matrix()
+    benchmark(ldp_schedule, problem, two_sided=False)
+
+
+def test_a1_two_sided_benchmark(benchmark):
+    links = exponential_length_topology(300, seed=0)
+    problem = FadingRLS(links=links, alpha=3.0)
+    problem.interference_matrix()
+    benchmark(ldp_schedule, problem, two_sided=True)

@@ -1,0 +1,53 @@
+"""Ablation A3: approximation quality against the exact optimum.
+
+Small, geographically tight instances where branch-and-bound is exact;
+reports the mean and worst empirical opt/alg ratio for LDP and RLE and
+compares them to the theoretical guarantees (note: the Thm 4.4 constant
+is *not* met empirically — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.core.exact import branch_and_bound_schedule
+from repro.core.problem import FadingRLS
+from repro.experiments.ablations import approximation_quality
+from repro.experiments.reporting import format_table
+from repro.network.topology import paper_topology
+
+
+def test_a3_empirical_ratios(benchmark):
+    q = benchmark.pedantic(
+        approximation_quality,
+        kwargs=dict(n_links=12, n_instances=10),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [alg, q.mean_ratio[alg], q.worst_ratio[alg], q.theoretical_bound[alg]]
+        for alg in sorted(q.mean_ratio)
+    ]
+    print()
+    print(format_table(["algorithm", "mean opt/alg", "worst opt/alg", "paper bound"], rows))
+    # Both are genuine approximations: never below 1, never absurd.
+    for alg in q.mean_ratio:
+        assert 1.0 - 1e-9 <= q.mean_ratio[alg] <= 20.0
+    # LDP's 16 g(L) bound comfortably holds empirically.
+    assert q.worst_ratio["ldp"] <= q.theoretical_bound["ldp"]
+
+
+def test_a3_branch_and_bound_benchmark(benchmark):
+    links = paper_topology(16, region_side=150, seed=0)
+    problem = FadingRLS(links=links, alpha=3.0)
+    problem.interference_matrix()
+    schedule = benchmark(branch_and_bound_schedule, problem)
+    assert problem.is_feasible(schedule.active)
+
+
+def test_a3_milp_benchmark(benchmark):
+    from repro.core.exact import milp_schedule
+
+    links = paper_topology(30, seed=0)
+    problem = FadingRLS(links=links, alpha=3.0)
+    problem.interference_matrix()
+    schedule = benchmark(milp_schedule, problem)
+    assert problem.is_feasible(schedule.active, tol=1e-6)

@@ -1,0 +1,53 @@
+"""Extended experiment: operational cost of decentralised scheduling.
+
+Times the message-passing DLS protocol and reports its traffic — the
+metric a deployment pays that no centralised algorithm shows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import FadingRLS
+from repro.distributed import run_dls_protocol
+from repro.experiments.reporting import format_table
+from repro.network.topology import paper_topology
+
+
+def _traffic_scaling(sizes=(100, 200, 400), seed=0):
+    rows = []
+    for n in sizes:
+        p = FadingRLS(links=paper_topology(n, seed=seed))
+        result = run_dls_protocol(p, seed=seed)
+        rows.append(
+            [
+                n,
+                result.schedule.size,
+                result.rounds,
+                result.total_messages,
+                result.mean_neighbors,
+            ]
+        )
+    return rows
+
+
+def test_protocol_traffic_scaling(benchmark):
+    rows = benchmark.pedantic(_traffic_scaling, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["links", "scheduled", "rounds", "messages", "mean neighbours"], rows
+        )
+    )
+    # Per-round traffic is bounded by active x neighbourhood, so total
+    # messages grow superlinearly in N (denser neighbourhoods).
+    assert rows[-1][3] > rows[0][3]
+    # Convergence rounds stay modest regardless of N (geometric decay).
+    assert all(r[2] <= 60 for r in rows)
+
+
+def test_protocol_run_benchmark(benchmark):
+    p = FadingRLS(links=paper_topology(200, seed=0))
+    p.interference_matrix()
+    result = benchmark(run_dls_protocol, p, seed=1)
+    assert p.is_feasible(result.schedule.active)

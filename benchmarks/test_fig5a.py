@@ -1,0 +1,50 @@
+"""Fig. 5(a): number of failed transmissions vs number of links.
+
+Regenerates the panel's series (printed below the benchmark table) and
+times one sweep point of the pipeline: schedule all four algorithms on
+a 300-link instance and replay each schedule through the fading channel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.core.problem import FadingRLS
+from repro.experiments.config import paper_scheduler_set
+from repro.experiments.fig5 import failed_vs_links
+from repro.network.topology import paper_topology
+from repro.sim.montecarlo import simulate_schedule
+
+
+def test_fig5a_series_shape(benchmark, bench_config):
+    """Regenerate the panel (timed as one benchmark round) and check the
+    paper shape: LDP/RLE ~0 failures; baselines fail and grow with N."""
+    fig5a_series = benchmark.pedantic(
+        failed_vs_links, args=(bench_config,), rounds=1, iterations=1
+    )
+    print_series(fig5a_series, "mean_failed", "Fig. 5(a): failed transmissions vs #links")
+    for alg in ("ldp", "rle"):
+        assert max(fig5a_series.metric(alg, "mean_failed")) <= 1.0
+    div = fig5a_series.metric("approx_diversity", "mean_failed")
+    assert div[-1] > div[0]  # grows with N
+    assert div[-1] > 1.0  # substantially failing
+    logn = fig5a_series.metric("approx_logn", "mean_failed")
+    assert max(logn) > max(fig5a_series.metric("ldp", "mean_failed"))
+
+
+def test_fig5a_point_benchmark(benchmark):
+    """Time one sweep point: 4 schedulers + fading replay at N=300."""
+    links = paper_topology(300, seed=0)
+    problem = FadingRLS(links=links, alpha=3.0)
+    schedulers = paper_scheduler_set()
+
+    def point():
+        out = {}
+        for name, fn in schedulers.items():
+            s = fn(problem)
+            out[name] = simulate_schedule(problem, s, n_trials=200, seed=1).mean_failed
+        return out
+
+    result = benchmark(point)
+    assert result["rle"] <= 1.0

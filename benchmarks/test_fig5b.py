@@ -1,0 +1,52 @@
+"""Fig. 5(b): number of failed transmissions vs path loss exponent.
+
+Regenerates the panel's series and times the alpha-dependent part of
+the pipeline (interference matrix + baseline schedule + fading replay).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.core.baselines.approx_diversity import approx_diversity_schedule
+from repro.core.problem import FadingRLS
+from repro.experiments.fig5 import failed_vs_alpha
+from repro.network.topology import paper_topology
+from repro.sim.montecarlo import simulate_schedule
+
+
+def test_fig5b_series_shape(benchmark, bench_config):
+    """Regenerate the panel (timed as one benchmark round).  Paper
+    shape: baseline failures *decrease* as alpha grows (Formula 17:
+    remote interference factors shrink)."""
+    fig5b_series = benchmark.pedantic(
+        failed_vs_alpha, args=(bench_config,), rounds=1, iterations=1
+    )
+    print_series(fig5b_series, "mean_failed", "Fig. 5(b): failed transmissions vs alpha")
+    for alg in ("ldp", "rle"):
+        assert max(fig5b_series.metric(alg, "mean_failed")) <= 1.0
+    # Reproduction nuance (EXPERIMENTS.md): the paper's decreasing trend
+    # holds for the per-link failure *rate*; the absolute count is
+    # hump-shaped because the reconstructed baselines schedule more
+    # links at high alpha.  Assert the rate mechanism.
+    for alg in ("approx_diversity", "approx_logn"):
+        failed = fig5b_series.metric(alg, "mean_failed")
+        scheduled = fig5b_series.metric(alg, "mean_scheduled")
+        rate = [f / s for f, s in zip(failed, scheduled)]
+        assert rate[-1] < rate[0]
+    # Baselines still fail substantially at every alpha while ours don't.
+    assert min(fig5b_series.metric("approx_diversity", "mean_failed")) > 0.5
+
+
+def test_fig5b_point_benchmark(benchmark):
+    """Time one alpha point at N=300 (fresh problem per alpha: the
+    interference matrix must be rebuilt, which is the alpha cost)."""
+    links = paper_topology(300, seed=0)
+
+    def point():
+        problem = FadingRLS(links=links, alpha=4.0)
+        s = approx_diversity_schedule(problem)
+        return simulate_schedule(problem, s, n_trials=200, seed=1).mean_failed
+
+    benchmark(point)

@@ -1,0 +1,43 @@
+"""Fig. 6(a): throughput vs number of links (LDP vs RLE).
+
+Regenerates the panel's series and times the two fading-resistant
+schedulers on a 300-link instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.core.ldp import ldp_schedule
+from repro.core.problem import FadingRLS
+from repro.core.rle import rle_schedule
+from repro.experiments.fig6 import throughput_vs_links
+from repro.network.topology import paper_topology
+
+
+def test_fig6a_series_shape(benchmark, bench_config):
+    """Regenerate the panel (timed as one benchmark round).  Paper
+    shape: RLE >= LDP everywhere; throughput grows with N."""
+    fig6a_series = benchmark.pedantic(
+        throughput_vs_links, args=(bench_config,), rounds=1, iterations=1
+    )
+    print_series(fig6a_series, "mean_throughput", "Fig. 6(a): throughput vs #links")
+    rle = fig6a_series.metric("rle", "mean_throughput")
+    ldp = fig6a_series.metric("ldp", "mean_throughput")
+    assert all(r >= l for r, l in zip(rle, ldp))
+    assert rle[-1] >= rle[0]
+
+
+def test_fig6a_ldp_benchmark(benchmark):
+    links = paper_topology(300, seed=0)
+    problem = FadingRLS(links=links, alpha=3.0)
+    problem.interference_matrix()  # exclude one-time cache fill
+    benchmark(ldp_schedule, problem)
+
+
+def test_fig6a_rle_benchmark(benchmark):
+    links = paper_topology(300, seed=0)
+    problem = FadingRLS(links=links, alpha=3.0)
+    problem.interference_matrix()
+    benchmark(rle_schedule, problem)

@@ -1,0 +1,43 @@
+"""Fig. 6(b): throughput vs path loss exponent (LDP vs RLE).
+
+Regenerates the panel's series and times the throughput estimation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.core.problem import FadingRLS
+from repro.core.rle import rle_schedule
+from repro.experiments.fig6 import throughput_vs_alpha
+from repro.network.topology import paper_topology
+from repro.sim.montecarlo import simulate_schedule
+
+
+def test_fig6b_series_shape(benchmark, bench_config):
+    """Regenerate the panel (timed as one benchmark round).  Paper
+    shape: throughput grows with alpha for both algorithms (smaller
+    squares / elimination radii), RLE stays on top."""
+    fig6b_series = benchmark.pedantic(
+        throughput_vs_alpha, args=(bench_config,), rounds=1, iterations=1
+    )
+    print_series(fig6b_series, "mean_throughput", "Fig. 6(b): throughput vs alpha")
+    for alg in ("ldp", "rle"):
+        t = fig6b_series.metric(alg, "mean_throughput")
+        assert t[-1] > t[0]
+    rle = fig6b_series.metric("rle", "mean_throughput")
+    ldp = fig6b_series.metric("ldp", "mean_throughput")
+    assert all(r >= l for r, l in zip(rle, ldp))
+
+
+def test_fig6b_throughput_estimation_benchmark(benchmark):
+    """Time schedule + Monte-Carlo throughput at one alpha point."""
+    links = paper_topology(300, seed=0)
+    problem = FadingRLS(links=links, alpha=4.0)
+    schedule = rle_schedule(problem)
+
+    def estimate():
+        return simulate_schedule(problem, schedule, n_trials=500, seed=2).mean_throughput
+
+    benchmark(estimate)

@@ -1,0 +1,67 @@
+"""Extended ablation A7: approximation gaps at paper scale via the LP bound.
+
+Exact solvers cap out near N ~ 40; the LP relaxation of Eq. 20-22
+bounds the optimum at any size, so we can sandwich every heuristic on
+the paper's 300-link workload:
+
+    rate(alg)  <=  OPT  <=  LP bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import get_scheduler
+from repro.core.problem import FadingRLS
+from repro.core.relaxation import lp_upper_bound
+from repro.experiments.reporting import format_table
+from repro.network.topology import paper_topology
+
+ALGORITHMS = ("ldp", "rle", "greedy", "local_search")
+
+
+def _measure(n_links=300, seeds=range(3)):
+    rows = []
+    ratios = {a: [] for a in ALGORITHMS}
+    bounds = []
+    for seed in seeds:
+        p = FadingRLS(links=paper_topology(n_links, seed=seed))
+        bound = lp_upper_bound(p).upper_bound
+        bounds.append(bound)
+        for alg in ALGORITHMS:
+            fn = get_scheduler(alg)
+            kwargs = {"seed": seed} if alg == "local_search" else {}
+            rate = p.scheduled_rate(fn(p, **kwargs).active)
+            ratios[alg].append(bound / rate if rate else float("inf"))
+    for alg in ALGORITHMS:
+        vals = ratios[alg]
+        rows.append([alg, sum(vals) / len(vals), max(vals)])
+    return rows, sum(bounds) / len(bounds)
+
+
+def test_a7_lp_gap_table(benchmark):
+    rows, mean_bound = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print()
+    print(f"mean LP upper bound: {mean_bound:.1f}")
+    print(format_table(["algorithm", "mean LP-bound / rate", "worst"], rows))
+    by_alg = {r[0]: r for r in rows}
+    # Local search closes most of the greedy gap; all gaps are finite.
+    assert by_alg["local_search"][1] <= by_alg["ldp"][1]
+    assert by_alg["local_search"][1] <= by_alg["rle"][1]
+    for r in rows:
+        assert r[2] < 50  # big-M LPs are loose, but not absurd
+
+
+def test_a7_lp_bound_benchmark(benchmark):
+    p = FadingRLS(links=paper_topology(300, seed=0))
+    p.interference_matrix()
+    bound = benchmark(lp_upper_bound, p)
+    assert bound.upper_bound > 0
+
+
+def test_a7_local_search_benchmark(benchmark):
+    p = FadingRLS(links=paper_topology(300, seed=0))
+    p.interference_matrix()
+    fn = get_scheduler("local_search")
+    schedule = benchmark(fn, p, seed=0)
+    assert p.is_feasible(schedule.active)

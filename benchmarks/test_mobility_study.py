@@ -1,0 +1,44 @@
+"""Extended experiment A9: mobility's effect on schedule stability.
+
+Faster movement churns the schedule harder (more control traffic in a
+real deployment) while per-slot throughput stays roughly flat — the
+instance's *statistics* are speed-invariant, only its identity shifts.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import get_scheduler
+from repro.experiments.mobility_study import mobility_sweep
+from repro.experiments.reporting import format_table
+
+
+def test_a9_mobility_churn(benchmark):
+    points = benchmark.pedantic(
+        mobility_sweep,
+        kwargs=dict(
+            schedulers={"rle": get_scheduler("rle")},
+            speeds=(1.0, 10.0, 50.0),
+            n_links=120,
+            n_steps=8,
+            n_repetitions=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [p.speed, p.algorithm, p.mean_throughput, p.mean_churn, p.max_churn]
+        for p in points
+    ]
+    print()
+    print(
+        format_table(
+            ["max speed/step", "scheduler", "mean throughput", "mean churn", "max churn"], rows
+        )
+    )
+    assert all(p.all_feasible for p in points)
+    by_speed = sorted(points, key=lambda p: p.speed)
+    # Churn grows with speed.
+    assert by_speed[-1].mean_churn > by_speed[0].mean_churn
+    # Throughput statistics stay in a band (speed shuffles, not shrinks).
+    tps = [p.mean_throughput for p in points]
+    assert max(tps) <= 1.5 * min(tps)

@@ -1,0 +1,64 @@
+"""Extended experiment: multi-slot covering strategies.
+
+The paper's future work — schedule *all* links in minimum slots.
+Compares the covering heuristics this library provides and times them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ldp import ldp_schedule
+from repro.core.multislot import first_fit_multislot, multislot_lower_bound, multislot_schedule
+from repro.core.problem import FadingRLS
+from repro.core.rle import rle_schedule
+from repro.experiments.reporting import format_table
+from repro.network.topology import paper_topology
+
+
+def _compare(n_links=150, seeds=range(3)):
+    rows = []
+    strategies = {
+        "cover_rle": lambda p: multislot_schedule(p, rle_schedule).n_slots,
+        "cover_ldp": lambda p: multislot_schedule(p, ldp_schedule).n_slots,
+        "first_fit_length": lambda p: first_fit_multislot(p, order="length").n_slots,
+        "first_fit_rate": lambda p: first_fit_multislot(p, order="rate").n_slots,
+    }
+    counts = {name: [] for name in strategies}
+    lower = []
+    for seed in seeds:
+        p = FadingRLS(links=paper_topology(n_links, seed=seed))
+        lower.append(multislot_lower_bound(p))
+        for name, fn in strategies.items():
+            counts[name].append(fn(p))
+    for name, values in counts.items():
+        rows.append([name, sum(values) / len(values), max(values)])
+    rows.append(["(clique lower bound)", sum(lower) / len(lower), max(lower)])
+    return rows
+
+
+def test_multislot_strategy_comparison(benchmark):
+    rows = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    print()
+    print(format_table(["strategy", "mean slots", "max slots"], rows))
+    table = {r[0]: r[1] for r in rows}
+    # First-fit packs far denser than conservative covering...
+    assert table["first_fit_length"] < table["cover_rle"]
+    # ...and RLE covering beats LDP covering.
+    assert table["cover_rle"] <= table["cover_ldp"]
+    # Everything respects the lower bound.
+    assert table["(clique lower bound)"] <= table["first_fit_length"]
+
+
+def test_first_fit_benchmark(benchmark):
+    p = FadingRLS(links=paper_topology(200, seed=0))
+    p.interference_matrix()
+    ms = benchmark(first_fit_multislot, p)
+    assert ms.n_slots >= 1
+
+
+def test_cover_rle_benchmark(benchmark):
+    p = FadingRLS(links=paper_topology(200, seed=0))
+    p.interference_matrix()
+    ms = benchmark(multislot_schedule, p, rle_schedule)
+    assert ms.n_slots >= 1

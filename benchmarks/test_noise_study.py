@@ -1,0 +1,50 @@
+"""Extended experiment A6: when does the paper's N0 = 0 stop being safe?
+
+Sweeps ambient noise through the critical level where long links die
+and checks the phase structure plus the resistant schedulers' eps-floor
+failure behaviour under noise-aware budgets.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import get_scheduler
+from repro.experiments.noise_study import noise_sweep
+from repro.experiments.reporting import format_table
+
+
+def test_a6_noise_phases(benchmark):
+    points = benchmark.pedantic(
+        noise_sweep,
+        kwargs=dict(
+            schedulers={"rle": get_scheduler("rle"), "greedy": get_scheduler("greedy")},
+            n_links=200,
+            n_repetitions=3,
+            n_trials=200,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [p.noise, p.algorithm, p.mean_serviceable, p.mean_scheduled, p.mean_goodput, p.mean_failed]
+        for p in points
+    ]
+    print()
+    print(
+        format_table(
+            ["noise N0", "scheduler", "serviceable", "scheduled", "goodput", "failed/slot"],
+            rows,
+            float_fmt="{:.4g}",
+        )
+    )
+    by_alg = lambda a: sorted((p for p in points if p.algorithm == a), key=lambda p: p.noise)  # noqa: E731
+    for alg in ("rle", "greedy"):
+        pts = by_alg(alg)
+        # Phase 1: zero noise == all serviceable.
+        assert pts[0].mean_serviceable == 200
+        # Phase 2: above critical, some links are dead.
+        assert pts[-1].mean_serviceable < 200
+        # The eps contract survives noise (noise-aware budgets).
+        for p in pts:
+            assert p.mean_failed <= 0.01 * max(p.mean_scheduled, 1) + 0.3
+
+

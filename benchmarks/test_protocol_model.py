@@ -1,0 +1,57 @@
+"""Extended baseline: the graph (protocol) interference model.
+
+Quantifies Gronkvist & Hansson's point from the paper's related work —
+graph-based schedules ignore accumulated interference, so they fail
+even harder than the deterministic-SINR baselines under fading.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines.protocol import protocol_model_schedule
+from repro.core.problem import FadingRLS
+from repro.core.rle import rle_schedule
+from repro.experiments.reporting import format_table
+from repro.network.topology import paper_topology
+from repro.sim.montecarlo import simulate_schedule
+
+
+def _compare(n_links: int = 300, seeds=range(3), n_trials: int = 300):
+    rows = []
+    for name, fn in (("protocol", protocol_model_schedule), ("rle", rle_schedule)):
+        sizes, failed, rates = [], [], []
+        for seed in seeds:
+            p = FadingRLS(links=paper_topology(n_links, seed=seed))
+            s = fn(p)
+            r = simulate_schedule(p, s, n_trials=n_trials, seed=seed)
+            sizes.append(s.size)
+            failed.append(r.mean_failed)
+            rates.append(r.failure_rate)
+        rows.append(
+            [
+                name,
+                sum(sizes) / len(sizes),
+                sum(failed) / len(failed),
+                sum(rates) / len(rates),
+            ]
+        )
+    return rows
+
+
+def test_protocol_vs_rle_failures(benchmark):
+    rows = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    print()
+    print(format_table(["scheduler", "mean scheduled", "mean failed", "failure rate"], rows))
+    protocol, rle = rows
+    # Graph model schedules aggressively and pays in failures...
+    assert protocol[2] > 1.0
+    # ...while RLE's failure rate honours the eps contract.
+    assert rle[3] <= 0.015
+
+
+def test_protocol_schedule_benchmark(benchmark):
+    p = FadingRLS(links=paper_topology(600, seed=0))
+    p.interference_matrix()
+    schedule = benchmark(protocol_model_schedule, p)
+    assert schedule.size >= 1

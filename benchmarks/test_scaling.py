@@ -1,0 +1,48 @@
+"""Ablation A4: scheduler runtime scaling with instance size.
+
+pytest-benchmark timings for every polynomial-time scheduler at N=600
+(the O(N^2) interference matrix is pre-built so the numbers isolate the
+algorithms themselves) plus the matrix build and the fading replay —
+the two NumPy kernels everything sits on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import get_scheduler
+from repro.core.problem import FadingRLS, interference_factors
+from repro.network.topology import paper_topology
+from repro.sim.montecarlo import simulate_trials
+
+N_LINKS = 600
+
+
+@pytest.fixture(scope="module")
+def big_problem():
+    links = paper_topology(N_LINKS, seed=0)
+    problem = FadingRLS(links=links, alpha=3.0)
+    problem.interference_matrix()  # pre-fill cache
+    return problem
+
+
+@pytest.mark.parametrize(
+    "name", ["ldp", "rle", "greedy", "dls", "approx_logn", "approx_diversity"]
+)
+def test_scheduler_scaling(benchmark, big_problem, name):
+    fn = get_scheduler(name)
+    kwargs = {"seed": 0} if name == "dls" else {}
+    schedule = benchmark(fn, big_problem, **kwargs)
+    assert schedule.size >= 1
+
+
+def test_interference_matrix_kernel(benchmark, big_problem):
+    d = big_problem.distances()
+    benchmark(interference_factors, d, 3.0, 1.0)
+
+
+def test_fading_replay_kernel(benchmark, big_problem):
+    import numpy as np
+
+    active = np.arange(100)
+    benchmark(simulate_trials, big_problem, active, 500, seed=1)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Decentralised scheduling as a real protocol: rounds and messages.
+
+The centralised algorithms assume someone knows the whole interference
+matrix.  This example runs DLS as an honest message-passing protocol
+(:mod:`repro.distributed`): every link only hears beacons from
+neighbours above its measurement threshold, backs off locally when its
+budget is violated, and terminates by local detection — then compares
+the operational cost (rounds, messages) and the resulting schedule
+against the centralised reconstruction and RLE.
+
+Run:  python examples/distributed_protocol.py [n_links] [seed]
+"""
+
+import sys
+
+from repro import FadingRLS, paper_topology, rle_schedule
+from repro.core.dls import dls_schedule
+from repro.distributed import run_dls_protocol
+from repro.experiments.reporting import format_table
+
+
+def main(n_links: int = 200, seed: int = 0) -> None:
+    links = paper_topology(n_links, seed=seed)
+    problem = FadingRLS(links=links, alpha=3.0, eps=0.01)
+
+    result = run_dls_protocol(problem, seed=seed)
+    central = dls_schedule(problem, join=False, seed=seed)
+    central_join = dls_schedule(problem, join=True, seed=seed)
+    rle = rle_schedule(problem)
+
+    rows = [
+        [
+            "dls protocol (messages)",
+            result.schedule.size,
+            "yes" if problem.is_feasible(result.schedule.active) else "NO",
+            problem.expected_throughput(result.schedule.active),
+        ],
+        [
+            "dls centralised (no join)",
+            central.size,
+            "yes" if problem.is_feasible(central.active) else "NO",
+            problem.expected_throughput(central.active),
+        ],
+        [
+            "dls centralised (+join)",
+            central_join.size,
+            "yes" if problem.is_feasible(central_join.active) else "NO",
+            problem.expected_throughput(central_join.active),
+        ],
+        [
+            "rle (centralised)",
+            rle.size,
+            "yes" if problem.is_feasible(rle.active) else "NO",
+            problem.expected_throughput(rle.active),
+        ],
+    ]
+    print(format_table(["scheduler", "links", "feasible", "expected throughput"], rows))
+    print(
+        f"\nProtocol cost: {result.rounds} synchronous rounds, "
+        f"{result.total_messages} beacon messages total "
+        f"({result.total_messages / max(result.rounds // 2, 1):.0f} per beacon round); "
+        f"mean neighbourhood size {result.mean_neighbors:.1f} of {n_links} links."
+    )
+    print(
+        "\nThe protocol trades schedule density for locality: it reserves a\n"
+        "budget margin for interference it cannot measure (below-threshold\n"
+        "neighbours) and cannot run the join phase, but needs no global\n"
+        "state — every decision uses only received beacons."
+    )
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    s = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    main(n, s)

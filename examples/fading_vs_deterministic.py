@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Why deterministic-SINR schedules break under fading.
+
+Walks through the paper's core argument with numbers:
+
+1. the deterministic model's feasibility is a *unit budget* on the
+   affectance ``A = gamma_th (d_jj/d_ij)^alpha``;
+2. the Rayleigh model's feasibility (Cor. 3.1) is a ``gamma_eps``
+   budget on ``log1p(A)`` — about 100x stricter at eps = 0.01;
+3. so ApproxLogN / ApproxDiversity schedules that are perfectly legal
+   deterministically violate the fading budget, and the Monte-Carlo
+   channel shows the resulting dropped transmissions;
+4. LDP / RLE pay for resistance with fewer scheduled links.
+
+Run:  python examples/fading_vs_deterministic.py [n_links] [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    FadingRLS,
+    approx_diversity_schedule,
+    approx_logn_schedule,
+    ldp_schedule,
+    paper_topology,
+    rle_schedule,
+    simulate_schedule,
+)
+from repro.core.baselines.deterministic import (
+    deterministic_interference_on,
+    deterministic_is_feasible,
+)
+from repro.experiments.reporting import format_table
+
+
+def main(n_links: int = 300, seed: int = 0) -> None:
+    links = paper_topology(n_links, seed=seed)
+    problem = FadingRLS(links=links, alpha=3.0, gamma_th=1.0, eps=0.01)
+    print(
+        f"Budgets: deterministic affectance <= 1.0 per receiver,\n"
+        f"         fading interference factor <= gamma_eps = {problem.gamma_eps:.5f}\n"
+        f"         (fading is ~{1.0 / problem.gamma_eps:.0f}x stricter)\n"
+    )
+
+    rows = []
+    for name, fn in (
+        ("approx_logn", approx_logn_schedule),
+        ("approx_diversity", approx_diversity_schedule),
+        ("ldp", ldp_schedule),
+        ("rle", rle_schedule),
+    ):
+        s = fn(problem)
+        det_ok = deterministic_is_feasible(problem, s.active)
+        fad_ok = problem.is_feasible(s.active)
+        # Worst receiver's loads under both budgets.
+        det_load = deterministic_interference_on(problem, s.active)[s.active].max() if s.size else 0
+        fad_load = problem.interference_on(s.active)[s.active].max() if s.size else 0
+        r = simulate_schedule(problem, s, n_trials=2000, seed=1)
+        rows.append(
+            [
+                name,
+                s.size,
+                "yes" if det_ok else "NO",
+                "yes" if fad_ok else "NO",
+                det_load,
+                fad_load / problem.gamma_eps,
+                r.failure_rate,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "scheduler",
+                "links",
+                "det-feasible",
+                "fading-feasible",
+                "worst affectance",
+                "worst factor (x budget)",
+                "failure rate",
+            ],
+            rows,
+        )
+    )
+    print()
+    print(
+        "The baselines' worst receivers sit far above the fading budget\n"
+        "(column 6 >> 1), which the failure-rate column converts into\n"
+        "dropped transmissions; LDP/RLE stay below 1x and fail <= eps."
+    )
+    # The analytic identity behind it all:
+    from repro.core.baselines.deterministic import affectance_matrix
+
+    a = affectance_matrix(problem)
+    f = problem.interference_matrix()
+    assert np.allclose(f, np.log1p(a))
+    print("\n(Verified: interference factors == log1p(affectance), Eq. 17.)")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    s = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    main(n, s)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""The NP-hardness reduction, run forwards: solve Knapsack by scheduling.
+
+Theorem 3.2 proves Fading-R-LS NP-hard by mapping knapsack instances to
+scheduling instances.  This example runs the mapping end-to-end:
+
+1. build a random knapsack instance;
+2. reduce it to a Fading-R-LS instance (items become senders whose
+   interference at the gate receiver encodes their weights);
+3. solve the scheduling instance exactly (branch-and-bound);
+4. read the chosen items back off the schedule and compare with the
+   dynamic-programming knapsack optimum.
+
+Run:  python examples/knapsack_hardness.py [n_items] [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.exact import branch_and_bound_schedule
+from repro.core.reduction import (
+    KnapsackInstance,
+    gate_budget_exact,
+    reduce_knapsack,
+    solve_knapsack_dp,
+    solve_knapsack_via_scheduling,
+)
+from repro.experiments.reporting import format_table
+
+
+def main(n_items: int = 10, seed: int = 0) -> None:
+    rng = np.random.default_rng(seed)
+    instance = KnapsackInstance(
+        values=rng.integers(1, 30, n_items).astype(float),
+        weights=rng.integers(1, 15, n_items).astype(float),
+        capacity=float(rng.integers(20, 40)),
+    )
+    print(f"Knapsack: {n_items} items, capacity {instance.capacity:.0f}")
+    rows = [
+        [i, instance.values[i], instance.weights[i]] for i in range(n_items)
+    ]
+    print(format_table(["item", "value", "weight"], rows, float_fmt="{:.0f}"))
+
+    reduced = reduce_knapsack(instance)
+    print(
+        f"\nReduced to Fading-R-LS: {reduced.problem.n_links} links "
+        f"(items 0..{n_items - 1} + gate link {reduced.gate_index} "
+        f"with rate {reduced.problem.links.rates[reduced.gate_index]:.0f})"
+    )
+    g = gate_budget_exact(instance, reduced)
+    expected = reduced.problem.gamma_eps * instance.weights / instance.capacity
+    print(
+        "Gate encoding check: max |f(item->gate) - gamma_eps*w/W| = "
+        f"{np.abs(g - expected).max():.2e}"
+    )
+
+    v_dp, chosen_dp = solve_knapsack_dp(instance)
+    v_sched, chosen_sched = solve_knapsack_via_scheduling(
+        instance, branch_and_bound_schedule
+    )
+    print(f"\nDP optimum:        value {v_dp:.0f}, items {sorted(chosen_dp)}")
+    print(f"Via scheduling:    value {v_sched:.0f}, items {sorted(chosen_sched)}")
+    print(
+        f"Weights packed:    {instance.weights[chosen_sched].sum():.0f} "
+        f"/ {instance.capacity:.0f}"
+    )
+    assert v_dp == v_sched, "the reduction must recover the exact optimum"
+    print("\nScheduling recovered the exact knapsack optimum — Thm 3.2 verified.")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    s = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    main(n, s)

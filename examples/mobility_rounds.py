@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Scheduling under mobility: stability of fading-resistant schedules.
+
+The paper motivates the Rayleigh model with mobility-induced multipath
+(Section I).  This example moves the network with a random-waypoint
+model and re-schedules every step, reporting:
+
+- per-step feasibility (always holds — the algorithms re-certify each
+  snapshot),
+- throughput over time,
+- **churn**: how much of the schedule survives from one step to the
+  next (Jaccard distance of active sets) — relevant because in practice
+  every schedule change costs control traffic.
+
+Run:  python examples/mobility_rounds.py [n_links] [n_steps] [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import FadingRLS, ldp_schedule, rle_schedule
+from repro.experiments.reporting import format_table
+from repro.network.mobility import random_waypoint_trace, schedule_churn
+
+
+def main(n_links: int = 150, n_steps: int = 12, seed: int = 0) -> None:
+    print(
+        f"Random-waypoint trace: {n_links} links, {n_steps} steps, "
+        f"speeds U[2, 8] per step, seed={seed}\n"
+    )
+    trace = random_waypoint_trace(
+        n_links, n_steps, speed_range=(2.0, 8.0), seed=seed
+    )
+
+    rows = []
+    for name, scheduler in (("rle", rle_schedule), ("ldp", ldp_schedule)):
+        schedules = []
+        throughputs = []
+        for links in trace:
+            problem = FadingRLS(links=links)
+            s = scheduler(problem)
+            assert problem.is_feasible(s.active)
+            schedules.append(s)
+            throughputs.append(problem.expected_throughput(s.active))
+        churn = schedule_churn(schedules)
+        rows.append(
+            [
+                name,
+                float(np.mean([s.size for s in schedules])),
+                float(np.mean(throughputs)),
+                float(np.min(throughputs)),
+                float(np.mean(churn)),
+                float(np.max(churn)),
+            ]
+        )
+
+    print(
+        format_table(
+            ["scheduler", "mean links", "mean throughput", "min throughput", "mean churn", "max churn"],
+            rows,
+        )
+    )
+    print(
+        "\nEvery snapshot's schedule is fading-feasible (re-certified per\n"
+        "step).  Churn shows the operational cost of mobility: a churn of\n"
+        "0.5 means half the active set turned over between steps."
+    )
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    t = int(sys.argv[2]) if len(sys.argv) > 2 else 12
+    s = int(sys.argv[3]) if len(sys.argv) > 3 else 0
+    main(n, t, s)

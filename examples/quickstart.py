@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: schedule one slot of a random wireless network.
+
+Builds the paper's Section-V workload, runs the two fading-resistant
+schedulers (LDP, RLE) plus a deterministic-SINR baseline, verifies
+feasibility under the Rayleigh-fading criterion, and replays every
+schedule through the Monte-Carlo channel.
+
+Run:  python examples/quickstart.py [n_links] [seed]
+"""
+
+import sys
+
+from repro import (
+    FadingRLS,
+    approx_diversity_schedule,
+    ldp_schedule,
+    paper_topology,
+    rle_schedule,
+    simulate_schedule,
+)
+from repro.experiments.reporting import format_table
+
+
+def main(n_links: int = 300, seed: int = 0) -> None:
+    print(f"Workload: {n_links} links, 500x500 region, lengths U[5,20], seed={seed}")
+    links = paper_topology(n_links, seed=seed)
+    problem = FadingRLS(links=links, alpha=3.0, gamma_th=1.0, eps=0.01)
+    print(
+        f"Instance: alpha={problem.alpha}, gamma_th={problem.gamma_th}, "
+        f"eps={problem.eps} (interference budget gamma_eps={problem.gamma_eps:.5f})"
+    )
+
+    rows = []
+    for name, scheduler in (
+        ("ldp", ldp_schedule),
+        ("rle", rle_schedule),
+        ("approx_diversity (baseline)", approx_diversity_schedule),
+    ):
+        schedule = scheduler(problem)
+        feasible = problem.is_feasible(schedule.active)
+        result = simulate_schedule(problem, schedule, n_trials=2000, seed=1)
+        rows.append(
+            [
+                name,
+                schedule.size,
+                "yes" if feasible else "NO",
+                result.mean_failed,
+                result.mean_throughput,
+                problem.expected_throughput(schedule.active),
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["scheduler", "links", "fading-feasible", "failed/trial", "throughput (MC)", "throughput (analytic)"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "LDP and RLE keep every scheduled link's failure probability below eps;\n"
+        "the deterministic baseline schedules more links but drops transmissions\n"
+        "under fading — exactly the paper's Fig. 5/6 story."
+    )
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    s = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    main(n, s)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Sensor-network data collection: multi-slot scheduling.
+
+The paper motivates RLE's uniform-rate special case with periodic
+sensor reporting (Section IV-B: "sensors need to periodically report
+their collected data").  This example plans a full reporting round:
+every sensor link must transmit once, in as few time slots as possible,
+with every slot feasible under Rayleigh fading.
+
+It compares RLE-driven covering against LDP-driven covering and checks
+the delivered data against the Monte-Carlo channel, slot by slot.
+
+Run:  python examples/sensor_collection.py [n_sensors] [seed]
+"""
+
+import sys
+
+from repro import FadingRLS, ldp_schedule, multislot_schedule, rle_schedule, simulate_schedule
+from repro.core.multislot import multislot_lower_bound
+from repro.experiments.reporting import format_table
+from repro.network.topology import clustered_topology
+
+
+def plan_round(problem: FadingRLS, scheduler, name: str) -> list:
+    ms = multislot_schedule(problem, scheduler)
+    delivered = 0.0
+    worst_slot_failures = 0.0
+    for t, slot in enumerate(ms.slots):
+        r = simulate_schedule(problem, slot, n_trials=500, seed=t)
+        delivered += r.mean_throughput
+        worst_slot_failures = max(worst_slot_failures, r.mean_failed)
+    total = problem.links.rates.sum()
+    return [name, ms.n_slots, delivered / total, worst_slot_failures]
+
+
+def main(n_sensors: int = 150, seed: int = 0) -> None:
+    print(f"Sensor field: {n_sensors} sensors in 5 clusters (hot spots), seed={seed}")
+    links = clustered_topology(n_sensors, n_clusters=5, cluster_std=25.0, seed=seed)
+    problem = FadingRLS(links=links, alpha=3.0, gamma_th=1.0, eps=0.01)
+
+    rows = [
+        plan_round(problem, rle_schedule, "rle"),
+        plan_round(problem, ldp_schedule, "ldp"),
+    ]
+    print()
+    print(
+        format_table(
+            ["scheduler", "slots needed", "fraction delivered", "worst slot failures"],
+            rows,
+        )
+    )
+    print()
+    print(f"Sound lower bound on slots (mutual-conflict clique): {multislot_lower_bound(problem)}")
+    print(
+        "\nRLE packs each slot denser than LDP, so the reporting round\n"
+        "finishes in fewer slots, while per-slot feasibility keeps the\n"
+        "expected delivery fraction at ~(1 - eps)."
+    )
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    s = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    main(n, s)

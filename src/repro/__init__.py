@@ -1,0 +1,63 @@
+"""fading-rls: Fading-Resistant Link Scheduling in Wireless Networks.
+
+A full reproduction of Qiu & Shen, *"Fading-Resistant Link Scheduling
+in Wireless Networks"*, ICPP 2017: the Rayleigh-fading SINR model, the
+Fading-R-LS problem with its ILP form and Knapsack-reduction hardness
+proof, the LDP and RLE approximation algorithms, the deterministic-SINR
+baselines they are evaluated against, and a Monte-Carlo simulator that
+regenerates the paper's evaluation figures.
+
+Quickstart::
+
+    from repro import FadingRLS, paper_topology, ldp_schedule, rle_schedule
+
+    links = paper_topology(300, seed=0)
+    problem = FadingRLS(links, alpha=3.0, gamma_th=1.0, eps=0.01)
+    schedule = rle_schedule(problem)
+    assert problem.is_feasible(schedule.active)
+    print(schedule.size, problem.expected_throughput(schedule.active))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core import (
+    FadingRLS,
+    Schedule,
+    SchedulerError,
+    branch_and_bound_schedule,
+    brute_force_schedule,
+    dls_schedule,
+    get_scheduler,
+    ldp_schedule,
+    list_schedulers,
+    milp_schedule,
+    multislot_schedule,
+    rle_schedule,
+)
+from repro.core.baselines import approx_diversity_schedule, approx_logn_schedule
+from repro.network import LinkSet, paper_topology
+from repro.sim import simulate_schedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FadingRLS",
+    "Schedule",
+    "SchedulerError",
+    "LinkSet",
+    "paper_topology",
+    "ldp_schedule",
+    "rle_schedule",
+    "dls_schedule",
+    "multislot_schedule",
+    "approx_logn_schedule",
+    "approx_diversity_schedule",
+    "brute_force_schedule",
+    "branch_and_bound_schedule",
+    "milp_schedule",
+    "get_scheduler",
+    "list_schedulers",
+    "simulate_schedule",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Analysis utilities.
+
+- :mod:`repro.analysis.regimes` — derived-constant summaries across
+  parameter regimes (what does (alpha, gamma_th, eps) imply for square
+  sizes, elimination radii, capacities and ratios?),
+- :mod:`repro.analysis.density` — spatial-reuse analysis: analytic
+  density ceilings implied by the algorithms' exclusion geometry, and
+  empirical density measurement on schedules,
+- :mod:`repro.analysis.interference` — interference-field heatmaps,
+  leftover spatial capacity, and victim-hotspot ranking.
+"""
+
+from repro.analysis.density import (
+    empirical_density,
+    ldp_density_ceiling,
+    rle_density_ceiling,
+)
+from repro.analysis.interference import (
+    admissible_fraction,
+    interference_field,
+    victim_hotspots,
+)
+from repro.analysis.regimes import RegimeSummary, constants_table, summarize_regime
+
+__all__ = [
+    "RegimeSummary",
+    "summarize_regime",
+    "constants_table",
+    "empirical_density",
+    "rle_density_ceiling",
+    "ldp_density_ceiling",
+    "interference_field",
+    "admissible_fraction",
+    "victim_hotspots",
+]

@@ -1,0 +1,71 @@
+"""Spatial-reuse (density) analysis.
+
+Each algorithm's feasibility argument is an exclusion geometry, which
+caps how many links per unit area one slot can carry:
+
+- **RLE** keeps every pair of scheduled senders at least
+  ``(c1 - 1) * d_min_link`` apart (Lemma 4.1), so a region of area ``A``
+  fits at most roughly ``A / (pi ((c1-1) d / 2)^2)`` links of length
+  ``d`` (a circle-packing bound);
+- **LDP** schedules at most one link per same-colour square of side
+  ``beta_k``, i.e. one per ``4 beta_k^2`` of area for class ``k``.
+
+These ceilings explain the Fig. 6 curves quantitatively (throughput
+saturates once the region fills) and give deployment-time answers:
+"how many concurrent links can this field support at eps = 0.01?"
+:func:`empirical_density` measures the realised density for comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bounds import ldp_beta, ldp_square_size, rle_c1
+from repro.core.problem import FadingRLS
+from repro.core.schedule import Schedule
+
+
+def rle_density_ceiling(
+    alpha: float,
+    gamma_th: float,
+    gamma_eps: float,
+    link_length: float,
+    *,
+    c2: float = 0.5,
+) -> float:
+    """Upper bound on RLE's scheduled links per unit area.
+
+    Packing circles of radius ``(c1 - 1) * link_length / 2`` (half the
+    Lemma 4.1 separation) around scheduled senders cannot overlap, so
+    density <= ``1 / (pi ((c1-1) L / 2)^2)``.
+    """
+    c1 = rle_c1(alpha, gamma_th, gamma_eps, c2)
+    radius = (c1 - 1.0) * link_length / 2.0
+    return float(1.0 / (np.pi * radius**2))
+
+
+def ldp_density_ceiling(
+    alpha: float,
+    gamma_th: float,
+    gamma_eps: float,
+    link_length: float,
+) -> float:
+    """Upper bound on LDP's scheduled links per unit area.
+
+    For a uniform-length workload (``delta = link_length``, class
+    ``h = 0``) the cells have side ``beta_0 = 2 * beta * link_length``;
+    the winning schedule uses one colour, and each colour owns one cell
+    per ``(2 beta_0)^2`` of area with at most one link in it, so
+
+        ``density <= 1 / (4 * beta_0^2) = 1 / (16 beta^2 L^2)``.
+    """
+    beta = ldp_beta(alpha, gamma_th, gamma_eps)
+    side = ldp_square_size(0, link_length, beta)  # 2 * beta * L
+    return float(1.0 / (4.0 * side**2))
+
+
+def empirical_density(problem: FadingRLS, schedule: Schedule, region_area: float) -> float:
+    """Realised scheduled-link density (links per unit area)."""
+    if region_area <= 0:
+        raise ValueError("region_area must be > 0")
+    return schedule.size / region_area

@@ -1,0 +1,110 @@
+"""Interference-field analysis.
+
+Tools for inspecting the interference landscape a schedule creates:
+
+- :func:`interference_field` — the aggregate interference factor a
+  hypothetical *probe link* of length ``probe_length`` would see at
+  every point of a grid over the region (a heatmap array; plot it or
+  feed it to placement logic: "where could one more link still fit?");
+- :func:`admissible_fraction` — the fraction of the region where a
+  probe link would still be informed (the schedule's *leftover
+  capacity* in space);
+- :func:`victim_hotspots` — the scheduled receivers closest to their
+  budget (the links that will fail first if anything changes).
+
+All field evaluation is a single broadcasting expression over
+``(grid points x active senders)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.problem import FadingRLS
+from repro.core.schedule import Schedule
+from repro.geometry.region import Region
+
+
+def interference_field(
+    problem: FadingRLS,
+    schedule: Schedule | np.ndarray,
+    region: Region,
+    *,
+    probe_length: float = 10.0,
+    resolution: int = 50,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Aggregate interference factor on a probe receiver over a grid.
+
+    The probe is a hypothetical link of length ``probe_length`` whose
+    receiver sits at each grid point; the field value is
+    ``sum_i log1p(gamma_th * P_i d_i^-alpha / (P_probe L^-alpha))``
+    over the schedule's senders (probe transmit power = the problem's
+    uniform ``power``).
+
+    Returns ``(xs, ys, field)`` with ``field`` of shape
+    ``(resolution, resolution)`` indexed ``[iy, ix]``.
+    """
+    if probe_length <= 0:
+        raise ValueError("probe_length must be > 0")
+    if resolution < 2:
+        raise ValueError("resolution must be >= 2")
+    active = schedule.active if isinstance(schedule, Schedule) else np.asarray(schedule)
+    mask = problem.active_mask(active)
+    idx = np.flatnonzero(mask)
+    xs = np.linspace(region.xmin, region.xmax, resolution)
+    ys = np.linspace(region.ymin, region.ymax, resolution)
+    if idx.size == 0:
+        return xs, ys, np.zeros((resolution, resolution))
+    gx, gy = np.meshgrid(xs, ys)
+    points = np.column_stack([gx.ravel(), gy.ravel()])  # (R^2, 2)
+    senders = problem.links.senders[idx]
+    powers = problem.tx_powers()[idx]
+    diff = points[:, None, :] - senders[None, :, :]
+    d = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    d = np.maximum(d, 1e-9)  # a probe on top of a sender: huge, not inf
+    alpha, gamma = problem.alpha, problem.gamma_th
+    probe_mean = problem.power * probe_length**-alpha
+    factors = np.log1p(gamma * (powers[None, :] * d**-alpha) / probe_mean)
+    field = factors.sum(axis=1).reshape(resolution, resolution)
+    return xs, ys, field
+
+
+def admissible_fraction(
+    problem: FadingRLS,
+    schedule: Schedule | np.ndarray,
+    region: Region,
+    *,
+    probe_length: float = 10.0,
+    resolution: int = 50,
+) -> float:
+    """Fraction of grid points where a probe link would be informed
+    (field value + probe noise factor within ``gamma_eps``)."""
+    _, _, field = interference_field(
+        problem, schedule, region, probe_length=probe_length, resolution=resolution
+    )
+    probe_nu = problem.gamma_th * problem.noise * probe_length**problem.alpha / problem.power
+    return float(np.mean(field + probe_nu <= problem.gamma_eps))
+
+
+def victim_hotspots(
+    problem: FadingRLS,
+    schedule: Schedule | np.ndarray,
+    *,
+    top_k: int = 5,
+) -> List[Tuple[int, float]]:
+    """Scheduled links ordered by least remaining budget.
+
+    Returns up to ``top_k`` pairs ``(link index, slack)`` ascending in
+    slack (most endangered first).  Slack can be negative for an
+    infeasible schedule.
+    """
+    active = schedule.active if isinstance(schedule, Schedule) else np.asarray(schedule)
+    mask = problem.active_mask(active)
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        return []
+    slack = problem.effective_budgets()[idx] - problem.interference_on(mask)[idx]
+    order = np.argsort(slack)
+    return [(int(idx[i]), float(slack[i])) for i in order[:top_k]]

@@ -1,0 +1,99 @@
+"""Parameter-regime summaries.
+
+Everything the paper derives from ``(alpha, gamma_th, eps)`` in one
+struct: the interference budget, LDP's square-size factor (paper and
+rigorous variants), the per-square capacity ``u``, RLE's elimination
+radius across the ``c2`` grid, and both approximation-ratio formulas.
+Used by the ``repro constants`` CLI command and handy when choosing
+operating points (e.g. "how much bigger do LDP's squares get if I
+tighten eps to 1e-3?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.core.bounds import (
+    ldp_approximation_ratio,
+    ldp_beta,
+    ldp_rigorous_beta,
+    ldp_square_capacity,
+    rle_approximation_ratio,
+    rle_c1,
+)
+from repro.core.problem import gamma_epsilon
+
+
+@dataclass(frozen=True)
+class RegimeSummary:
+    """Derived constants for one ``(alpha, gamma_th, eps)`` regime."""
+
+    alpha: float
+    gamma_th: float
+    eps: float
+    gamma_eps: float
+    ldp_beta: float
+    ldp_beta_rigorous: float
+    ldp_square_capacity: int
+    rle_c1_by_c2: Dict[float, float]
+    rle_ratio_by_c2: Dict[float, float]
+    ldp_ratio_per_gl: float  # the 16 multiplier: ratio = this * g(L)
+
+    @property
+    def budget_vs_deterministic(self) -> float:
+        """How much stricter fading is: ``1 / gamma_eps``."""
+        return 1.0 / self.gamma_eps
+
+
+def summarize_regime(
+    alpha: float,
+    gamma_th: float = 1.0,
+    eps: float = 0.01,
+    *,
+    c2_grid: Sequence[float] = (0.25, 0.5, 0.75),
+) -> RegimeSummary:
+    """Compute all derived constants for one regime (``alpha > 2``)."""
+    g_eps = gamma_epsilon(eps)
+    return RegimeSummary(
+        alpha=float(alpha),
+        gamma_th=float(gamma_th),
+        eps=float(eps),
+        gamma_eps=g_eps,
+        ldp_beta=ldp_beta(alpha, gamma_th, g_eps),
+        ldp_beta_rigorous=ldp_rigorous_beta(alpha, gamma_th, g_eps),
+        ldp_square_capacity=ldp_square_capacity(alpha, gamma_th, g_eps),
+        rle_c1_by_c2={float(c2): rle_c1(alpha, gamma_th, g_eps, c2) for c2 in c2_grid},
+        rle_ratio_by_c2={
+            float(c2): rle_approximation_ratio(alpha, eps, gamma_th, c2) for c2 in c2_grid
+        },
+        ldp_ratio_per_gl=ldp_approximation_ratio(1),
+    )
+
+
+def constants_table(
+    alphas: Sequence[float] = (2.5, 3.0, 3.5, 4.0, 4.5),
+    gamma_th: float = 1.0,
+    eps: float = 0.01,
+) -> str:
+    """Aligned text table of the key constants across an alpha sweep."""
+    from repro.experiments.reporting import format_table
+
+    rows = []
+    for alpha in alphas:
+        s = summarize_regime(alpha, gamma_th, eps)
+        rows.append(
+            [
+                s.alpha,
+                s.gamma_eps,
+                s.ldp_beta,
+                s.ldp_beta_rigorous,
+                s.ldp_square_capacity,
+                s.rle_c1_by_c2[0.5],
+            ]
+        )
+    return format_table(
+        ["alpha", "gamma_eps", "beta (Eq.37)", "beta (rigorous)", "u (Eq.49)", "c1 (c2=0.5)"],
+        rows,
+        float_fmt="{:.4g}",
+    )

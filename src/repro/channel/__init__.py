@@ -1,0 +1,34 @@
+"""Channel models.
+
+- :mod:`repro.channel.pathloss` — the log-distance mean power law
+  ``P * d^-alpha`` shared by both models,
+- :mod:`repro.channel.deterministic` — the classical physical (SINR)
+  model used by the ApproxLogN / ApproxDiversity baselines,
+- :mod:`repro.channel.rayleigh` — the Rayleigh-fading law: per-pair
+  exponential received powers (Eq. 5), the closed-form success
+  probability of Theorem 3.1, and fading samplers,
+- :mod:`repro.channel.sampling` — batched Monte-Carlo draws consumed by
+  :mod:`repro.sim`.
+"""
+
+from repro.channel.deterministic import deterministic_sinr, deterministic_success
+from repro.channel.pathloss import mean_received_power, pathloss_matrix
+from repro.channel.rayleigh import (
+    RayleighChannel,
+    received_power_cdf,
+    sample_received_power,
+    success_probability,
+)
+from repro.channel.sampling import sample_fading_trials
+
+__all__ = [
+    "mean_received_power",
+    "pathloss_matrix",
+    "deterministic_sinr",
+    "deterministic_success",
+    "RayleighChannel",
+    "received_power_cdf",
+    "sample_received_power",
+    "success_probability",
+    "sample_fading_trials",
+]

@@ -1,0 +1,83 @@
+"""Classical deterministic physical (SINR) model.
+
+This is the model the ApproxLogN and ApproxDiversity baselines schedule
+against: received power is exactly ``P * d^-alpha``, so a transmission
+on link ``j`` succeeds iff
+
+    ``P d_jj^-alpha / (N0 + sum_{i in P\\j} P d_ij^-alpha) >= gamma_th``.
+
+The paper's point is that schedules built to satisfy this deterministic
+test fail under fading; :mod:`repro.sim` replays them through the
+Rayleigh channel to count those failures (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.pathloss import pathloss_matrix
+
+
+def deterministic_sinr(
+    distances: np.ndarray,
+    active: np.ndarray,
+    alpha: float,
+    *,
+    power: float = 1.0,
+    noise: float = 0.0,
+) -> np.ndarray:
+    """Deterministic SINR at each active receiver.
+
+    Parameters
+    ----------
+    distances : (N, N) array
+        ``distances[i, j] = d(s_i, r_j)``.
+    active : (N,) bool array or int index array
+        The set of simultaneously transmitting links ``P``.
+    alpha, power, noise:
+        Path loss exponent, transmit power, ambient noise ``N0``
+        (0 by default, matching Eq. 8).
+
+    Returns
+    -------
+    (K,) array of SINR values, ordered like the active indices, where
+    ``K`` is the number of active links.  With a single active link and
+    zero noise the SINR is ``inf``.
+    """
+    d = np.asarray(distances, dtype=float)
+    idx = _as_index(active, d.shape[0])
+    if idx.size == 0:
+        return np.zeros(0, dtype=float)
+    gains = pathloss_matrix(d[np.ix_(idx, idx)], alpha, power)
+    signal = np.diag(gains).copy()
+    interference = gains.sum(axis=0) - signal
+    denom = noise + interference
+    with np.errstate(divide="ignore"):
+        return np.where(denom > 0, signal / denom, np.inf)
+
+
+def deterministic_success(
+    distances: np.ndarray,
+    active: np.ndarray,
+    alpha: float,
+    gamma_th: float,
+    *,
+    power: float = 1.0,
+    noise: float = 0.0,
+) -> np.ndarray:
+    """Boolean success per active link under the deterministic model."""
+    sinr = deterministic_sinr(distances, active, alpha, power=power, noise=noise)
+    return sinr >= gamma_th
+
+
+def _as_index(active: np.ndarray, n: int) -> np.ndarray:
+    """Normalise a bool mask or index array to a sorted index array."""
+    a = np.asarray(active)
+    if a.dtype == bool:
+        if a.shape != (n,):
+            raise ValueError(f"boolean active mask must have shape ({n},), got {a.shape}")
+        return np.flatnonzero(a)
+    idx = np.unique(a.astype(np.int64).reshape(-1))
+    if idx.size and (idx.min() < 0 or idx.max() >= n):
+        raise IndexError(f"active indices out of range for {n} links")
+    return idx

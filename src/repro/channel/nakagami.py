@@ -1,0 +1,186 @@
+"""Nakagami-m fading (generalisation of the paper's Rayleigh channel).
+
+Under Nakagami-m fading the instantaneous received power is Gamma
+distributed with shape ``m`` and mean ``P d^-alpha``:
+
+    ``Z ~ Gamma(shape=m, scale=P d^-alpha / m)``.
+
+``m = 1`` is exactly the paper's Rayleigh channel (exponential power);
+larger ``m`` means milder fading (the power concentrates around its
+mean), ``m -> inf`` recovers the deterministic model.  The paper's
+closed form (Thm 3.1) is Rayleigh-specific, so for general ``m`` this
+module provides:
+
+- the exact sampler (:func:`sample_received_power_nakagami`),
+- a Monte-Carlo success-probability estimator
+  (:func:`success_probability_nakagami`) with the exact Rayleigh
+  closed form recovered at ``m = 1`` (tests pin the equivalence),
+- :func:`fading_severity_sweep`, the "how much does resistance cost"
+  curve across ``m`` used by the extended example.
+
+This is a *simulation substrate* extension: the scheduling algorithms
+keep their Rayleigh-based feasibility test (a conservative choice for
+``m > 1``, since milder fading only raises success probabilities — a
+fact the tests verify empirically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.channel.pathloss import pathloss_matrix
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_positive
+
+
+def sample_received_power_nakagami(
+    distance: np.ndarray | float,
+    alpha: float,
+    m: float,
+    *,
+    power: float = 1.0,
+    size: int | tuple | None = None,
+    seed: SeedLike = None,
+) -> np.ndarray | float:
+    """Draw instantaneous received powers under Nakagami-m fading.
+
+    ``Z ~ Gamma(m, mean/m)`` with ``mean = P d^-alpha``; ``size``
+    prepends sample axes like the Rayleigh sampler.
+    """
+    check_positive(m, "m")
+    rng = as_rng(seed)
+    d = np.asarray(distance, dtype=float)
+    if np.any(d <= 0):
+        raise ValueError("distances must be positive")
+    mean = power * d**-alpha
+    if size is None:
+        shape = mean.shape
+    elif isinstance(size, int):
+        shape = (size,) + mean.shape
+    else:
+        shape = tuple(size) + mean.shape
+    out = rng.gamma(shape=m, scale=1.0 / m, size=shape) * mean
+    return float(out) if np.ndim(out) == 0 else out
+
+
+def sample_nakagami_trials(
+    distances: np.ndarray,
+    active: np.ndarray,
+    alpha: float,
+    m: float,
+    n_trials: int,
+    *,
+    power: float = 1.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Nakagami analogue of
+    :func:`repro.channel.sampling.sample_fading_trials`: ``(T, K, K)``
+    instantaneous power matrices for an active set."""
+    if n_trials < 0:
+        raise ValueError("n_trials must be >= 0")
+    check_positive(m, "m")
+    d = np.asarray(distances, dtype=float)
+    n = d.shape[0]
+    a = np.asarray(active)
+    idx = np.flatnonzero(a) if a.dtype == bool else np.unique(a.astype(np.int64).reshape(-1))
+    if idx.size and (idx.min() < 0 or idx.max() >= n):
+        raise IndexError("active indices out of range")
+    k = idx.size
+    if k == 0 or n_trials == 0:
+        return np.zeros((n_trials, k, k), dtype=float)
+    rng = as_rng(seed)
+    means = pathloss_matrix(d[np.ix_(idx, idx)], alpha, power)
+    return rng.gamma(shape=m, scale=1.0 / m, size=(n_trials, k, k)) * means[None, :, :]
+
+
+def success_probability_nakagami(
+    distances: np.ndarray,
+    active: np.ndarray,
+    alpha: float,
+    gamma_th: float,
+    m: float,
+    *,
+    n_trials: int = 20_000,
+    noise: float = 0.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Monte-Carlo success probability per active link under Nakagami-m.
+
+    At ``m = 1`` this estimates the paper's Thm 3.1 closed form (the
+    tests assert agreement); for other ``m`` no product closed form
+    exists, so sampling is the honest estimator.
+    """
+    z = sample_nakagami_trials(distances, active, alpha, m, n_trials, seed=seed)
+    if z.shape[1] == 0 or n_trials == 0:
+        return np.zeros(z.shape[1], dtype=float)
+    signal = np.diagonal(z, axis1=1, axis2=2)
+    interference = z.sum(axis=1) - signal + noise
+    with np.errstate(divide="ignore", invalid="ignore"):
+        sinr = np.where(interference > 0, signal / interference, np.inf)
+    return (sinr >= gamma_th).mean(axis=0)
+
+
+@dataclass(frozen=True)
+class NakagamiChannel:
+    """Bundled Nakagami-m channel parameters (``m = 1`` == Rayleigh)."""
+
+    alpha: float
+    m: float = 1.0
+    power: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.alpha, "alpha")
+        check_positive(self.m, "m")
+        check_positive(self.power, "power")
+
+    def sample(self, distance, *, size=None, seed: SeedLike = None):
+        """Sample instantaneous received powers for this channel."""
+        return sample_received_power_nakagami(
+            distance, self.alpha, self.m, power=self.power, size=size, seed=seed
+        )
+
+    def success_probability(
+        self, distances, active, gamma_th, *, n_trials=20_000, seed: SeedLike = None
+    ):
+        """Monte-Carlo success probability per active link."""
+        return success_probability_nakagami(
+            distances, active, self.alpha, gamma_th, self.m, n_trials=n_trials, seed=seed
+        )
+
+
+def fading_severity_sweep(
+    problem,
+    active,
+    m_values: Sequence[float] = (0.5, 1.0, 2.0, 4.0, 8.0),
+    *,
+    n_trials: int = 20_000,
+    seed: SeedLike = None,
+) -> Dict[float, float]:
+    """Mean per-link success probability of a schedule across ``m``.
+
+    Returns ``{m: mean success probability}``.  Since larger ``m``
+    concentrates power around its mean, Rayleigh-feasible schedules can
+    only get *more* reliable as ``m`` grows past 1 (tests check the
+    trend), quantifying how conservative the paper's model is for
+    milder channels.
+    """
+    mask = problem.active_mask(active)
+    idx = np.flatnonzero(mask)
+    out: Dict[float, float] = {}
+    rng = as_rng(seed)
+    for m in m_values:
+        probs = success_probability_nakagami(
+            problem.distances(),
+            idx,
+            problem.alpha,
+            problem.gamma_th,
+            m,
+            n_trials=n_trials,
+            noise=problem.noise,
+            seed=rng,
+        )
+        out[float(m)] = float(probs.mean()) if probs.size else 1.0
+    return out

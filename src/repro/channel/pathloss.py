@@ -1,0 +1,55 @@
+"""Log-distance path loss.
+
+Both the deterministic SINR model and the Rayleigh model share the mean
+power law ``E[Z] = P * d^-alpha`` (Eq. 4); under Rayleigh fading the
+instantaneous power fluctuates exponentially around that mean, under the
+deterministic model it *is* that mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def mean_received_power(
+    distance: np.ndarray | float,
+    alpha: float,
+    power: float = 1.0,
+) -> np.ndarray | float:
+    """Mean received power ``P * d^-alpha`` (elementwise).
+
+    Parameters
+    ----------
+    distance:
+        Scalar or array of positive distances.
+    alpha:
+        Path loss exponent; the paper assumes ``alpha > 2`` for its
+        constants but the power law itself only needs ``alpha > 0``.
+    power:
+        Transmit power ``P`` (the paper normalises to 1 throughout
+        because only power *ratios* enter the SINR).
+    """
+    check_positive(alpha, "alpha")
+    check_positive(power, "power")
+    d = np.asarray(distance, dtype=float)
+    if np.any(d <= 0):
+        raise ValueError("distances must be positive")
+    out = power * d**-alpha
+    return float(out) if np.isscalar(distance) or out.ndim == 0 else out
+
+
+def pathloss_matrix(distances: np.ndarray, alpha: float, power: float = 1.0) -> np.ndarray:
+    """Matrix of mean received powers ``P * D^-alpha``.
+
+    ``distances[i, j]`` is the distance from sender ``i`` to receiver
+    ``j``; the result's ``[i, j]`` entry is the mean power receiver ``j``
+    sees from sender ``i``.
+    """
+    check_positive(alpha, "alpha")
+    check_positive(power, "power")
+    d = np.asarray(distances, dtype=float)
+    if np.any(d <= 0):
+        raise ValueError("distance matrix must be strictly positive")
+    return power * d**-alpha

@@ -1,0 +1,286 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``generate``
+    Produce a random workload and save it (CSV or JSON by extension).
+``schedule``
+    Run a scheduler on a workload file (or a fresh random one), verify
+    feasibility, optionally Monte-Carlo simulate, print or save JSON.
+``figures``
+    Regenerate the paper's evaluation panels as tables (and JSON).
+``list``
+    Show the registered schedulers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.base import get_scheduler, list_schedulers
+from repro.core.problem import FadingRLS
+from repro.io.linksets import (
+    linkset_from_csv,
+    linkset_from_json,
+    linkset_to_csv,
+    linkset_to_json,
+)
+from repro.io.results import schedule_to_dict, sweep_to_dict, write_json
+from repro.network.links import LinkSet
+
+TOPOLOGIES = ("paper", "clustered", "grid", "chain", "exponential")
+PANELS = ("fig5a", "fig5b", "fig6a", "fig6b")
+
+
+def _load_links(path: str) -> LinkSet:
+    p = Path(path)
+    if p.suffix == ".json":
+        return linkset_from_json(p)
+    if p.suffix == ".csv":
+        return linkset_from_csv(p)
+    raise SystemExit(f"unsupported link file extension {p.suffix!r} (use .csv or .json)")
+
+
+def _save_links(links: LinkSet, path: str) -> None:
+    p = Path(path)
+    if p.suffix == ".json":
+        linkset_to_json(links, p)
+    elif p.suffix == ".csv":
+        linkset_to_csv(links, p)
+    else:
+        raise SystemExit(f"unsupported link file extension {p.suffix!r} (use .csv or .json)")
+
+
+def _make_topology(name: str, n: int, seed: int) -> LinkSet:
+    from repro.network import topology as topo
+
+    if name == "paper":
+        return topo.paper_topology(n, seed=seed)
+    if name == "clustered":
+        return topo.clustered_topology(n, seed=seed)
+    if name == "grid":
+        side = max(1, int(round(n**0.5)))
+        return topo.grid_topology(side, seed=seed)
+    if name == "chain":
+        return topo.chain_topology(n)
+    if name == "exponential":
+        return topo.exponential_length_topology(n, seed=seed)
+    raise SystemExit(f"unknown topology {name!r}; choose from {TOPOLOGIES}")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """``repro generate``: write a random workload file."""
+    links = _make_topology(args.topology, args.n_links, args.seed)
+    _save_links(links, args.output)
+    print(f"wrote {len(links)} links ({args.topology}) to {args.output}")
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    """``repro schedule``: run a scheduler, verify, optionally simulate."""
+    if args.input:
+        links = _load_links(args.input)
+    else:
+        links = _make_topology(args.topology, args.n_links, args.seed)
+    problem = FadingRLS(
+        links=links,
+        alpha=args.alpha,
+        gamma_th=args.gamma_th,
+        eps=args.eps,
+        noise=args.noise,
+    )
+    scheduler = get_scheduler(args.algorithm)
+    kwargs = {"seed": args.seed} if args.algorithm in ("dls", "random", "protocol_mis") else {}
+    schedule = scheduler(problem, **kwargs)
+
+    result = None
+    if args.trials > 0:
+        from repro.sim.montecarlo import simulate_schedule
+
+        result = simulate_schedule(problem, schedule, n_trials=args.trials, seed=args.seed)
+
+    payload = schedule_to_dict(schedule, problem, result)
+    if args.output:
+        write_json(payload, args.output)
+        print(f"wrote result to {args.output}")
+    print(
+        f"{schedule.algorithm}: {schedule.size}/{len(links)} links scheduled, "
+        f"feasible={payload['feasible']}, "
+        f"expected throughput={payload['expected_throughput']:.3f}"
+    )
+    if result is not None:
+        print(
+            f"simulated {result.n_trials} trials: "
+            f"failed/trial={result.mean_failed:.3f}, "
+            f"throughput={result.mean_throughput:.3f}"
+        )
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """``repro figures``: regenerate the paper's evaluation panels."""
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.fig5 import failed_vs_alpha, failed_vs_links
+    from repro.experiments.fig6 import throughput_vs_alpha, throughput_vs_links
+    from repro.experiments.reporting import format_series
+
+    cfg = ExperimentConfig() if args.full else ExperimentConfig().small()
+    drivers = {
+        "fig5a": (failed_vs_links, "mean_failed", "Fig. 5(a): failed transmissions vs #links"),
+        "fig5b": (failed_vs_alpha, "mean_failed", "Fig. 5(b): failed transmissions vs alpha"),
+        "fig6a": (throughput_vs_links, "mean_throughput", "Fig. 6(a): throughput vs #links"),
+        "fig6b": (throughput_vs_alpha, "mean_throughput", "Fig. 6(b): throughput vs alpha"),
+    }
+    panels = PANELS if args.panel == "all" else (args.panel,)
+    collected = {}
+    for panel in panels:
+        driver, metric, title = drivers[panel]
+        sweep = driver(cfg)
+        collected[panel] = sweep_to_dict(sweep)
+        print(format_series(sweep, metric, title=title))
+        print()
+    if args.output:
+        write_json(collected, args.output)
+        print(f"wrote series to {args.output}")
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    """``repro list``: print the registered scheduler names."""
+    for name in list_schedulers():
+        print(name)
+    return 0
+
+
+def cmd_constants(args: argparse.Namespace) -> int:
+    """``repro constants``: print the paper's derived constants."""
+    from repro.analysis.regimes import constants_table
+
+    print(
+        constants_table(
+            alphas=tuple(args.alpha), gamma_th=args.gamma_th, eps=args.eps
+        )
+    )
+    return 0
+
+
+def cmd_queue(args: argparse.Namespace) -> int:
+    """``repro queue``: run the queue-driven frame simulation."""
+    from repro.sim.network_sim import simulate_queues
+
+    if args.input:
+        links = _load_links(args.input)
+    else:
+        links = _make_topology(args.topology, args.n_links, args.seed)
+    problem = FadingRLS(links=links, alpha=args.alpha, eps=args.eps, noise=args.noise)
+    scheduler = get_scheduler(args.algorithm)
+    result = simulate_queues(
+        problem,
+        scheduler,
+        n_slots=args.slots,
+        arrival_rate=args.arrival_rate,
+        seed=args.seed,
+    )
+    print(
+        f"{args.algorithm} over {result.n_slots} slots @ rate {args.arrival_rate}/link:\n"
+        f"  arrivals {result.arrivals}, delivered {result.deliveries} "
+        f"({100 * result.delivery_ratio:.1f}%), failed attempts {result.failures}\n"
+        f"  slot efficiency {result.slot_efficiency:.3f}, "
+        f"mean backlog {result.mean_backlog:.1f}, final backlog {result.final_backlog}, "
+        f"mean delay {result.mean_delay:.1f} slots"
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``repro report``: render the full markdown evaluation report."""
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.report import generate_report
+
+    cfg = ExperimentConfig() if args.full else ExperimentConfig().small()
+    text = generate_report(cfg)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fading-resistant link scheduling (Qiu & Shen, ICPP 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a random workload file")
+    g.add_argument("output", help="destination .csv or .json")
+    g.add_argument("--topology", choices=TOPOLOGIES, default="paper")
+    g.add_argument("--n-links", type=int, default=300)
+    g.add_argument("--seed", type=int, default=0)
+    g.set_defaults(fn=cmd_generate)
+
+    s = sub.add_parser("schedule", help="schedule a workload")
+    s.add_argument("--input", help="workload file (.csv or .json); omit for a random one")
+    s.add_argument("--topology", choices=TOPOLOGIES, default="paper")
+    s.add_argument("--n-links", type=int, default=300)
+    s.add_argument("--algorithm", default="rle")
+    s.add_argument("--alpha", type=float, default=3.0)
+    s.add_argument("--gamma-th", type=float, default=1.0)
+    s.add_argument("--eps", type=float, default=0.01)
+    s.add_argument("--noise", type=float, default=0.0)
+    s.add_argument("--trials", type=int, default=0, help="Monte-Carlo trials (0 = skip)")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--output", help="write the JSON result here")
+    s.set_defaults(fn=cmd_schedule)
+
+    f = sub.add_parser("figures", help="regenerate the paper's evaluation panels")
+    f.add_argument("--panel", choices=PANELS + ("all",), default="all")
+    f.add_argument("--full", action="store_true", help="paper-scale configuration")
+    f.add_argument("--output", help="write all series as JSON here")
+    f.set_defaults(fn=cmd_figures)
+
+    l = sub.add_parser("list", help="list registered schedulers")
+    l.set_defaults(fn=cmd_list)
+
+    c = sub.add_parser("constants", help="print the paper's derived constants")
+    c.add_argument(
+        "--alpha", type=float, nargs="+", default=[2.5, 3.0, 3.5, 4.0, 4.5]
+    )
+    c.add_argument("--gamma-th", type=float, default=1.0)
+    c.add_argument("--eps", type=float, default=0.01)
+    c.set_defaults(fn=cmd_constants)
+
+    q = sub.add_parser("queue", help="run the queue-driven frame simulation")
+    q.add_argument("--input", help="workload file (.csv or .json)")
+    q.add_argument("--topology", choices=TOPOLOGIES, default="paper")
+    q.add_argument("--n-links", type=int, default=120)
+    q.add_argument("--algorithm", default="rle")
+    q.add_argument("--slots", type=int, default=300)
+    q.add_argument("--arrival-rate", type=float, default=0.05)
+    q.add_argument("--alpha", type=float, default=3.0)
+    q.add_argument("--eps", type=float, default=0.01)
+    q.add_argument("--noise", type=float, default=0.0)
+    q.add_argument("--seed", type=int, default=0)
+    q.set_defaults(fn=cmd_queue)
+
+    r = sub.add_parser("report", help="render the markdown evaluation report")
+    r.add_argument("--full", action="store_true", help="paper-scale configuration")
+    r.add_argument("--output", help="write markdown here instead of stdout")
+    r.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

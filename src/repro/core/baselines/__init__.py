@@ -1,0 +1,53 @@
+"""Baseline schedulers.
+
+The paper compares against two deterministic-SINR algorithms that are
+*not* fading-resistant:
+
+- **ApproxLogN** [14] (Goussevskaia et al., MobiHoc'07): two-sided
+  length classes + grid colouring, squares sized by the deterministic
+  SINR criterion — :mod:`repro.core.baselines.approx_logn`;
+- **ApproxDiversity** [15] (Goussevskaia et al., INFOCOM'09):
+  shortest-link-first greedy with deterministic affectance elimination —
+  :mod:`repro.core.baselines.approx_diversity`.
+
+Neither has public code; both are reconstructions from their papers'
+descriptions plus the structural sketch in Section V (see DESIGN.md).
+The deterministic machinery they share lives in
+:mod:`repro.core.baselines.deterministic`, and
+:mod:`repro.core.baselines.naive` adds sanity baselines (greedy by
+rate under the fading test, random feasible, all-on).
+"""
+
+from repro.core.baselines.approx_diversity import approx_diversity_schedule
+from repro.core.baselines.approx_logn import approx_logn_schedule
+from repro.core.baselines.deterministic import (
+    affectance_matrix,
+    deterministic_informed,
+    deterministic_is_feasible,
+)
+from repro.core.baselines.naive import (
+    all_active_schedule,
+    greedy_fading_schedule,
+    longest_first_schedule,
+    random_feasible_schedule,
+)
+from repro.core.baselines.protocol import (
+    conflict_matrix,
+    protocol_model_schedule,
+    protocol_model_schedule_mis,
+)
+
+__all__ = [
+    "approx_logn_schedule",
+    "approx_diversity_schedule",
+    "affectance_matrix",
+    "deterministic_informed",
+    "deterministic_is_feasible",
+    "greedy_fading_schedule",
+    "random_feasible_schedule",
+    "all_active_schedule",
+    "longest_first_schedule",
+    "conflict_matrix",
+    "protocol_model_schedule",
+    "protocol_model_schedule_mis",
+]

@@ -1,0 +1,114 @@
+"""ApproxDiversity baseline [15] (Goussevskaia et al., INFOCOM'09).
+
+The constant-approximation one-shot scheduler for the *deterministic*
+SINR model, as summarised in the paper's Section V: "always picks up the
+shortest link and excludes links conflicted with the picked links in
+each iteration".  Structurally it is the deterministic twin of RLE:
+
+1. pick the shortest remaining link ``(s_i, r_i)``;
+2. delete remaining links whose sender is within ``c1_det * d_ii`` of
+   ``r_i``;
+3. delete remaining links whose receiver's accumulated *affectance*
+   from the picked set exceeds ``c2`` (of the deterministic unit
+   budget).
+
+``c1_det`` is Eq. (59) with the fading budget ``gamma_eps`` replaced by
+the deterministic budget 1 — much smaller, so far more links survive,
+and those dense schedules are precisely what fading breaks (Fig. 5).
+
+This is a reconstruction: [15] has no public code (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import register_scheduler
+from repro.core.baselines.deterministic import affectance_matrix
+from repro.core.problem import FadingRLS
+from repro.core.schedule import Schedule
+from repro.utils.zeta import riemann_zeta
+
+
+def approx_diversity_c1(alpha: float, gamma_th: float, c2: float, budget: float = 1.0) -> float:
+    """Deterministic elimination radius
+    ``sqrt(2) * (12 zeta(alpha-1) gamma_th / (budget (1 - c2)))^(1/alpha) + 1``.
+
+    ``budget`` is the deterministic affectance allowance (1 in the
+    noiseless model; the tightest ``1 - nu_j`` under ambient noise)."""
+    if not alpha > 2.0:
+        raise ValueError(f"ApproxDiversity requires alpha > 2, got {alpha}")
+    if not 0.0 < c2 < 1.0:
+        raise ValueError(f"c2 must be in (0, 1), got {c2}")
+    if budget <= 0:
+        raise ValueError(f"budget must be > 0, got {budget}")
+    inner = 12.0 * riemann_zeta(alpha - 1.0) * gamma_th / (budget * (1.0 - c2))
+    return float(np.sqrt(2.0) * inner ** (1.0 / alpha) + 1.0)
+
+
+@register_scheduler("approx_diversity")
+def approx_diversity_schedule(problem: FadingRLS, *, c2: float = 0.5) -> Schedule:
+    """Run ApproxDiversity.
+
+    The output satisfies the deterministic SINR test by the same
+    two-budget argument as RLE (earlier picks capped at ``c2``, later
+    picks at ``1 - c2`` by geometry); it carries **no** fading
+    guarantee.
+    """
+    from repro.core.baselines.deterministic import deterministic_budgets
+
+    links = problem.links
+    n = len(links)
+    if n == 0:
+        return Schedule.empty("approx_diversity")
+    if not problem.has_uniform_power:
+        from repro.core.base import SchedulerError
+
+        raise SchedulerError("ApproxDiversity assumes uniform transmit power")
+    budgets = deterministic_budgets(problem)
+    serviceable = budgets > 0.0
+    if not serviceable.any():
+        return Schedule(
+            active=np.zeros(0, dtype=np.int64),
+            algorithm="approx_diversity",
+            diagnostics={"unserviceable": int(n)},
+        )
+    c1 = approx_diversity_c1(
+        problem.alpha, problem.gamma_th, c2, float(budgets[serviceable].min())
+    )
+    lengths = links.lengths
+    dist = problem.distances()
+    a = affectance_matrix(problem)
+
+    order = np.argsort(lengths, kind="stable")
+    remaining = serviceable.copy()
+    accumulated = np.zeros(n, dtype=float)
+    picked: list[int] = []
+    removed_by_radius = 0
+    removed_by_affectance = 0
+
+    for i in order:
+        if not remaining[i]:
+            continue
+        picked.append(int(i))
+        remaining[i] = False
+
+        radius_kill = remaining & (dist[:, i] < c1 * lengths[i])
+        removed_by_radius += int(radius_kill.sum())
+        remaining[radius_kill] = False
+
+        accumulated += a[i, :]
+        affectance_kill = remaining & (accumulated > c2 * budgets)
+        removed_by_affectance += int(affectance_kill.sum())
+        remaining[affectance_kill] = False
+
+    return Schedule(
+        active=np.array(sorted(picked), dtype=np.int64),
+        algorithm="approx_diversity",
+        diagnostics={
+            "c1": c1,
+            "c2": c2,
+            "removed_by_radius": removed_by_radius,
+            "removed_by_affectance": removed_by_affectance,
+        },
+    )

@@ -1,0 +1,114 @@
+"""ApproxLogN baseline [14] (Goussevskaia, Oswald, Wattenhofer, MobiHoc'07).
+
+The ``O(g(L))`` one-shot scheduler for the *deterministic* SINR model:
+partition links into **two-sided** length classes (links of magnitude
+exactly ``h``), tile the plane per class with squares sized by the
+deterministic criterion, 4-colour, pick the max-rate receiver per
+same-colour square, and keep the best candidate.
+
+The square-size factor is the deterministic twin of LDP's Eq. (37):
+the deterministic budget on summed affectance is 1 (not ``gamma_eps``),
+so ``mu = (8 * zeta(alpha-1) * gamma_th / 1)^(1/alpha)`` — smaller than
+LDP's ``beta`` by the factor ``gamma_eps^(1/alpha)``.  Smaller squares
+mean denser schedules, which is exactly why this baseline fails under
+Rayleigh fading (Fig. 5).
+
+This is a reconstruction: [14] has no public code (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import register_scheduler
+from repro.core.ldp import _pick_per_square
+from repro.core.problem import FadingRLS
+from repro.core.schedule import Schedule
+from repro.geometry.grid import GridPartition
+from repro.network.diversity import length_classes, length_diversity_set
+from repro.utils.zeta import riemann_zeta
+
+N_COLORS = 4
+
+
+def approx_logn_mu(alpha: float, gamma_th: float, budget: float = 1.0) -> float:
+    """Deterministic square-size factor
+    ``mu = (8 zeta(alpha-1) gamma_th / budget)^(1/alpha)``.
+
+    ``budget`` is the deterministic affectance allowance (1 in the
+    noiseless model; ``1 - nu`` under ambient noise)."""
+    if not alpha > 2.0:
+        raise ValueError(f"ApproxLogN requires alpha > 2, got {alpha}")
+    if budget <= 0:
+        raise ValueError(f"budget must be > 0, got {budget}")
+    return float((8.0 * riemann_zeta(alpha - 1.0) * gamma_th / budget) ** (1.0 / alpha))
+
+
+def approx_logn_candidates(problem: FadingRLS) -> List[Tuple[int, int, np.ndarray]]:
+    """All ``4 g(L)`` candidate schedules (class magnitude, colour, indices)."""
+    from repro.core.baselines.deterministic import deterministic_budgets
+
+    links = problem.links
+    if len(links) == 0:
+        return []
+    if not problem.has_uniform_power:
+        from repro.core.base import SchedulerError
+
+        raise SchedulerError("ApproxLogN assumes uniform transmit power")
+    budgets = deterministic_budgets(problem)
+    ok = budgets > 0.0
+    if not ok.any():
+        return []
+    mu = approx_logn_mu(problem.alpha, problem.gamma_th, float(budgets[ok].min()))
+    delta = float(links.lengths.min())
+    magnitudes = length_diversity_set(links)
+    classes = length_classes(links, two_sided=True)
+
+    out: List[Tuple[int, int, np.ndarray]] = []
+    for h, idx in zip(magnitudes, classes):
+        idx = idx[ok[idx]]
+        cell_size = 2.0 ** (h + 1) * mu * delta
+        grid = GridPartition(cell_size)
+        cells = grid.cell_of(links.receivers[idx])
+        colors = grid.color_of(links.receivers[idx])
+        rates = links.rates[idx]
+        for color in range(N_COLORS):
+            sel = colors == color
+            chosen = _pick_per_square(cells[sel], rates[sel], idx[sel])
+            out.append((h, color, np.sort(chosen)))
+    return out
+
+
+@register_scheduler("approx_logn")
+def approx_logn_schedule(problem: FadingRLS) -> Schedule:
+    """Run ApproxLogN and return its best (deterministically feasible)
+    candidate.
+
+    The returned schedule satisfies the *deterministic* SINR test by
+    construction; its behaviour under fading is what
+    :mod:`repro.sim` measures.
+    """
+    candidates = approx_logn_candidates(problem)
+    if not candidates:
+        return Schedule.empty("approx_logn")
+    best: Optional[Tuple[int, int, np.ndarray]] = None
+    best_rate = -np.inf
+    for h, color, active in candidates:
+        rate = problem.scheduled_rate(active)
+        if rate > best_rate:
+            best_rate = rate
+            best = (h, color, active)
+    assert best is not None
+    h, color, active = best
+    return Schedule(
+        active=active,
+        algorithm="approx_logn",
+        diagnostics={
+            "class_magnitude": h,
+            "color": color,
+            "n_candidates": len(candidates),
+            "total_rate": best_rate,
+        },
+    )

@@ -1,0 +1,99 @@
+"""Naive baseline schedulers.
+
+Sanity baselines used by tests and the extended benchmarks:
+
+- :func:`greedy_fading_schedule` — rate-ordered greedy that adds a link
+  only if the *fading* feasibility (Cor. 3.1) of the whole set is
+  preserved.  A natural heuristic upper reference for LDP/RLE.
+- :func:`longest_first_schedule` — same greedy but longest links first;
+  demonstrates why the shortest-first rule in RLE matters.
+- :func:`random_feasible_schedule` — adds links in random order with
+  the same feasibility filter; the "no cleverness" control.
+- :func:`all_active_schedule` — schedules everything (usually
+  infeasible); stress input for the simulator and metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import register_scheduler
+from repro.core.problem import FadingRLS
+from repro.core.schedule import Schedule
+from repro.utils.rng import SeedLike, as_rng
+
+
+def _greedy_in_order(problem: FadingRLS, order: np.ndarray, algorithm: str) -> Schedule:
+    """Add links in ``order``; keep each only if the set stays feasible.
+
+    Incremental bookkeeping: ``accumulated[j]`` is the interference at
+    receiver ``j`` from the current set, so the feasibility test for a
+    candidate ``i`` is two vectorised checks (the candidate's own budget
+    and every member's budget after adding row ``F[i]``), never a full
+    re-solve.
+    """
+    n = problem.n_links
+    f = problem.interference_matrix()
+    budgets = problem.effective_budgets()  # gamma_eps everywhere when noise = 0
+    accumulated = np.zeros(n, dtype=float)
+    member = np.zeros(n, dtype=bool)
+    picked: list[int] = []
+    for i in order:
+        i = int(i)
+        # Candidate's own interference if added: current accumulation at r_i.
+        if accumulated[i] > budgets[i]:
+            continue
+        # Members' budgets after adding sender i.
+        new_acc = accumulated + f[i, :]
+        if np.any(new_acc[member] > budgets[member]):
+            continue
+        accumulated = new_acc
+        member[i] = True
+        picked.append(i)
+    return Schedule(
+        active=np.array(sorted(picked), dtype=np.int64),
+        algorithm=algorithm,
+        diagnostics={"order": "custom", "n_considered": int(len(order))},
+    )
+
+
+@register_scheduler("greedy")
+def greedy_fading_schedule(problem: FadingRLS) -> Schedule:
+    """Greedy by descending rate (ties: shorter link first) under the
+    fading feasibility test."""
+    links = problem.links
+    if len(links) == 0:
+        return Schedule.empty("greedy")
+    order = np.lexsort((links.lengths, -links.rates))
+    return _greedy_in_order(problem, order, "greedy")
+
+
+@register_scheduler("longest_first")
+def longest_first_schedule(problem: FadingRLS) -> Schedule:
+    """Greedy by descending link length — a deliberately bad ordering."""
+    links = problem.links
+    if len(links) == 0:
+        return Schedule.empty("longest_first")
+    order = np.argsort(-links.lengths, kind="stable")
+    return _greedy_in_order(problem, order, "longest_first")
+
+
+@register_scheduler("random")
+def random_feasible_schedule(problem: FadingRLS, *, seed: SeedLike = None) -> Schedule:
+    """Greedy in uniformly random order under the fading test."""
+    n = problem.n_links
+    if n == 0:
+        return Schedule.empty("random")
+    rng = as_rng(seed)
+    order = rng.permutation(n)
+    return _greedy_in_order(problem, order, "random")
+
+
+@register_scheduler("all_active")
+def all_active_schedule(problem: FadingRLS) -> Schedule:
+    """Schedule every link simultaneously (no feasibility filtering)."""
+    return Schedule(
+        active=np.arange(problem.n_links, dtype=np.int64),
+        algorithm="all_active",
+        diagnostics={"feasible_by_construction": False},
+    )

@@ -1,0 +1,110 @@
+"""Protocol (graph-based) interference model baseline.
+
+The paper's related work (Section VI-A, refs [1]-[9]) covers graph-based
+scheduling: two links conflict iff they are "close" (here, the unit-disk
+style rule — an interfering sender within ``range_factor`` times the
+victim's link length of its receiver), and a schedule is any independent
+set of the conflict graph.  Gronkvist & Hansson [10] showed such
+schedules are inefficient under the physical model because the graph
+ignores *accumulated* interference from many far senders; under Rayleigh
+fading they are doubly wrong.  This baseline exists to demonstrate that
+argument quantitatively (see ``benchmarks/test_protocol_model.py``).
+
+Two schedulers:
+
+- :func:`protocol_model_schedule` — deterministic greedy maximum-rate
+  independent set;
+- :func:`protocol_model_schedule_mis` — a networkx-backed randomised
+  maximal independent set, useful as a second opinion on the graph
+  abstraction itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import register_scheduler
+from repro.core.problem import FadingRLS
+from repro.core.schedule import Schedule
+from repro.utils.rng import SeedLike, as_rng
+
+
+def conflict_matrix(problem: FadingRLS, *, range_factor: float = 2.0) -> np.ndarray:
+    """Symmetric boolean conflict matrix of the protocol model.
+
+    Links ``i`` and ``j`` conflict when ``d(s_i, r_j) <
+    range_factor * d_jj`` or ``d(s_j, r_i) < range_factor * d_ii`` —
+    i.e. either sender lands inside the other receiver's protection
+    disk.  Diagonal is False.
+    """
+    if range_factor <= 0:
+        raise ValueError(f"range_factor must be > 0, got {range_factor}")
+    d = problem.distances()
+    lengths = problem.links.lengths
+    # d[i, j] = d(s_i, r_j); protection radius of receiver j is
+    # range_factor * d_jj.
+    close = d < range_factor * lengths[None, :]
+    conflict = close | close.T
+    np.fill_diagonal(conflict, False)
+    return conflict
+
+
+@register_scheduler("protocol")
+def protocol_model_schedule(
+    problem: FadingRLS, *, range_factor: float = 2.0
+) -> Schedule:
+    """Greedy max-rate independent set of the protocol conflict graph.
+
+    Deterministic: links are considered in descending rate (ties:
+    shorter first, then index) and added when conflict-free with the
+    current set.  The output is *maximal* in the graph sense but carries
+    no SINR guarantee of any kind — that is the point of the baseline.
+    """
+    n = problem.n_links
+    if n == 0:
+        return Schedule.empty("protocol")
+    conflict = conflict_matrix(problem, range_factor=range_factor)
+    links = problem.links
+    order = np.lexsort((np.arange(n), links.lengths, -links.rates))
+    chosen = np.zeros(n, dtype=bool)
+    blocked = np.zeros(n, dtype=bool)
+    for i in order:
+        if blocked[i]:
+            continue
+        chosen[i] = True
+        blocked |= conflict[i]
+    return Schedule(
+        active=np.flatnonzero(chosen),
+        algorithm="protocol",
+        diagnostics={
+            "range_factor": range_factor,
+            "conflict_edges": int(conflict.sum() // 2),
+        },
+    )
+
+
+@register_scheduler("protocol_mis")
+def protocol_model_schedule_mis(
+    problem: FadingRLS, *, range_factor: float = 2.0, seed: SeedLike = None
+) -> Schedule:
+    """Randomised maximal independent set via networkx.
+
+    Same conflict graph as :func:`protocol_model_schedule`; the
+    independent set comes from ``networkx.maximal_independent_set``
+    with a derived seed, giving a rate-blind sample of the graph
+    abstraction's output space.
+    """
+    import networkx as nx
+
+    n = problem.n_links
+    if n == 0:
+        return Schedule.empty("protocol_mis")
+    conflict = conflict_matrix(problem, range_factor=range_factor)
+    g = nx.from_numpy_array(conflict)
+    rng = as_rng(seed)
+    mis = nx.maximal_independent_set(g, seed=int(rng.integers(0, 2**31)))
+    return Schedule(
+        active=np.array(sorted(mis), dtype=np.int64),
+        algorithm="protocol_mis",
+        diagnostics={"range_factor": range_factor},
+    )

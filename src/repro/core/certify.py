@@ -1,0 +1,194 @@
+"""Feasibility certificates.
+
+``problem.is_feasible`` answers *whether* a schedule works; this module
+explains *why* (or why not) in a machine-checkable form.  A
+:class:`FeasibilityCertificate` carries every receiver's budget
+decomposition — interference by source, noise factor, slack — and an
+independent re-computation path (straight from distances, not the
+cached matrix), so tests and downstream users can audit any scheduler's
+output without trusting the library's own cache.
+
+Also included are the proof-shaped audits:
+
+- :func:`audit_ldp_structure` — re-checks Thm 4.1's preconditions on an
+  LDP output (single receiver per same-colour square, class length
+  bound);
+- :func:`audit_rle_structure` — re-checks the RLE invariants (Lemma
+  4.1 separation, elimination radius, budget split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.problem import FadingRLS
+from repro.core.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class ReceiverBudget:
+    """One active receiver's budget decomposition."""
+
+    link: int
+    budget: float                    # gamma_eps - noise factor
+    total_interference: float        # sum of factors from other active senders
+    slack: float                     # budget - total_interference
+    top_interferers: List[tuple]     # [(sender index, factor), ...] descending
+
+    @property
+    def informed(self) -> bool:
+        return self.slack >= -1e-12
+
+
+@dataclass(frozen=True)
+class FeasibilityCertificate:
+    """Full decomposition of a schedule's feasibility."""
+
+    feasible: bool
+    receivers: List[ReceiverBudget]
+    worst: ReceiverBudget | None = field(default=None)
+
+    def violations(self) -> List[ReceiverBudget]:
+        """The receivers whose budgets are exceeded (empty iff feasible)."""
+        return [r for r in self.receivers if not r.informed]
+
+
+def certify(
+    problem: FadingRLS,
+    schedule: Schedule | np.ndarray,
+    *,
+    top_k: int = 3,
+) -> FeasibilityCertificate:
+    """Build a feasibility certificate for a schedule.
+
+    Recomputes every interference factor directly from coordinates
+    (no reliance on the problem's cached matrix), making this an
+    independent audit path.
+    """
+    active = schedule.active if isinstance(schedule, Schedule) else np.asarray(schedule)
+    mask = problem.active_mask(active)
+    idx = np.flatnonzero(mask)
+    links = problem.links
+    alpha, gamma_th = problem.alpha, problem.gamma_th
+    receivers: List[ReceiverBudget] = []
+    budgets = problem.effective_budgets()
+
+    for j in idx:
+        r_j = links.receivers[j]
+        d_jj = float(links.lengths[j])
+        p_j = float(problem.tx_powers()[j])
+        entries = []
+        for i in idx:
+            if i == j:
+                continue
+            d_ij = float(np.hypot(*(links.senders[i] - r_j)))
+            p_i = float(problem.tx_powers()[i])
+            factor = float(
+                np.log1p(gamma_th * (p_i * d_ij**-alpha) / (p_j * d_jj**-alpha))
+            )
+            entries.append((int(i), factor))
+        entries.sort(key=lambda kv: -kv[1])
+        total = float(sum(f for _, f in entries))
+        receivers.append(
+            ReceiverBudget(
+                link=int(j),
+                budget=float(budgets[j]),
+                total_interference=total,
+                slack=float(budgets[j]) - total,
+                top_interferers=entries[:top_k],
+            )
+        )
+
+    worst = min(receivers, key=lambda r: r.slack) if receivers else None
+    return FeasibilityCertificate(
+        feasible=all(r.informed for r in receivers),
+        receivers=receivers,
+        worst=worst,
+    )
+
+
+def audit_ldp_structure(problem: FadingRLS, schedule: Schedule) -> Dict[str, bool]:
+    """Re-check Thm 4.1's structural preconditions on an LDP schedule.
+
+    Uses the schedule's diagnostics (class magnitude, colour, sizing
+    flags) to rebuild the grid and verify:
+
+    - every scheduled receiver lies in a cell of the winning colour,
+    - no two scheduled receivers share a cell,
+    - every scheduled link respects the class length bound.
+    """
+    from repro.core.bounds import ldp_beta, ldp_rigorous_beta, ldp_square_size
+    from repro.geometry.grid import GridPartition
+    from repro.network.diversity import class_length_bound
+
+    d = schedule.diagnostics
+    if "class_magnitude" not in d or "color" not in d:
+        raise ValueError("schedule lacks LDP diagnostics (is it an LDP output?)")
+    links = problem.links
+    budgets = problem.effective_budgets()
+    b_min = float(budgets[budgets > 0].min())
+    if d.get("rigorous"):
+        beta = ldp_rigorous_beta(problem.alpha, problem.gamma_th, b_min)
+    else:
+        beta = ldp_beta(problem.alpha, problem.gamma_th, b_min)
+    beta *= d.get("beta_scale", 1.0)
+    delta = float(links.lengths.min())
+    grid = GridPartition(ldp_square_size(d["class_magnitude"], delta, beta))
+    cells = grid.cell_of(links.receivers[schedule.active])
+    colors = grid.color_of(links.receivers[schedule.active])
+    bound = class_length_bound(links, d["class_magnitude"])
+    return {
+        "single_color": bool((colors == d["color"]).all()),
+        "distinct_cells": len({tuple(c) for c in cells}) == schedule.size,
+        "length_bound": bool(
+            (links.lengths[schedule.active] < bound + 1e-9).all()
+        ),
+    }
+
+
+def audit_rle_structure(problem: FadingRLS, schedule: Schedule) -> Dict[str, bool]:
+    """Re-check the RLE invariants on an RLE schedule.
+
+    - *radius rule*: for any two scheduled links, the longer one's
+      sender sits outside ``c1 x`` the shorter one's length around the
+      shorter one's receiver;
+    - *separation* (Lemma 4.1): scheduled senders are pairwise at least
+      ``(c1 - 1) x`` the shorter involved link's length apart;
+    - *budget*: every scheduled receiver's total interference fits its
+      effective budget.
+    """
+    d = schedule.diagnostics
+    if "c1" not in d:
+        raise ValueError("schedule lacks RLE diagnostics (is it an RLE output?)")
+    c1 = float(d["c1"])
+    idx = schedule.active
+    links = problem.links
+    dist = problem.distances()
+    lengths = links.lengths
+    radius_ok = True
+    separation_ok = True
+    for a in idx:
+        for b in idx:
+            if a == b:
+                continue
+            if lengths[a] <= lengths[b]:
+                if dist[b, a] < c1 * lengths[a] - 1e-9:
+                    radius_ok = False
+    senders = links.senders[idx]
+    diff = senders[:, None, :] - senders[None, :, :]
+    sep = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    for ai in range(idx.size):
+        for bi in range(ai + 1, idx.size):
+            shorter = min(lengths[idx[ai]], lengths[idx[bi]])
+            if sep[ai, bi] < (c1 - 1) * shorter - 1e-9:
+                separation_ok = False
+    budget_ok = bool(
+        np.all(
+            problem.interference_on(idx)[idx]
+            <= problem.effective_budgets()[idx] + 1e-12
+        )
+    )
+    return {"radius": radius_ok, "separation": separation_ok, "budget": budget_ok}

@@ -1,0 +1,112 @@
+"""ILP formulation of Fading-R-LS (Eq. 20-22).
+
+The paper's integer program:
+
+    max   sum_i lambda_i x_i
+    s.t.  sum_i f_ij x_i <= gamma_eps + M (1 - x_j)   for every j
+          x in {0, 1}^N
+
+with ``M`` a big constant.  Rearranged for a standard-form solver:
+
+    sum_i f_ij x_i + M x_j <= gamma_eps + M
+
+so the constraint matrix is ``A = F^T + M I`` (row ``j`` holds the
+factors *onto* receiver ``j`` plus ``M`` at ``j`` itself) with upper
+bounds ``gamma_eps + M``.  :func:`big_m` returns the smallest safe
+``M``: the largest possible interference any receiver can see, so a
+deactivated ``x_j`` never constrains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import FadingRLS
+
+
+def big_m(problem: FadingRLS) -> float:
+    """Smallest safe big-M.
+
+    With ``x_j = 0`` the constraint reads
+    ``sum_i f_ij x_i <= b_j + M`` (where ``b_j`` is receiver ``j``'s
+    effective budget, ``gamma_eps`` when noiseless), so
+    ``M >= max_j (sum_i F[i, j]) - min_j b_j`` deactivates every row.
+    """
+    f = problem.interference_matrix()
+    if f.size == 0:
+        return 1.0
+    worst_load = float(f.sum(axis=0).max())
+    worst_budget = float(problem.effective_budgets().min())
+    return worst_load + max(0.0, -worst_budget)
+
+
+@dataclass(frozen=True)
+class ILPData:
+    """Matrices of the Eq. 20-22 program in ``A x <= b`` form.
+
+    Attributes
+    ----------
+    objective : (N,) array
+        Rates ``lambda`` (to *maximise*).
+    constraint_matrix : (N, N) array
+        ``A = F^T + M I``.
+    upper_bounds : (N,) array
+        ``gamma_eps + M`` per row.
+    m : float
+        The big-M used.
+    """
+
+    objective: np.ndarray
+    constraint_matrix: np.ndarray
+    upper_bounds: np.ndarray
+    m: float
+
+    @property
+    def n_vars(self) -> int:
+        return int(self.objective.shape[0])
+
+
+def build_ilp(problem: FadingRLS, *, m: float | None = None) -> ILPData:
+    """Construct the Eq. 20-22 matrices for ``problem``.
+
+    Parameters
+    ----------
+    m:
+        Override the big-M (must be at least :func:`big_m`'s value for
+        correctness; smaller values silently cut feasible schedules,
+        which is why the default computes the safe bound).
+    """
+    n = problem.n_links
+    f = problem.interference_matrix()
+    m_val = big_m(problem) if m is None else float(m)
+    if m is not None and n > 0 and m_val < big_m(problem):
+        raise ValueError(
+            f"big-M {m_val} is smaller than the safe bound {big_m(problem)}; "
+            "this would cut feasible schedules"
+        )
+    a = f.T + m_val * np.eye(n)
+    b = problem.effective_budgets() + m_val
+    return ILPData(
+        objective=problem.links.rates.copy(),
+        constraint_matrix=a,
+        upper_bounds=b,
+        m=m_val,
+    )
+
+
+def check_ilp_solution(problem: FadingRLS, x: np.ndarray, *, tol: float = 1e-9) -> bool:
+    """Verify a binary vector against the ILP constraints directly.
+
+    Independent of :meth:`FadingRLS.is_feasible` — tests use both and
+    assert they agree, which pins the Eq. 20-22 encoding to Cor. 3.1.
+    """
+    xv = np.asarray(x, dtype=float).reshape(-1)
+    if xv.shape[0] != problem.n_links:
+        raise ValueError("x has wrong length")
+    if not np.all((np.abs(xv) < tol) | (np.abs(xv - 1.0) < tol)):
+        raise ValueError("x must be binary")
+    data = build_ilp(problem)
+    lhs = data.constraint_matrix @ xv
+    return bool(np.all(lhs <= data.upper_bounds + tol))

@@ -1,0 +1,267 @@
+"""Multi-slot scheduling (the paper's stated future work).
+
+Section VII: "we will further consider how to schedule all the links
+with the minimum number of time slots, not just to maximize the
+throughput in one time slot."  The natural cover heuristic: repeatedly
+run a one-shot scheduler on the still-unscheduled links and assign each
+returned set to the next slot, until every link has a slot.  With any
+one-shot scheduler that always schedules at least one link (LDP and RLE
+both do — a lone shortest link is always feasible), termination is
+guaranteed in at most ``N`` slots.
+
+This module is an *extension* beyond the paper's evaluation; it powers
+the ``sensor_report`` example and the multislot benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from repro.core.problem import FadingRLS
+from repro.core.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class MultiSlotSchedule:
+    """An assignment of every link to one time slot.
+
+    Attributes
+    ----------
+    slots:
+        One :class:`Schedule` per slot, each indexing into the
+        *original* problem's links.
+    algorithm:
+        Name of the underlying one-shot scheduler.
+    """
+
+    slots: List[Schedule]
+    algorithm: str
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.slots)
+
+    def slot_of(self, n_links: int) -> np.ndarray:
+        """Per-link slot index; shape ``(n_links,)``.
+
+        Raises if some link is missing or assigned twice (the covering
+        invariant multi-slot scheduling must maintain).
+        """
+        assignment = np.full(n_links, -1, dtype=np.int64)
+        for t, sched in enumerate(self.slots):
+            if np.any(assignment[sched.active] != -1):
+                raise ValueError("a link is assigned to two slots")
+            assignment[sched.active] = t
+        if np.any(assignment == -1):
+            raise ValueError("some links are unassigned")
+        return assignment
+
+
+def multislot_schedule(
+    problem: FadingRLS,
+    scheduler: Callable[..., Schedule],
+    *,
+    max_slots: int | None = None,
+    **scheduler_kwargs,
+) -> MultiSlotSchedule:
+    """Cover all links in slots by repeated one-shot scheduling.
+
+    Parameters
+    ----------
+    problem:
+        The full instance.
+    scheduler:
+        Any one-shot scheduler ``(FadingRLS, **kwargs) -> Schedule``.
+        Must schedule at least one link on every non-empty instance.
+    max_slots:
+        Safety cap (default ``n_links``); exceeded only if the
+        scheduler violates the progress requirement.
+
+    Returns
+    -------
+    MultiSlotSchedule
+        Slots are disjoint and jointly cover every link; each slot is
+        feasible iff the underlying scheduler's outputs are.
+    """
+    n = problem.n_links
+    cap = n if max_slots is None else int(max_slots)
+    remaining = np.arange(n, dtype=np.int64)
+    slots: List[Schedule] = []
+    name = getattr(scheduler, "__name__", "scheduler")
+    while remaining.size > 0:
+        if len(slots) >= cap:
+            raise RuntimeError(
+                f"exceeded {cap} slots with {remaining.size} links left — "
+                "the one-shot scheduler made no progress"
+            )
+        sub = problem.restrict(remaining)
+        sched = scheduler(sub, **scheduler_kwargs)
+        if sched.size == 0:
+            raise RuntimeError(
+                f"{name} returned an empty schedule on {remaining.size} links; "
+                "multi-slot covering cannot make progress"
+            )
+        global_active = remaining[sched.active]
+        slots.append(
+            Schedule(active=global_active, algorithm=sched.algorithm, diagnostics=sched.diagnostics)
+        )
+        keep = np.ones(remaining.size, dtype=bool)
+        keep[sched.active] = False
+        remaining = remaining[keep]
+    return MultiSlotSchedule(slots=slots, algorithm=name)
+
+
+def first_fit_multislot(
+    problem: FadingRLS,
+    *,
+    order: str = "length",
+    seed=None,
+) -> MultiSlotSchedule:
+    """First-fit slot packing (the bin-packing view of slot minimisation).
+
+    Links are processed in ``order`` ("length" ascending, "rate"
+    descending, or "random") and each is placed into the first slot
+    whose feasibility survives the addition (checked incrementally via
+    the interference accumulator), opening a new slot when none fits.
+    Far denser than covering with the conservative LDP/RLE one-shot
+    schedulers, at the price of no approximation guarantee.
+
+    Unserviceable links (noise alone over budget) cannot be placed in
+    *any* slot and raise ``ValueError`` — drop them first via
+    ``problem.serviceable()``.
+    """
+    import numpy as np
+
+    n = problem.n_links
+    if n == 0:
+        return MultiSlotSchedule(slots=[], algorithm="first_fit")
+    budgets = problem.effective_budgets()
+    if np.any(budgets < 0):
+        raise ValueError(
+            "instance has unserviceable links; filter with problem.serviceable() first"
+        )
+    f = problem.interference_matrix()
+    if order == "length":
+        sequence = np.argsort(problem.links.lengths, kind="stable")
+    elif order == "rate":
+        sequence = np.argsort(-problem.links.rates, kind="stable")
+    elif order == "random":
+        from repro.utils.rng import as_rng
+
+        sequence = as_rng(seed).permutation(n)
+    else:
+        raise ValueError(f"unknown order {order!r}; use 'length', 'rate' or 'random'")
+
+    slot_members: List[list[int]] = []
+    slot_acc: List[np.ndarray] = []  # accumulated interference per slot
+    for i in sequence:
+        i = int(i)
+        placed = False
+        for members, acc in zip(slot_members, slot_acc):
+            if acc[i] > budgets[i]:
+                continue
+            new_acc = acc + f[i, :]
+            if np.any(new_acc[members] > budgets[members]):
+                continue
+            members.append(i)
+            acc += f[i, :]
+            placed = True
+            break
+        if not placed:
+            slot_members.append([i])
+            slot_acc.append(f[i, :].copy())
+    slots = [
+        Schedule(active=np.array(sorted(m), dtype=np.int64), algorithm="first_fit")
+        for m in slot_members
+    ]
+    return MultiSlotSchedule(slots=slots, algorithm="first_fit")
+
+
+def exact_min_slots(problem: FadingRLS, *, limit: int = 12) -> MultiSlotSchedule:
+    """Exact minimum-slot schedule by depth-first search (small N only).
+
+    Assigns links one at a time (longest first — the hardest to place —
+    for stronger pruning) to existing slots or a new slot, pruning
+    branches that already use at least as many slots as the incumbent.
+    Exponential; guarded at ``limit`` links.
+    """
+    import numpy as np
+
+    n = problem.n_links
+    if n > limit:
+        raise ValueError(
+            f"exact slot minimisation on {n} links is exponential; limit is {limit}"
+        )
+    if n == 0:
+        return MultiSlotSchedule(slots=[], algorithm="exact_min_slots")
+    budgets = problem.effective_budgets()
+    if np.any(budgets < 0):
+        raise ValueError("instance has unserviceable links")
+    f = problem.interference_matrix()
+    order = np.argsort(-problem.links.lengths, kind="stable")
+
+    best: List[List[int]] = [[int(i)] for i in range(n)]  # n singleton slots
+
+    def feasible_with(members: List[int], i: int) -> bool:
+        group = members + [i]
+        sub = f[np.ix_(group, group)]
+        return bool(np.all(sub.sum(axis=0) <= budgets[group] + 1e-12))
+
+    def dfs(pos: int, slots: List[List[int]]) -> None:
+        nonlocal best
+        if len(slots) >= len(best):
+            return  # cannot beat incumbent
+        if pos == n:
+            best = [list(s) for s in slots]
+            return
+        i = int(order[pos])
+        seen_new_slot = False
+        for s in slots:
+            if feasible_with(s, i):
+                s.append(i)
+                dfs(pos + 1, slots)
+                s.pop()
+        if not seen_new_slot:
+            slots.append([i])
+            dfs(pos + 1, slots)
+            slots.pop()
+
+    dfs(0, [])
+    slots = [
+        Schedule(active=np.array(sorted(m), dtype=np.int64), algorithm="exact_min_slots")
+        for m in best
+    ]
+    return MultiSlotSchedule(slots=slots, algorithm="exact_min_slots")
+
+
+def multislot_lower_bound(problem: FadingRLS) -> int:
+    """A sound lower bound on the optimal number of slots.
+
+    Two links *mutually conflict* when each alone overloads the other's
+    budget (``F[i,j] > gamma_eps`` and ``F[j,i] > gamma_eps``); such a
+    pair can never share a slot, so any clique in the mutual-conflict
+    graph needs one slot per member.  Maximum clique is NP-hard, so we
+    grow a clique greedily from the highest-degree vertex — still a
+    valid (just not maximal) lower bound.
+    """
+    n = problem.n_links
+    if n == 0:
+        return 0
+    f = problem.interference_matrix()
+    g = problem.gamma_eps
+    # Mutual-conflict graph: i -- j when each alone overloads the other.
+    conflict = (f > g) & (f.T > g)
+    # Greedy clique growth around the highest-degree vertex gives a
+    # *sound* lower bound: all members pairwise conflict, so they need
+    # distinct slots.
+    deg = conflict.sum(axis=0)
+    seed_vertex = int(np.argmax(deg))
+    clique = [seed_vertex]
+    candidates = np.flatnonzero(conflict[seed_vertex])
+    for v in candidates:
+        if all(conflict[v, u] for u in clique):
+            clique.append(int(v))
+    return max(1, len(clique))

@@ -1,0 +1,28 @@
+"""Distributed-protocol simulation substrate.
+
+The paper's conclusion references a decentralised scheduler (DLS) whose
+description did not survive into the published text.  The library's
+:mod:`repro.core.dls` reconstructs its *dynamics* with centralised
+matrix algebra; this package provides the honest version: a synchronous
+message-passing engine where every link is a node that only sees its
+own measurements and received messages.
+
+- :mod:`repro.distributed.engine` — nodes, synchronous rounds, message
+  delivery and counting,
+- :mod:`repro.distributed.dls_protocol` — DLS implemented as a real
+  protocol on that engine; its output distribution matches the
+  matrix-based ``dls_schedule`` (tests pin the equivalence for the
+  backoff phase), and the engine reports the rounds and messages a
+  deployment would pay.
+"""
+
+from repro.distributed.dls_protocol import DlsProtocolResult, run_dls_protocol
+from repro.distributed.engine import Message, Node, SyncEngine
+
+__all__ = [
+    "SyncEngine",
+    "Node",
+    "Message",
+    "run_dls_protocol",
+    "DlsProtocolResult",
+]

@@ -1,0 +1,96 @@
+"""Synchronous message-passing engine.
+
+A minimal, dependency-free round-based model:
+
+- a :class:`Node` holds local state and implements ``step(round, inbox)
+  -> list[Message]``;
+- the :class:`SyncEngine` delivers every round's messages to their
+  recipients at the start of the next round (synchronous model), counts
+  traffic, and stops when every node reports ``done`` (or a round cap
+  hits).
+
+The engine is deliberately tiny — just enough to express contention
+protocols like DLS honestly (local state + explicit messages), with
+the bookkeeping (messages per round, convergence round) the evaluation
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message: sender id, recipient id, free-form payload."""
+
+    sender: int
+    recipient: int
+    payload: Any = None
+
+
+class Node:
+    """Base class for protocol participants.
+
+    Subclasses override :meth:`step`; ``self.node_id`` is assigned by
+    the engine at registration.
+    """
+
+    node_id: int = -1
+
+    def step(self, round_index: int, inbox: Sequence[Message]) -> List[Message]:
+        """Process one synchronous round; return outgoing messages."""
+        raise NotImplementedError
+
+    @property
+    def done(self) -> bool:
+        """Whether this node has terminated (engine stops when all are)."""
+        return False
+
+
+@dataclass
+class EngineStats:
+    """Traffic and convergence bookkeeping."""
+
+    rounds: int = 0
+    total_messages: int = 0
+    messages_per_round: List[int] = field(default_factory=list)
+
+
+class SyncEngine:
+    """Run nodes in synchronous rounds until all done (or max_rounds)."""
+
+    def __init__(self, nodes: Sequence[Node]):
+        self.nodes: List[Node] = list(nodes)
+        for i, node in enumerate(self.nodes):
+            node.node_id = i
+        self.stats = EngineStats()
+        self._pending: Dict[int, List[Message]] = {}
+
+    def run(self, *, max_rounds: int = 10_000) -> EngineStats:
+        """Execute rounds; raises ``RuntimeError`` on non-termination."""
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        for round_index in range(max_rounds):
+            if all(node.done for node in self.nodes):
+                return self.stats
+            outboxes: List[Message] = []
+            for node in self.nodes:
+                inbox = self._pending.get(node.node_id, [])
+                out = node.step(round_index, inbox)
+                for msg in out:
+                    if not 0 <= msg.recipient < len(self.nodes):
+                        raise ValueError(
+                            f"node {node.node_id} addressed unknown node {msg.recipient}"
+                        )
+                outboxes.extend(out)
+            self._pending = {}
+            for msg in outboxes:
+                self._pending.setdefault(msg.recipient, []).append(msg)
+            self.stats.rounds += 1
+            self.stats.total_messages += len(outboxes)
+            self.stats.messages_per_round.append(len(outboxes))
+        if all(node.done for node in self.nodes):
+            return self.stats
+        raise RuntimeError(f"protocol did not terminate within {max_rounds} rounds")

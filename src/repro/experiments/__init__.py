@@ -1,0 +1,28 @@
+"""Experiment drivers that regenerate the paper's evaluation.
+
+- :mod:`repro.experiments.config` — the Section-V parameter defaults,
+- :mod:`repro.experiments.fig5` — failed transmissions vs #links (5a)
+  and vs alpha (5b),
+- :mod:`repro.experiments.fig6` — throughput vs #links (6a) and vs
+  alpha (6b),
+- :mod:`repro.experiments.ablations` — the extra studies indexed in
+  DESIGN.md (LDP class variants, RLE ``c2`` sensitivity, approximation
+  quality vs the exact optimum),
+- :mod:`repro.experiments.reporting` — plain-text series/table output.
+"""
+
+from repro.experiments.config import PAPER_SCHEDULERS, ExperimentConfig
+from repro.experiments.fig5 import failed_vs_alpha, failed_vs_links
+from repro.experiments.fig6 import throughput_vs_alpha, throughput_vs_links
+from repro.experiments.reporting import format_series, format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_SCHEDULERS",
+    "failed_vs_links",
+    "failed_vs_alpha",
+    "throughput_vs_links",
+    "throughput_vs_alpha",
+    "format_series",
+    "format_table",
+]

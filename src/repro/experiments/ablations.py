@@ -1,0 +1,154 @@
+"""Ablation studies (DESIGN.md experiments A1-A4).
+
+Beyond the paper's four figure panels:
+
+- **A1** :func:`ldp_class_ablation` — the paper's one-sided length
+  classes vs the two-sided classes of [14];
+- **A2** :func:`rle_c2_ablation` — throughput sensitivity to RLE's
+  interference-budget split ``c2``;
+- **A3** :func:`approximation_quality` — LDP/RLE scheduled rate against
+  the exact optimum on small instances (feasible for exact solvers);
+- **A4** is runtime scaling and lives entirely in
+  ``benchmarks/test_scaling.py`` (pytest-benchmark owns the timing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exact import branch_and_bound_schedule
+from repro.core.ldp import ldp_schedule
+from repro.core.problem import FadingRLS
+from repro.core.rle import rle_schedule
+from repro.experiments.config import ExperimentConfig
+from repro.network.topology import exponential_length_topology, paper_topology
+from repro.utils.rng import stable_seed
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Per-variant mean metric across repetitions."""
+
+    variant: str
+    x_values: Tuple[float, ...]
+    means: Tuple[float, ...]
+    stds: Tuple[float, ...]
+
+
+def ldp_class_ablation(
+    *,
+    n_links: int = 300,
+    n_repetitions: int = 10,
+    alpha: float = 3.0,
+    root_seed: int = 2017,
+    diverse_lengths: bool = True,
+) -> Dict[str, AblationResult]:
+    """A1: LDP one-sided vs two-sided classes, expected throughput.
+
+    ``diverse_lengths=True`` uses the exponential-length workload where
+    ``g(L)`` is large and the class policy matters; the paper-uniform
+    workload has ``g(L) <= 2`` and the variants nearly tie.
+    """
+    variants = {"one_sided": False, "two_sided": True}
+    out: Dict[str, AblationResult] = {}
+    values: Dict[str, List[float]] = {v: [] for v in variants}
+    for rep in range(n_repetitions):
+        seed = stable_seed("a1", rep, root=root_seed)
+        if diverse_lengths:
+            links = exponential_length_topology(n_links, seed=seed)
+        else:
+            links = paper_topology(n_links, seed=seed)
+        problem = FadingRLS(links=links, alpha=alpha)
+        for name, two_sided in variants.items():
+            sched = ldp_schedule(problem, two_sided=two_sided)
+            values[name].append(problem.expected_throughput(sched.active))
+    for name in variants:
+        arr = np.array(values[name])
+        out[name] = AblationResult(
+            variant=name,
+            x_values=(float(n_links),),
+            means=(float(arr.mean()),),
+            stds=(float(arr.std(ddof=1)) if n_repetitions > 1 else 0.0,),
+        )
+    return out
+
+
+def rle_c2_ablation(
+    *,
+    c2_values: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9),
+    n_links: int = 300,
+    n_repetitions: int = 10,
+    alpha: float = 3.0,
+    root_seed: int = 2017,
+) -> AblationResult:
+    """A2: RLE expected throughput across the ``c2`` budget split."""
+    means: List[float] = []
+    stds: List[float] = []
+    for c2 in c2_values:
+        vals = []
+        for rep in range(n_repetitions):
+            links = paper_topology(n_links, seed=stable_seed("a2", rep, root=root_seed))
+            problem = FadingRLS(links=links, alpha=alpha)
+            sched = rle_schedule(problem, c2=c2)
+            vals.append(problem.expected_throughput(sched.active))
+        arr = np.array(vals)
+        means.append(float(arr.mean()))
+        stds.append(float(arr.std(ddof=1)) if n_repetitions > 1 else 0.0)
+    return AblationResult(
+        variant="rle_c2",
+        x_values=tuple(float(c) for c in c2_values),
+        means=tuple(means),
+        stds=tuple(stds),
+    )
+
+
+@dataclass(frozen=True)
+class ApproximationQuality:
+    """Scheduled rate of each algorithm relative to the exact optimum."""
+
+    n_instances: int
+    mean_ratio: Dict[str, float]  # algorithm -> mean(opt_rate / alg_rate)
+    worst_ratio: Dict[str, float]
+    theoretical_bound: Dict[str, float]
+
+
+def approximation_quality(
+    *,
+    n_links: int = 12,
+    n_instances: int = 20,
+    alpha: float = 3.0,
+    region_side: float = 200.0,
+    root_seed: int = 2017,
+) -> ApproximationQuality:
+    """A3: empirical approximation ratios on exactly solvable instances.
+
+    Uses branch-and-bound for the optimum; instances are small and
+    geographically tight so the optimum is nontrivial.  Reports
+    ``opt / alg`` (1.0 = optimal; the paper guarantees ``<= 16 g(L)``
+    for LDP and the Thm 4.4 constant for RLE).
+    """
+    from repro.core.bounds import ldp_approximation_ratio, rle_approximation_ratio
+    from repro.network.diversity import length_diversity
+
+    ratios: Dict[str, List[float]] = {"ldp": [], "rle": []}
+    bounds: Dict[str, List[float]] = {"ldp": [], "rle": []}
+    for rep in range(n_instances):
+        links = paper_topology(
+            n_links, region_side=region_side, seed=stable_seed("a3", rep, root=root_seed)
+        )
+        problem = FadingRLS(links=links, alpha=alpha)
+        opt = problem.scheduled_rate(branch_and_bound_schedule(problem).active)
+        for name, fn in (("ldp", ldp_schedule), ("rle", rle_schedule)):
+            rate = problem.scheduled_rate(fn(problem).active)
+            ratios[name].append(opt / rate if rate > 0 else np.inf)
+        bounds["ldp"].append(ldp_approximation_ratio(length_diversity(links)))
+        bounds["rle"].append(rle_approximation_ratio(alpha, problem.eps, problem.gamma_th, 0.5))
+    return ApproximationQuality(
+        n_instances=n_instances,
+        mean_ratio={k: float(np.mean(v)) for k, v in ratios.items()},
+        worst_ratio={k: float(np.max(v)) for k, v in ratios.items()},
+        theoretical_bound={k: float(np.max(v)) for k, v in bounds.items()},
+    )

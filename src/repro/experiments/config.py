@@ -1,0 +1,90 @@
+"""Section-V experiment configuration.
+
+The paper's setup: senders uniform in a 500x500 square, link lengths
+``U[5, 20]`` in random directions, acceptable error rate 0.01, decoding
+threshold 1, unit data rates.  The paper does not print its exact sweep
+grids; the defaults here (N in 100..500, alpha in 2.5..4.5 around the
+default 3.0) cover the ranges its Figs. 5-6 discuss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from repro.core.base import get_scheduler
+from repro.core.schedule import Schedule
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology
+
+
+def paper_scheduler_set() -> Dict[str, Callable[..., Schedule]]:
+    """The four algorithms of Figs. 5: LDP, RLE, ApproxLogN, ApproxDiversity."""
+    return {
+        "ldp": get_scheduler("ldp"),
+        "rle": get_scheduler("rle"),
+        "approx_logn": get_scheduler("approx_logn"),
+        "approx_diversity": get_scheduler("approx_diversity"),
+    }
+
+
+PAPER_SCHEDULERS: Tuple[str, ...] = ("ldp", "rle", "approx_logn", "approx_diversity")
+FIG6_SCHEDULERS: Tuple[str, ...] = ("ldp", "rle")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by the figure drivers.
+
+    ``n_links_sweep`` feeds Figs. 5(a)/6(a); ``alpha_sweep`` feeds
+    Figs. 5(b)/6(b) (with ``n_links_fixed`` links).  Lower the
+    repetition/trial counts for quick runs; the benchmark defaults are
+    in each bench file.
+    """
+
+    region_side: float = 500.0
+    min_length: float = 5.0
+    max_length: float = 20.0
+    gamma_th: float = 1.0
+    eps: float = 0.01
+    rate: float = 1.0
+    alpha_default: float = 3.0
+    n_links_fixed: int = 300
+    n_links_sweep: Tuple[int, ...] = (100, 200, 300, 400, 500)
+    alpha_sweep: Tuple[float, ...] = (2.5, 3.0, 3.5, 4.0, 4.5)
+    n_repetitions: int = 10
+    n_trials: int = 500
+    root_seed: int = 2017
+
+    def workload(self, n_links: int) -> Callable[[int], LinkSet]:
+        """Per-repetition workload factory for ``n_links`` links."""
+
+        def make(seed: int) -> LinkSet:
+            return paper_topology(
+                n_links,
+                region_side=self.region_side,
+                min_length=self.min_length,
+                max_length=self.max_length,
+                rate=self.rate,
+                seed=seed,
+            )
+
+        return make
+
+    def small(self) -> "ExperimentConfig":
+        """A fast variant for tests and smoke runs."""
+        return ExperimentConfig(
+            region_side=self.region_side,
+            min_length=self.min_length,
+            max_length=self.max_length,
+            gamma_th=self.gamma_th,
+            eps=self.eps,
+            rate=self.rate,
+            alpha_default=self.alpha_default,
+            n_links_fixed=60,
+            n_links_sweep=(30, 60),
+            alpha_sweep=(2.5, 3.5),
+            n_repetitions=2,
+            n_trials=100,
+            root_seed=self.root_seed,
+        )

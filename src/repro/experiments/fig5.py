@@ -1,0 +1,83 @@
+"""Figure 5: number of failed transmissions.
+
+- :func:`failed_vs_links` — Fig. 5(a): failures as the number of links
+  grows (alpha fixed at the default);
+- :func:`failed_vs_alpha` — Fig. 5(b): failures as the path-loss
+  exponent grows (link count fixed).
+
+Expected shape (paper): LDP and RLE show ~zero failures; ApproxLogN and
+ApproxDiversity fail increasingly with N and decreasingly with alpha.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig, paper_scheduler_set
+from repro.sim.runner import RunResult, run_schedulers
+from repro.utils.rng import stable_seed
+
+
+@dataclass(frozen=True)
+class SweepSeries:
+    """One figure panel: x values and per-algorithm y series."""
+
+    x_label: str
+    x_values: Tuple[float, ...]
+    series: Dict[str, List[RunResult]]
+
+    def metric(self, algorithm: str, field: str) -> List[float]:
+        """Extract one metric across the sweep, e.g. ``metric('ldp',
+        'mean_failed')``."""
+        return [getattr(r, field) for r in self.series[algorithm]]
+
+
+def failed_vs_links(config: ExperimentConfig | None = None) -> SweepSeries:
+    """Fig. 5(a): failed transmissions vs number of links."""
+    cfg = config or ExperimentConfig()
+    schedulers = paper_scheduler_set()
+    series: Dict[str, List[RunResult]] = {name: [] for name in schedulers}
+    for n in cfg.n_links_sweep:
+        results = run_schedulers(
+            schedulers,
+            cfg.workload(n),
+            n_repetitions=cfg.n_repetitions,
+            n_trials=cfg.n_trials,
+            alpha=cfg.alpha_default,
+            gamma_th=cfg.gamma_th,
+            eps=cfg.eps,
+            root_seed=stable_seed("fig5a", n, root=cfg.root_seed),
+        )
+        for name in schedulers:
+            series[name].append(results[name])
+    return SweepSeries(
+        x_label="number of links",
+        x_values=tuple(float(n) for n in cfg.n_links_sweep),
+        series=series,
+    )
+
+
+def failed_vs_alpha(config: ExperimentConfig | None = None) -> SweepSeries:
+    """Fig. 5(b): failed transmissions vs path loss exponent alpha."""
+    cfg = config or ExperimentConfig()
+    schedulers = paper_scheduler_set()
+    series: Dict[str, List[RunResult]] = {name: [] for name in schedulers}
+    for alpha in cfg.alpha_sweep:
+        results = run_schedulers(
+            schedulers,
+            cfg.workload(cfg.n_links_fixed),
+            n_repetitions=cfg.n_repetitions,
+            n_trials=cfg.n_trials,
+            alpha=alpha,
+            gamma_th=cfg.gamma_th,
+            eps=cfg.eps,
+            root_seed=stable_seed("fig5b", alpha, root=cfg.root_seed),
+        )
+        for name in schedulers:
+            series[name].append(results[name])
+    return SweepSeries(
+        x_label="path loss exponent alpha",
+        x_values=tuple(cfg.alpha_sweep),
+        series=series,
+    )

@@ -1,0 +1,74 @@
+"""Figure 6: throughput of the fading-resistant algorithms.
+
+- :func:`throughput_vs_links` — Fig. 6(a): throughput as the number of
+  links grows;
+- :func:`throughput_vs_alpha` — Fig. 6(b): throughput as alpha grows.
+
+Expected shape (paper): RLE >= LDP throughout; both grow with N and
+with alpha (larger alpha shrinks LDP's squares and RLE's elimination
+radius, so more links fit a slot).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.base import get_scheduler
+from repro.experiments.config import FIG6_SCHEDULERS, ExperimentConfig
+from repro.experiments.fig5 import SweepSeries
+from repro.sim.runner import RunResult, run_schedulers
+from repro.utils.rng import stable_seed
+
+
+def _fig6_schedulers():
+    return {name: get_scheduler(name) for name in FIG6_SCHEDULERS}
+
+
+def throughput_vs_links(config: ExperimentConfig | None = None) -> SweepSeries:
+    """Fig. 6(a): throughput vs number of links (LDP vs RLE)."""
+    cfg = config or ExperimentConfig()
+    schedulers = _fig6_schedulers()
+    series: Dict[str, List[RunResult]] = {name: [] for name in schedulers}
+    for n in cfg.n_links_sweep:
+        results = run_schedulers(
+            schedulers,
+            cfg.workload(n),
+            n_repetitions=cfg.n_repetitions,
+            n_trials=cfg.n_trials,
+            alpha=cfg.alpha_default,
+            gamma_th=cfg.gamma_th,
+            eps=cfg.eps,
+            root_seed=stable_seed("fig6a", n, root=cfg.root_seed),
+        )
+        for name in schedulers:
+            series[name].append(results[name])
+    return SweepSeries(
+        x_label="number of links",
+        x_values=tuple(float(n) for n in cfg.n_links_sweep),
+        series=series,
+    )
+
+
+def throughput_vs_alpha(config: ExperimentConfig | None = None) -> SweepSeries:
+    """Fig. 6(b): throughput vs path loss exponent alpha (LDP vs RLE)."""
+    cfg = config or ExperimentConfig()
+    schedulers = _fig6_schedulers()
+    series: Dict[str, List[RunResult]] = {name: [] for name in schedulers}
+    for alpha in cfg.alpha_sweep:
+        results = run_schedulers(
+            schedulers,
+            cfg.workload(cfg.n_links_fixed),
+            n_repetitions=cfg.n_repetitions,
+            n_trials=cfg.n_trials,
+            alpha=alpha,
+            gamma_th=cfg.gamma_th,
+            eps=cfg.eps,
+            root_seed=stable_seed("fig6b", alpha, root=cfg.root_seed),
+        )
+        for name in schedulers:
+            series[name].append(results[name])
+    return SweepSeries(
+        x_label="path loss exponent alpha",
+        x_values=tuple(cfg.alpha_sweep),
+        series=series,
+    )

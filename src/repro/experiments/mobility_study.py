@@ -1,0 +1,85 @@
+"""Mobility study: schedule quality and stability under movement.
+
+The paper motivates fading with mobility; this study quantifies what
+mobility does to the *schedules*: as nodes move faster, how much of a
+slot's schedule survives to the next slot (churn), and does per-slot
+throughput suffer?  Per speed level we run a random-waypoint trace,
+re-schedule every step, and aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.problem import FadingRLS
+from repro.network.mobility import random_waypoint_trace, schedule_churn
+from repro.utils.rng import stable_seed
+
+
+@dataclass(frozen=True)
+class MobilityPoint:
+    """One (speed, scheduler) cell (means over trace steps and reps)."""
+
+    speed: float
+    algorithm: str
+    mean_throughput: float
+    mean_churn: float
+    max_churn: float
+    all_feasible: bool
+
+
+def mobility_sweep(
+    schedulers: Dict[str, Callable],
+    *,
+    speeds: Sequence[float] = (1.0, 5.0, 20.0, 50.0),
+    n_links: int = 150,
+    n_steps: int = 10,
+    n_repetitions: int = 3,
+    alpha: float = 3.0,
+    root_seed: int = 2017,
+) -> List[MobilityPoint]:
+    """Sweep mobility speed; returns one point per (speed, scheduler).
+
+    Speed is the upper end of the per-step movement range (lower end is
+    half of it), in the same units as the 500x500 region per step.
+    """
+    out: List[MobilityPoint] = []
+    for speed in speeds:
+        acc: Dict[str, List[tuple]] = {k: [] for k in schedulers}
+        for rep in range(n_repetitions):
+            trace = random_waypoint_trace(
+                n_links,
+                n_steps,
+                speed_range=(speed / 2.0, float(speed)),
+                seed=stable_seed("mob", rep, speed, root=root_seed),
+            )
+            for name, fn in schedulers.items():
+                schedules = []
+                throughputs = []
+                feasible = True
+                for links in trace:
+                    problem = FadingRLS(links=links, alpha=alpha)
+                    s = fn(problem)
+                    feasible &= problem.is_feasible(s.active)
+                    schedules.append(s)
+                    throughputs.append(problem.expected_throughput(s.active))
+                churn = schedule_churn(schedules)
+                acc[name].append(
+                    (np.mean(throughputs), np.mean(churn), np.max(churn), feasible)
+                )
+        for name, rows in acc.items():
+            arr = np.asarray([(r[0], r[1], r[2]) for r in rows], dtype=float)
+            out.append(
+                MobilityPoint(
+                    speed=float(speed),
+                    algorithm=name,
+                    mean_throughput=float(arr[:, 0].mean()),
+                    mean_churn=float(arr[:, 1].mean()),
+                    max_churn=float(arr[:, 2].max()),
+                    all_feasible=all(r[3] for r in rows),
+                )
+            )
+    return out

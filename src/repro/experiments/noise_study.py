@@ -1,0 +1,97 @@
+"""Noise study: scheduling as ambient noise rises.
+
+The paper drops ``N0`` (Eq. 8) on the grounds of negligible effect.
+This study quantifies when that stops being true: sweeping ``N0``
+upward, per scheduler we track
+
+- serviceable links (noise factor below the budget),
+- scheduled links and expected goodput,
+- Monte-Carlo failures (which stay at the eps-floor for the resistant
+  schedulers because the noise-aware budgets absorb ``nu_j``).
+
+The phase structure: harmless below ``N0 ~ gamma_eps * d_max^-alpha /
+gamma_th``, then long links die first (their ``nu = gamma_th N0
+d^alpha`` is largest), then the network goes dark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.problem import FadingRLS
+from repro.network.topology import paper_topology
+from repro.sim.montecarlo import simulate_schedule
+from repro.utils.rng import stable_seed
+
+
+@dataclass(frozen=True)
+class NoisePoint:
+    """One (noise, scheduler) cell (means over repetitions)."""
+
+    noise: float
+    algorithm: str
+    mean_serviceable: float
+    mean_scheduled: float
+    mean_goodput: float
+    mean_failed: float
+
+
+def critical_noise(max_length: float, alpha: float, gamma_th: float, eps: float) -> float:
+    """The ``N0`` at which the longest link becomes unserviceable:
+    ``gamma_eps / (gamma_th * d_max^alpha)``."""
+    from repro.core.problem import gamma_epsilon
+
+    return gamma_epsilon(eps) / (gamma_th * max_length**alpha)
+
+
+def noise_sweep(
+    schedulers: Dict[str, Callable],
+    *,
+    noise_values: Sequence[float] | None = None,
+    n_links: int = 300,
+    n_repetitions: int = 5,
+    n_trials: int = 300,
+    alpha: float = 3.0,
+    eps: float = 0.01,
+    max_length: float = 20.0,
+    root_seed: int = 2017,
+) -> List[NoisePoint]:
+    """Sweep ambient noise; defaults to a grid around the critical N0."""
+    if noise_values is None:
+        n_crit = critical_noise(max_length, alpha, 1.0, eps)
+        noise_values = (0.0, 0.1 * n_crit, 0.5 * n_crit, 0.9 * n_crit, 2.0 * n_crit)
+    out: List[NoisePoint] = []
+    for noise in noise_values:
+        acc: Dict[str, List[tuple]] = {k: [] for k in schedulers}
+        for rep in range(n_repetitions):
+            links = paper_topology(
+                n_links, max_length=max_length, seed=stable_seed("noise", rep, root=root_seed)
+            )
+            problem = FadingRLS(links=links, alpha=alpha, eps=eps, noise=float(noise))
+            serviceable = int(problem.serviceable().sum())
+            for name, fn in schedulers.items():
+                schedule = fn(problem)
+                goodput = problem.expected_throughput(schedule.active)
+                result = simulate_schedule(
+                    problem,
+                    schedule,
+                    n_trials=n_trials,
+                    seed=stable_seed("noise-sim", rep, name, noise, root=root_seed),
+                )
+                acc[name].append((serviceable, schedule.size, goodput, result.mean_failed))
+        for name, rows in acc.items():
+            arr = np.asarray(rows, dtype=float)
+            out.append(
+                NoisePoint(
+                    noise=float(noise),
+                    algorithm=name,
+                    mean_serviceable=float(arr[:, 0].mean()),
+                    mean_scheduled=float(arr[:, 1].mean()),
+                    mean_goodput=float(arr[:, 2].mean()),
+                    mean_failed=float(arr[:, 3].mean()),
+                )
+            )
+    return out

@@ -1,0 +1,121 @@
+"""Markdown report generator.
+
+Renders a complete evaluation report — all four paper panels plus the
+headline shape checks — as markdown, so a fresh environment can
+regenerate an EXPERIMENTS-style record with one call (or
+``python -m repro report``).  The shape checks mirror the benchmark
+assertions; a report therefore states explicitly whether this run
+reproduced the paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig5 import SweepSeries, failed_vs_alpha, failed_vs_links
+from repro.experiments.fig6 import throughput_vs_alpha, throughput_vs_links
+
+
+def _md_table(headers: List[str], rows: List[List[object]], float_fmt="{:.3f}") -> str:
+    def fmt(v):
+        return float_fmt.format(v) if isinstance(v, float) else str(v)
+
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    lines += ["| " + " | ".join(fmt(v) for v in row) + " |" for row in rows]
+    return "\n".join(lines)
+
+
+def _series_table(sweep: SweepSeries, metric: str) -> str:
+    algorithms = sorted(sweep.series)
+    rows = []
+    for i, x in enumerate(sweep.x_values):
+        rows.append([x] + [getattr(sweep.series[a][i], metric) for a in algorithms])
+    return _md_table([sweep.x_label] + algorithms, rows)
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim and whether this run reproduced it."""
+
+    claim: str
+    holds: bool
+
+
+def _check_shapes(
+    fig5a: SweepSeries, fig5b: SweepSeries, fig6a: SweepSeries, fig6b: SweepSeries
+) -> List[ShapeCheck]:
+    checks: List[ShapeCheck] = []
+    ours_max = max(
+        max(fig5a.metric("ldp", "mean_failed")), max(fig5a.metric("rle", "mean_failed"))
+    )
+    checks.append(ShapeCheck("LDP/RLE failures stay at the eps-floor (<= 1/slot)", ours_max <= 1.0))
+    div = fig5a.metric("approx_diversity", "mean_failed")
+    checks.append(ShapeCheck("baseline failures grow with N", div[-1] > div[0]))
+    # Fig 5(b): per-link failure *rate* falls with alpha.
+    rate_ok = True
+    for alg in ("approx_diversity", "approx_logn"):
+        failed = fig5b.metric(alg, "mean_failed")
+        scheduled = fig5b.metric(alg, "mean_scheduled")
+        rates = [f / s for f, s in zip(failed, scheduled)]
+        rate_ok &= rates[-1] < rates[0]
+    checks.append(ShapeCheck("baseline per-link failure rate falls with alpha", rate_ok))
+    rle6a = fig6a.metric("rle", "mean_throughput")
+    ldp6a = fig6a.metric("ldp", "mean_throughput")
+    checks.append(
+        ShapeCheck("RLE throughput >= LDP at every N", all(r >= l for r, l in zip(rle6a, ldp6a)))
+    )
+    checks.append(ShapeCheck("throughput grows with N (RLE)", rle6a[-1] >= rle6a[0]))
+    grows = all(
+        fig6b.metric(alg, "mean_throughput")[-1] > fig6b.metric(alg, "mean_throughput")[0]
+        for alg in ("ldp", "rle")
+    )
+    checks.append(ShapeCheck("throughput grows with alpha (both)", grows))
+    return checks
+
+
+def generate_report(config: ExperimentConfig | None = None) -> str:
+    """Run all four panels and render the markdown report."""
+    cfg = config or ExperimentConfig()
+    fig5a = failed_vs_links(cfg)
+    fig5b = failed_vs_alpha(cfg)
+    fig6a = throughput_vs_links(cfg)
+    fig6b = throughput_vs_alpha(cfg)
+    checks = _check_shapes(fig5a, fig5b, fig6a, fig6b)
+
+    parts: List[str] = [
+        "# Evaluation report — Fading-R-LS reproduction",
+        "",
+        f"Configuration: N sweep {cfg.n_links_sweep}, alpha sweep {cfg.alpha_sweep}, "
+        f"{cfg.n_repetitions} repetitions x {cfg.n_trials} trials, "
+        f"eps={cfg.eps}, gamma_th={cfg.gamma_th}, root seed {cfg.root_seed}.",
+        "",
+        "## Shape checks",
+        "",
+        _md_table(
+            ["claim", "reproduced"],
+            [[c.claim, "yes" if c.holds else "NO"] for c in checks],
+        ),
+        "",
+        "## Fig. 5(a) — failed transmissions vs number of links",
+        "",
+        _series_table(fig5a, "mean_failed"),
+        "",
+        "## Fig. 5(b) — failed transmissions vs alpha",
+        "",
+        _series_table(fig5b, "mean_failed"),
+        "",
+        "## Fig. 6(a) — throughput vs number of links",
+        "",
+        _series_table(fig6a, "mean_throughput"),
+        "",
+        "## Fig. 6(b) — throughput vs alpha",
+        "",
+        _series_table(fig6b, "mean_throughput"),
+        "",
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,69 @@
+"""Plain-text reporting of experiment series.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these formatters keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.experiments.fig5 import SweepSeries
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned plain-text table."""
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    sweep: SweepSeries,
+    metric: str,
+    *,
+    title: str = "",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render one figure panel as a table: x column + one column per
+    algorithm, reporting ``metric`` (e.g. ``mean_failed``)."""
+    algorithms = sorted(sweep.series)
+    headers = [sweep.x_label] + algorithms
+    rows = []
+    for i, x in enumerate(sweep.x_values):
+        row: list[object] = [x]
+        for alg in algorithms:
+            row.append(getattr(sweep.series[alg][i], metric))
+        rows.append(row)
+    body = format_table(headers, rows, float_fmt=float_fmt)
+    return f"{title}\n{body}" if title else body
+
+
+def format_run_summary(results: Mapping[str, object]) -> str:
+    """One-line-per-algorithm summary of a ``run_schedulers`` result."""
+    headers = ["algorithm", "scheduled", "failed", "throughput"]
+    rows = []
+    for name in sorted(results):
+        r = results[name]
+        rows.append(
+            [name, r.mean_scheduled, r.mean_failed, r.mean_throughput]  # type: ignore[attr-defined]
+        )
+    return format_table(headers, rows)

@@ -1,0 +1,104 @@
+"""Content-addressed experiment result store.
+
+Paper-scale sweeps take minutes; iterating on analysis should not
+re-run them.  :func:`load_or_run` keys a JSON payload by a stable hash
+of ``(experiment name, parameters)`` so repeated calls with identical
+configuration hit the cache, and any parameter change re-runs.
+
+The store is deliberately dumb: one JSON file per key under a
+directory, safe to delete wholesale, no invalidation beyond the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Union
+
+PathLike = Union[str, Path]
+
+
+def config_key(name: str, params: Mapping[str, Any]) -> str:
+    """Stable hex key for an experiment configuration.
+
+    Parameters are serialised with sorted keys; anything JSON rejects
+    (tuples become lists transparently) raises ``TypeError`` so
+    unhashable configs fail loudly instead of colliding.
+    """
+    canonical = json.dumps({"name": name, "params": params}, sort_keys=True, default=_coerce)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+
+def _coerce(value: Any):
+    if isinstance(value, tuple):
+        return list(value)
+    import numpy as np
+
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"unserialisable config value: {value!r}")
+
+
+class ResultStore:
+    """One directory of ``<key>.json`` experiment results."""
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem path backing ``key``."""
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Dict[str, Any] | None:
+        """Stored payload, or None on miss/corruption (corrupt entries
+        are treated as misses so a crashed write self-heals)."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return None
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically store a payload (write temp, rename)."""
+        path = self.path_for(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        tmp.replace(path)
+
+    def load_or_run(
+        self,
+        name: str,
+        params: Mapping[str, Any],
+        runner: Callable[[], Dict[str, Any]],
+    ) -> tuple[Dict[str, Any], bool]:
+        """Return ``(payload, was_cached)``; runs and stores on a miss.
+
+        The runner must return a JSON-serialisable dict.
+        """
+        key = config_key(name, params)
+        cached = self.get(key)
+        if cached is not None:
+            return cached, True
+        payload = runner()
+        self.put(key, payload)
+        return payload, False
+
+    def keys(self) -> list[str]:
+        """Sorted keys of every stored result."""
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every stored result; returns the count removed."""
+        n = 0
+        for p in self.root.glob("*.json"):
+            p.unlink()
+            n += 1
+        return n

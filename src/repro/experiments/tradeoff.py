@@ -1,0 +1,94 @@
+"""Reliability/throughput trade-off across the error allowance eps.
+
+The paper fixes ``eps = 0.01``.  But eps is the knob that prices
+fading resistance: a larger allowance inflates the interference budget
+``gamma_eps = ln(1/(1-eps))`` (almost linearly), letting the
+fading-resistant schedulers pack more links per slot at the cost of a
+higher per-link failure probability.  This driver sweeps eps and
+reports, per scheduler:
+
+- scheduled links and raw scheduled rate,
+- *expected goodput* ``sum lambda_j Pr(success_j)`` — the quantity a
+  deployment actually cares about,
+- Monte-Carlo failures.
+
+The interesting output is the goodput-maximising eps, which is far
+above the paper's conservative 0.01 on its own workload (see
+``benchmarks/test_eps_tradeoff.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.problem import FadingRLS
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology
+from repro.sim.montecarlo import simulate_schedule
+from repro.utils.rng import stable_seed
+
+
+@dataclass(frozen=True)
+class EpsPoint:
+    """One (eps, scheduler) cell of the sweep (means over repetitions)."""
+
+    eps: float
+    algorithm: str
+    mean_scheduled: float
+    mean_expected_goodput: float
+    mean_failed: float
+
+
+def eps_tradeoff(
+    schedulers: Dict[str, Callable],
+    *,
+    eps_values: Sequence[float] = (0.001, 0.01, 0.05, 0.1, 0.2, 0.4),
+    n_links: int = 300,
+    n_repetitions: int = 5,
+    n_trials: int = 300,
+    alpha: float = 3.0,
+    root_seed: int = 2017,
+    workload: Callable[[int], LinkSet] | None = None,
+) -> List[EpsPoint]:
+    """Run the eps sweep; returns one :class:`EpsPoint` per cell."""
+    if workload is None:
+        workload = lambda seed: paper_topology(n_links, seed=seed)  # noqa: E731
+    out: List[EpsPoint] = []
+    for eps in eps_values:
+        acc: Dict[str, List[Tuple[float, float, float]]] = {k: [] for k in schedulers}
+        for rep in range(n_repetitions):
+            links = workload(stable_seed("eps", rep, root=root_seed))
+            problem = FadingRLS(links=links, alpha=alpha, eps=eps)
+            for name, fn in schedulers.items():
+                schedule = fn(problem)
+                goodput = problem.expected_throughput(schedule.active)
+                result = simulate_schedule(
+                    problem,
+                    schedule,
+                    n_trials=n_trials,
+                    seed=stable_seed("eps-sim", rep, name, eps, root=root_seed),
+                )
+                acc[name].append((schedule.size, goodput, result.mean_failed))
+        for name, rows in acc.items():
+            arr = np.asarray(rows, dtype=float)
+            out.append(
+                EpsPoint(
+                    eps=float(eps),
+                    algorithm=name,
+                    mean_scheduled=float(arr[:, 0].mean()),
+                    mean_expected_goodput=float(arr[:, 1].mean()),
+                    mean_failed=float(arr[:, 2].mean()),
+                )
+            )
+    return out
+
+
+def best_eps(points: List[EpsPoint], algorithm: str) -> EpsPoint:
+    """The goodput-maximising sweep point for one scheduler."""
+    mine = [p for p in points if p.algorithm == algorithm]
+    if not mine:
+        raise KeyError(f"no sweep points for {algorithm!r}")
+    return max(mine, key=lambda p: p.mean_expected_goodput)

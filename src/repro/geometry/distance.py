@@ -1,0 +1,72 @@
+"""Vectorised Euclidean distance kernels.
+
+These are the O(N^2) building blocks under every interference-factor
+matrix, so they are written as single broadcasting expressions with no
+temporaries beyond the output (guide: broadcasting + views, not loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.points import as_points
+
+
+def cross_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """All-pairs distances ``D[i, j] = |a_i - b_j|``.
+
+    Parameters
+    ----------
+    a : (N, 2) array
+    b : (M, 2) array
+
+    Returns
+    -------
+    (N, M) array of Euclidean distances.
+    """
+    a = as_points(a, "a")
+    b = as_points(b, "b")
+    diff = a[:, None, :] - b[None, :, :]
+    # einsum avoids the intermediate diff**2 allocation of (diff**2).sum.
+    sq = np.einsum("ijk,ijk->ij", diff, diff)
+    return np.sqrt(sq)
+
+
+def pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Symmetric all-pairs distance matrix of one point set."""
+    return cross_distances(points, points)
+
+
+def point_to_points(point: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Distances from one point to each point of an array; shape ``(N,)``."""
+    p = np.asarray(point, dtype=float)
+    if p.shape != (2,):
+        raise ValueError(f"point must have shape (2,), got {p.shape}")
+    pts = as_points(points)
+    diff = pts - p[None, :]
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+def min_pairwise_distance(points: np.ndarray) -> float:
+    """Smallest distance between two *distinct* points.
+
+    Used by the knapsack reduction (``d_min`` in Eq. 25).  Raises for
+    fewer than two points.
+    """
+    pts = as_points(points)
+    n = pts.shape[0]
+    if n < 2:
+        raise ValueError("need at least two points")
+    d = pairwise_distances(pts)
+    # Mask the diagonal rather than adding inf in place, keeping d intact.
+    iu = np.triu_indices(n, k=1)
+    return float(d[iu].min())
+
+
+def max_pairwise_distance(points: np.ndarray) -> float:
+    """Largest distance between two points (the set's diameter)."""
+    pts = as_points(points)
+    if pts.shape[0] < 2:
+        raise ValueError("need at least two points")
+    d = pairwise_distances(pts)
+    return float(d.max())

@@ -1,0 +1,126 @@
+"""Square grid partition and 4-colouring (paper Fig. 2).
+
+LDP tiles the plane with axis-aligned squares of side ``beta_k`` and
+colours them with four colours in a 2x2 repeating pattern so that two
+same-colour squares are separated by an even number of cells in each
+axis.  The feasibility proof (Thm 4.1) then walks concentric *rings* of
+same-colour squares around a receiver; :func:`ring_cells` enumerates
+those rings so the proof's counting argument (at most ``8q`` interfering
+cells in ring ``q``) can be exercised numerically in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.geometry.points import as_points
+
+
+def four_coloring(cells: np.ndarray) -> np.ndarray:
+    """Colour integer grid cells with ``{0, 1, 2, 3}`` in a 2x2 pattern.
+
+    Two cells share a colour iff their index difference is even on both
+    axes, which is exactly the property LDP needs: same-colour squares
+    at ring distance ``q`` are ``2 q * cell_size`` apart.
+
+    Parameters
+    ----------
+    cells : (N, 2) int array of cell indices ``(a, b)``.
+
+    Returns
+    -------
+    (N,) int array of colours in ``{0, 1, 2, 3}``.
+    """
+    c = np.asarray(cells)
+    if c.ndim != 2 or c.shape[1] != 2:
+        raise ValueError(f"cells must have shape (N, 2), got {c.shape}")
+    return (np.mod(c[:, 0], 2) * 2 + np.mod(c[:, 1], 2)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class GridPartition:
+    """A partition of the plane into ``cell_size x cell_size`` squares.
+
+    The grid is anchored at ``origin`` (cell ``(0, 0)`` has its lower
+    left corner there) but extends over the whole plane — LDP never
+    needs an explicit cell list, only the point -> cell map.
+    """
+
+    cell_size: float
+    origin: Tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if not self.cell_size > 0:
+            raise ValueError(f"cell_size must be > 0, got {self.cell_size}")
+
+    def cell_of(self, points: np.ndarray) -> np.ndarray:
+        """Map points to integer cell indices ``(a, b)``; shape ``(N, 2)``.
+
+        Points exactly on a boundary belong to the cell on their upper
+        right (floor semantics), matching a half-open tiling.
+        """
+        p = as_points(points)
+        ox, oy = self.origin
+        idx = np.empty((p.shape[0], 2), dtype=np.int64)
+        idx[:, 0] = np.floor((p[:, 0] - ox) / self.cell_size)
+        idx[:, 1] = np.floor((p[:, 1] - oy) / self.cell_size)
+        return idx
+
+    def color_of(self, points: np.ndarray) -> np.ndarray:
+        """Colour in ``{0,1,2,3}`` of each point's cell."""
+        return four_coloring(self.cell_of(points))
+
+    def cell_center(self, cells: np.ndarray) -> np.ndarray:
+        """Centre coordinates of integer cells; shape ``(N, 2)``."""
+        c = np.asarray(cells, dtype=float)
+        if c.ndim == 1:
+            c = c[None, :]
+        ox, oy = self.origin
+        out = np.empty_like(c)
+        out[:, 0] = ox + (c[:, 0] + 0.5) * self.cell_size
+        out[:, 1] = oy + (c[:, 1] + 0.5) * self.cell_size
+        return out
+
+    def same_color_separation(self, cell_a: Tuple[int, int], cell_b: Tuple[int, int]) -> float:
+        """Lower bound on the distance between points of two same-colour cells.
+
+        For distinct same-colour cells the index difference is even and
+        at least 2 on some axis, so the gap between the squares is at
+        least ``(max(|da|, |db|) - 1) * cell_size >= cell_size``.
+        """
+        da = abs(cell_a[0] - cell_b[0])
+        db = abs(cell_a[1] - cell_b[1])
+        cheb = max(da, db)
+        if cheb == 0:
+            return 0.0
+        return (cheb - 1) * self.cell_size
+
+
+def ring_cells(center: Tuple[int, int], q: int) -> Iterator[Tuple[int, int]]:
+    """Yield the cells at Chebyshev distance exactly ``q`` from ``center``.
+
+    Ring ``q`` has ``8q`` cells for ``q >= 1`` (the count used in
+    Thm 4.1's interference bound) and just the centre for ``q = 0``.
+    """
+    if q < 0:
+        raise ValueError("q must be >= 0")
+    ca, cb = center
+    if q == 0:
+        yield (ca, cb)
+        return
+    for a in range(ca - q, ca + q + 1):
+        yield (a, cb - q)
+        yield (a, cb + q)
+    for b in range(cb - q + 1, cb + q):
+        yield (ca - q, b)
+        yield (ca + q, b)
+
+
+def ring_cell_count(q: int) -> int:
+    """Number of cells in ring ``q``: ``1`` if ``q == 0`` else ``8q``."""
+    if q < 0:
+        raise ValueError("q must be >= 0")
+    return 1 if q == 0 else 8 * q

@@ -1,0 +1,60 @@
+"""Point-array helpers.
+
+A *point array* is a float ``ndarray`` of shape ``(N, 2)``.  All of
+:mod:`repro` passes points in this struct-of-arrays layout so distance
+computations reduce to single broadcasting expressions (see the
+optimization guide: vectorise, avoid per-element Python loops).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def as_points(points: np.ndarray, name: str = "points") -> np.ndarray:
+    """Coerce input to a float ``(N, 2)`` array, validating shape.
+
+    Accepts any nested sequence convertible by :func:`numpy.asarray`.
+    A single point ``(2,)`` is promoted to shape ``(1, 2)``.
+    """
+    p = np.asarray(points, dtype=float)
+    if p.ndim == 1:
+        if p.shape[0] != 2:
+            raise ValueError(f"{name}: a single point must have 2 coordinates, got {p.shape}")
+        p = p[None, :]
+    if p.ndim != 2 or p.shape[1] != 2:
+        raise ValueError(f"{name} must have shape (N, 2), got {p.shape}")
+    if not np.all(np.isfinite(p)):
+        raise ValueError(f"{name} must be finite")
+    return p
+
+
+def bounding_box(points: np.ndarray) -> Tuple[float, float, float, float]:
+    """Return ``(xmin, ymin, xmax, ymax)`` of a point array."""
+    p = as_points(points)
+    if p.shape[0] == 0:
+        raise ValueError("bounding_box of empty point set is undefined")
+    mins = p.min(axis=0)
+    maxs = p.max(axis=0)
+    return float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1])
+
+
+def translate(points: np.ndarray, offset: np.ndarray) -> np.ndarray:
+    """Translate all points by ``offset`` (shape ``(2,)``); returns a copy."""
+    p = as_points(points)
+    off = np.asarray(offset, dtype=float)
+    if off.shape != (2,):
+        raise ValueError(f"offset must have shape (2,), got {off.shape}")
+    return p + off[None, :]
+
+
+def points_on_segment(start: np.ndarray, end: np.ndarray, n: int) -> np.ndarray:
+    """``n`` evenly spaced points from ``start`` to ``end`` inclusive."""
+    if n < 2:
+        raise ValueError("need n >= 2 points to span a segment")
+    s = np.asarray(start, dtype=float)
+    e = np.asarray(end, dtype=float)
+    t = np.linspace(0.0, 1.0, n)[:, None]
+    return s[None, :] * (1.0 - t) + e[None, :] * t

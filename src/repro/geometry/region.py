@@ -1,0 +1,89 @@
+"""Axis-aligned rectangular deployment regions.
+
+The paper deploys senders uniformly in a 500x500 square; :class:`Region`
+generalises that to any axis-aligned rectangle and owns uniform sampling
+and containment tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.points import as_points
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass(frozen=True)
+class Region:
+    """Axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if not (self.xmax > self.xmin and self.ymax > self.ymin):
+            raise ValueError(
+                f"degenerate region: ({self.xmin}, {self.ymin}) .. ({self.xmax}, {self.ymax})"
+            )
+
+    @classmethod
+    def square(cls, side: float, origin: tuple[float, float] = (0.0, 0.0)) -> "Region":
+        """The paper's deployment area: a ``side x side`` square."""
+        if side <= 0:
+            raise ValueError(f"side must be > 0, got {side}")
+        ox, oy = origin
+        return cls(ox, oy, ox + side, oy + side)
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def diagonal(self) -> float:
+        return float(np.hypot(self.width, self.height))
+
+    def contains(self, points: np.ndarray, *, tol: float = 0.0) -> np.ndarray:
+        """Boolean mask of points inside the region (inclusive, +/- tol)."""
+        p = as_points(points)
+        return (
+            (p[:, 0] >= self.xmin - tol)
+            & (p[:, 0] <= self.xmax + tol)
+            & (p[:, 1] >= self.ymin - tol)
+            & (p[:, 1] <= self.ymax + tol)
+        )
+
+    def sample_uniform(self, n: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw ``n`` i.i.d. uniform points; shape ``(n, 2)``."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        rng = as_rng(seed)
+        xy = rng.uniform(size=(n, 2))
+        xy[:, 0] = self.xmin + xy[:, 0] * self.width
+        xy[:, 1] = self.ymin + xy[:, 1] * self.height
+        return xy
+
+    def clamp(self, points: np.ndarray) -> np.ndarray:
+        """Project points onto the region (used when a receiver placed at
+        a random direction would fall outside the deployment area)."""
+        p = as_points(points).copy()
+        np.clip(p[:, 0], self.xmin, self.xmax, out=p[:, 0])
+        np.clip(p[:, 1], self.ymin, self.ymax, out=p[:, 1])
+        return p
+
+    def expanded(self, margin: float) -> "Region":
+        """A region grown by ``margin`` on every side."""
+        if margin < 0:
+            raise ValueError("margin must be >= 0")
+        return Region(self.xmin - margin, self.ymin - margin, self.xmax + margin, self.ymax + margin)

@@ -1,0 +1,20 @@
+"""Dataset and result I/O.
+
+- :mod:`repro.io.linksets` — save/load :class:`~repro.network.links.LinkSet`
+  as CSV or JSON (the interchange formats the CLI speaks),
+- :mod:`repro.io.results` — serialise schedules and experiment sweeps to
+  JSON for archival and diffing.
+"""
+
+from repro.io.linksets import linkset_from_csv, linkset_from_json, linkset_to_csv, linkset_to_json
+from repro.io.results import schedule_to_dict, sweep_to_dict, write_json
+
+__all__ = [
+    "linkset_to_csv",
+    "linkset_from_csv",
+    "linkset_to_json",
+    "linkset_from_json",
+    "schedule_to_dict",
+    "sweep_to_dict",
+    "write_json",
+]

@@ -1,0 +1,109 @@
+"""LinkSet persistence.
+
+CSV layout (one row per link, header required)::
+
+    sx,sy,rx,ry,rate
+    12.5,100.0,20.1,95.5,1.0
+
+JSON layout::
+
+    {"links": [{"sender": [12.5, 100.0], "receiver": [20.1, 95.5], "rate": 1.0}, ...]}
+
+Both formats round-trip exactly (floats serialised with ``repr``
+precision).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.network.links import LinkSet
+
+PathLike = Union[str, Path]
+
+CSV_HEADER = ["sx", "sy", "rx", "ry", "rate"]
+
+
+def linkset_to_csv(links: LinkSet, path: PathLike) -> None:
+    """Write a LinkSet to CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(CSV_HEADER)
+        for i in range(len(links)):
+            writer.writerow(
+                [
+                    repr(float(links.senders[i, 0])),
+                    repr(float(links.senders[i, 1])),
+                    repr(float(links.receivers[i, 0])),
+                    repr(float(links.receivers[i, 1])),
+                    repr(float(links.rates[i])),
+                ]
+            )
+
+
+def linkset_from_csv(path: PathLike) -> LinkSet:
+    """Read a LinkSet from CSV (header must match the documented layout)."""
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty file") from None
+        if [h.strip() for h in header] != CSV_HEADER:
+            raise ValueError(
+                f"{path}: bad header {header!r}, expected {CSV_HEADER!r}"
+            )
+        rows = []
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 5:
+                raise ValueError(f"{path}:{lineno}: expected 5 fields, got {len(row)}")
+            try:
+                rows.append([float(v) for v in row])
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+    if not rows:
+        return LinkSet.empty()
+    arr = np.asarray(rows, dtype=float)
+    return LinkSet(senders=arr[:, 0:2], receivers=arr[:, 2:4], rates=arr[:, 4])
+
+
+def linkset_to_json(links: LinkSet, path: PathLike) -> None:
+    """Write a LinkSet to JSON."""
+    payload = {
+        "links": [
+            {
+                "sender": [float(links.senders[i, 0]), float(links.senders[i, 1])],
+                "receiver": [float(links.receivers[i, 0]), float(links.receivers[i, 1])],
+                "rate": float(links.rates[i]),
+            }
+            for i in range(len(links))
+        ]
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def linkset_from_json(path: PathLike) -> LinkSet:
+    """Read a LinkSet from JSON."""
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict) or "links" not in payload:
+        raise ValueError(f"{path}: expected an object with a 'links' key")
+    entries = payload["links"]
+    if not entries:
+        return LinkSet.empty()
+    try:
+        senders = np.array([e["sender"] for e in entries], dtype=float)
+        receivers = np.array([e["receiver"] for e in entries], dtype=float)
+        rates = np.array([e.get("rate", 1.0) for e in entries], dtype=float)
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"{path}: malformed link entry ({exc})") from None
+    return LinkSet(senders=senders, receivers=receivers, rates=rates)

@@ -1,0 +1,92 @@
+"""Result serialisation (JSON).
+
+Schedules and experiment sweeps become plain dicts so runs can be
+archived, diffed, and post-processed without re-simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.problem import FadingRLS
+from repro.core.schedule import Schedule
+from repro.sim.metrics import SimulationResult
+
+PathLike = Union[str, Path]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays in diagnostics to JSON-safe values."""
+    import numpy as np
+
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def schedule_to_dict(
+    schedule: Schedule,
+    problem: FadingRLS | None = None,
+    result: SimulationResult | None = None,
+) -> Dict[str, Any]:
+    """Serialise a schedule (optionally with verification and simulation)."""
+    out: Dict[str, Any] = {
+        "algorithm": schedule.algorithm,
+        "active": schedule.active.tolist(),
+        "size": schedule.size,
+        "diagnostics": _jsonable(schedule.diagnostics),
+    }
+    if problem is not None:
+        out["feasible"] = problem.is_feasible(schedule.active)
+        out["scheduled_rate"] = problem.scheduled_rate(schedule.active)
+        out["expected_throughput"] = problem.expected_throughput(schedule.active)
+        out["parameters"] = {
+            "alpha": problem.alpha,
+            "gamma_th": problem.gamma_th,
+            "eps": problem.eps,
+            "noise": problem.noise,
+        }
+    if result is not None:
+        out["simulation"] = {
+            "n_trials": result.n_trials,
+            "mean_failed": result.mean_failed,
+            "mean_throughput": result.mean_throughput,
+            "failure_rate": result.failure_rate,
+        }
+    return out
+
+
+def sweep_to_dict(sweep) -> Dict[str, Any]:
+    """Serialise a :class:`~repro.experiments.fig5.SweepSeries`."""
+    return {
+        "x_label": sweep.x_label,
+        "x_values": list(sweep.x_values),
+        "series": {
+            alg: [
+                {
+                    "mean_failed": r.mean_failed,
+                    "failed_std": r.failed_std,
+                    "mean_throughput": r.mean_throughput,
+                    "throughput_std": r.throughput_std,
+                    "mean_scheduled": r.mean_scheduled,
+                }
+                for r in results
+            ]
+            for alg, results in sweep.series.items()
+        },
+    }
+
+
+def write_json(payload: Dict[str, Any], path: PathLike) -> None:
+    """Write a dict as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))

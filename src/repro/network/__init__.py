@@ -1,0 +1,39 @@
+"""Network substrate: links, topologies, and link-length diversity.
+
+- :mod:`repro.network.links` — the :class:`LinkSet` struct-of-arrays
+  container every scheduler consumes,
+- :mod:`repro.network.topology` — workload generators, including the
+  paper's Section-V deployment,
+- :mod:`repro.network.diversity` — length-diversity ``G(L)`` / ``g(L)``
+  (Definition 4.1) and the length-class partition used by LDP.
+"""
+
+from repro.network.diversity import length_classes, length_diversity, length_diversity_set
+from repro.network.links import Link, LinkSet
+from repro.network.mobility import random_waypoint_trace, schedule_churn
+from repro.network.topology import (
+    chain_topology,
+    clustered_topology,
+    exponential_length_topology,
+    grid_topology,
+    paper_topology,
+    ppp_topology,
+    random_rates_topology,
+)
+
+__all__ = [
+    "Link",
+    "LinkSet",
+    "paper_topology",
+    "clustered_topology",
+    "grid_topology",
+    "chain_topology",
+    "exponential_length_topology",
+    "ppp_topology",
+    "random_rates_topology",
+    "random_waypoint_trace",
+    "schedule_churn",
+    "length_diversity_set",
+    "length_diversity",
+    "length_classes",
+]

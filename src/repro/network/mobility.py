@@ -1,0 +1,101 @@
+"""Mobility workloads (random waypoint).
+
+The paper motivates fading with "mobility in a multi-path propagation
+environment" (Section I).  This module provides the standard
+random-waypoint mobility model over the deployment region so the
+library can study *time-varying* topologies: each link's sender wanders
+between uniformly chosen waypoints at a uniformly chosen speed, and its
+receiver holds a fixed offset (a device pair moving together).
+
+:func:`random_waypoint_trace` yields one :class:`LinkSet` per time
+step; :func:`schedule_churn` measures how much a scheduler's output
+shifts between consecutive steps — the metric the mobility example
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from repro.geometry.region import Region
+from repro.network.links import LinkSet
+from repro.utils.rng import SeedLike, as_rng
+
+
+def random_waypoint_trace(
+    n_links: int,
+    n_steps: int,
+    *,
+    region_side: float = 500.0,
+    speed_range: tuple[float, float] = (1.0, 5.0),
+    dt: float = 1.0,
+    min_length: float = 5.0,
+    max_length: float = 20.0,
+    rate: float = 1.0,
+    seed: SeedLike = None,
+) -> List[LinkSet]:
+    """Random-waypoint trajectories; returns ``n_steps`` LinkSets.
+
+    Each sender starts uniform in the region, picks a uniform waypoint
+    and a speed in ``speed_range``, walks toward it ``dt`` at a time,
+    and repicks on arrival.  The receiver offset (random length in
+    ``[min_length, max_length]`` and direction) is fixed per link, so
+    link lengths are constant while interference geometry evolves.
+    """
+    if n_steps < 1:
+        raise ValueError("n_steps must be >= 1")
+    lo, hi = speed_range
+    if not 0 < lo <= hi:
+        raise ValueError(f"need 0 < min speed <= max speed, got {speed_range}")
+    rng = as_rng(seed)
+    region = Region.square(region_side)
+    positions = region.sample_uniform(n_links, seed=rng)
+    lengths = rng.uniform(min_length, max_length, size=n_links)
+    theta = rng.uniform(0, 2 * np.pi, size=n_links)
+    offsets = np.column_stack([lengths * np.cos(theta), lengths * np.sin(theta)])
+    waypoints = region.sample_uniform(n_links, seed=rng)
+    speeds = rng.uniform(lo, hi, size=n_links)
+
+    trace: List[LinkSet] = []
+    rates = np.full(n_links, float(rate))
+    for _ in range(n_steps):
+        trace.append(
+            LinkSet(senders=positions.copy(), receivers=positions + offsets, rates=rates.copy())
+        )
+        # Advance every sender toward its waypoint.
+        to_wp = waypoints - positions
+        dist = np.sqrt(np.einsum("ij,ij->i", to_wp, to_wp))
+        step = speeds * dt
+        arrive = dist <= step
+        # Non-arrivers move along the unit direction; arrivers land.
+        safe = np.where(dist > 0, dist, 1.0)
+        positions = np.where(
+            arrive[:, None], waypoints, positions + to_wp / safe[:, None] * step[:, None]
+        )
+        # Arrivers pick a fresh waypoint and speed.
+        n_arrive = int(arrive.sum())
+        if n_arrive:
+            waypoints[arrive] = region.sample_uniform(n_arrive, seed=rng)
+            speeds[arrive] = rng.uniform(lo, hi, size=n_arrive)
+    return trace
+
+
+def schedule_churn(schedules) -> List[float]:
+    """Jaccard distance between consecutive schedules' active sets.
+
+    ``churn[t] = 1 - |A_t & A_{t+1}| / |A_t | A_{t+1}|`` — 0 when the
+    schedule is stable, 1 when it is completely replaced.  Length is
+    ``len(schedules) - 1``.
+    """
+    out: List[float] = []
+    for a, b in zip(schedules, schedules[1:]):
+        sa = set(np.asarray(a.active).tolist())
+        sb = set(np.asarray(b.active).tolist())
+        union = sa | sb
+        if not union:
+            out.append(0.0)
+        else:
+            out.append(1.0 - len(sa & sb) / len(union))
+    return out

@@ -1,0 +1,28 @@
+"""Monte-Carlo transmission simulator.
+
+Replays schedules through the Rayleigh-fading channel to measure what
+the paper's Section V measures: failed transmissions and throughput.
+
+- :mod:`repro.sim.montecarlo` — vectorised fading trials per schedule,
+- :mod:`repro.sim.metrics` — the evaluation metrics,
+- :mod:`repro.sim.runner` — batched multi-repetition experiment runner.
+"""
+
+from repro.sim.adaptive import AdaptiveResult, simulate_until
+from repro.sim.metrics import SimulationResult, summarize_trials
+from repro.sim.montecarlo import simulate_schedule
+from repro.sim.network_sim import QueueSimResult, simulate_queues, stability_sweep
+from repro.sim.runner import RunResult, run_schedulers
+
+__all__ = [
+    "simulate_schedule",
+    "SimulationResult",
+    "summarize_trials",
+    "run_schedulers",
+    "RunResult",
+    "simulate_queues",
+    "stability_sweep",
+    "QueueSimResult",
+    "simulate_until",
+    "AdaptiveResult",
+]

@@ -1,0 +1,103 @@
+"""Adaptive Monte-Carlo sampling.
+
+Fixed trial counts waste work on easy schedules and under-resolve hard
+ones.  :func:`simulate_until` keeps drawing fading batches until the
+standard error of the target metric falls below a tolerance (or a trial
+cap is hit), combining batches exactly via running sums — the usual
+sequential-sampling pattern for throughput studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import FadingRLS
+from repro.core.schedule import Schedule
+from repro.sim.montecarlo import simulate_trials
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass(frozen=True)
+class AdaptiveResult:
+    """Result of an adaptive simulation run.
+
+    ``converged`` is True when the stderr target was met before the
+    trial cap.
+    """
+
+    metric: str
+    estimate: float
+    stderr: float
+    n_trials: int
+    n_batches: int
+    converged: bool
+
+
+_METRICS = ("failed", "throughput")
+
+
+def simulate_until(
+    problem: FadingRLS,
+    schedule: Schedule | np.ndarray,
+    *,
+    metric: str = "failed",
+    target_stderr: float = 0.05,
+    batch: int = 500,
+    max_trials: int = 200_000,
+    seed: SeedLike = None,
+) -> AdaptiveResult:
+    """Sample fading trials until ``metric``'s standard error is small.
+
+    Parameters
+    ----------
+    metric:
+        ``"failed"`` (failed transmissions per trial) or
+        ``"throughput"`` (successfully received rate per trial).
+    target_stderr:
+        Stop once the running standard error drops below this.
+    batch:
+        Trials per draw (one vectorised exponential sample each).
+    max_trials:
+        Hard cap; exceeded -> ``converged=False``.
+
+    Notes
+    -----
+    An empty schedule is exactly known (0 failures, 0 throughput):
+    returns immediately with stderr 0.
+    """
+    if metric not in _METRICS:
+        raise ValueError(f"metric must be one of {_METRICS}, got {metric!r}")
+    if target_stderr <= 0:
+        raise ValueError("target_stderr must be > 0")
+    if batch < 2:
+        raise ValueError("batch must be >= 2")
+    active = schedule.active if isinstance(schedule, Schedule) else np.asarray(schedule)
+    mask = problem.active_mask(active)
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        return AdaptiveResult(metric, 0.0, 0.0, 0, 0, True)
+    rates = problem.links.rates[idx]
+    rng = as_rng(seed)
+
+    total = 0.0
+    total_sq = 0.0
+    n = 0
+    batches = 0
+    while n < max_trials:
+        success = simulate_trials(problem, idx, batch, seed=rng)
+        if metric == "failed":
+            values = (~success).sum(axis=1).astype(float)
+        else:
+            values = success.astype(float) @ rates
+        total += float(values.sum())
+        total_sq += float((values**2).sum())
+        n += batch
+        batches += 1
+        mean = total / n
+        var = max(0.0, (total_sq - n * mean**2) / (n - 1))
+        stderr = float(np.sqrt(var / n))
+        if stderr <= target_stderr:
+            return AdaptiveResult(metric, mean, stderr, n, batches, True)
+    return AdaptiveResult(metric, total / n, stderr, n, batches, False)

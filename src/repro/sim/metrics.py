@@ -1,0 +1,122 @@
+"""Evaluation metrics (Section V).
+
+The paper measures two quantities per schedule:
+
+1. the **number of failed transmissions** — scheduled links whose
+   instantaneous SINR misses ``gamma_th``;
+2. the **throughput** — total data rate successfully received.
+
+:class:`SimulationResult` carries both (as Monte-Carlo means with
+standard errors) plus per-link empirical success rates for the analytic
+cross-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Summary of one schedule's Monte-Carlo replay.
+
+    Attributes
+    ----------
+    algorithm:
+        Producing scheduler's name.
+    n_scheduled:
+        Number of links in the schedule.
+    n_trials:
+        Fading realisations replayed.
+    mean_failed:
+        Mean failed transmissions per trial (Fig. 5's metric).
+    failed_stderr:
+        Standard error of ``mean_failed``.
+    mean_throughput:
+        Mean successfully received rate per trial (Fig. 6's metric).
+    throughput_stderr:
+        Standard error of ``mean_throughput``.
+    scheduled_rate:
+        Total rate *scheduled* (success ignored) — the ILP objective.
+    per_link_success:
+        Empirical success frequency per scheduled link (sorted active
+        order).
+    active_indices:
+        The schedule's link indices (sorted).
+    """
+
+    algorithm: str
+    n_scheduled: int
+    n_trials: int
+    mean_failed: float
+    failed_stderr: float
+    mean_throughput: float
+    throughput_stderr: float
+    scheduled_rate: float
+    per_link_success: np.ndarray = field(repr=False)
+    active_indices: np.ndarray = field(repr=False)
+
+    @property
+    def failure_rate(self) -> float:
+        """Failed transmissions as a fraction of scheduled links."""
+        if self.n_scheduled == 0:
+            return 0.0
+        return self.mean_failed / self.n_scheduled
+
+
+def summarize_trials(
+    success: np.ndarray,
+    rates: np.ndarray,
+    *,
+    active_indices: np.ndarray,
+    algorithm: str = "unknown",
+) -> SimulationResult:
+    """Reduce a ``(T, K)`` success matrix to a :class:`SimulationResult`.
+
+    ``rates`` are the ``K`` scheduled links' data rates (sorted active
+    order, aligned with ``success`` columns).
+    """
+    s = np.asarray(success, dtype=bool)
+    if s.ndim != 2:
+        raise ValueError(f"success must be (T, K), got shape {s.shape}")
+    t, k = s.shape
+    r = np.asarray(rates, dtype=float).reshape(-1)
+    if r.shape[0] != k:
+        raise ValueError(f"rates length {r.shape[0]} != K={k}")
+
+    if t == 0 or k == 0:
+        return SimulationResult(
+            algorithm=algorithm,
+            n_scheduled=k,
+            n_trials=t,
+            mean_failed=0.0,
+            failed_stderr=0.0,
+            mean_throughput=0.0,
+            throughput_stderr=0.0,
+            scheduled_rate=float(r.sum()),
+            per_link_success=np.ones(k, dtype=float),
+            active_indices=np.asarray(active_indices, dtype=np.int64),
+        )
+
+    failed_per_trial = (~s).sum(axis=1).astype(float)
+    throughput_per_trial = s.astype(float) @ r
+    # ddof=1 sample std; guard the single-trial case.
+    def _stderr(x: np.ndarray) -> float:
+        if x.shape[0] < 2:
+            return 0.0
+        return float(x.std(ddof=1) / np.sqrt(x.shape[0]))
+
+    return SimulationResult(
+        algorithm=algorithm,
+        n_scheduled=k,
+        n_trials=t,
+        mean_failed=float(failed_per_trial.mean()),
+        failed_stderr=_stderr(failed_per_trial),
+        mean_throughput=float(throughput_per_trial.mean()),
+        throughput_stderr=_stderr(throughput_per_trial),
+        scheduled_rate=float(r.sum()),
+        per_link_success=s.mean(axis=0),
+        active_indices=np.asarray(active_indices, dtype=np.int64),
+    )

@@ -1,0 +1,72 @@
+"""Argument-validation helpers.
+
+Small, explicit checks used at the public API boundary.  Internal hot
+loops skip them (per the optimization guide: validate once at the edge,
+keep kernels branch-free).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` when ``condition`` is false."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that a scalar is positive (or non-negative)."""
+    v = float(value)
+    if strict and not v > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not v >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return v
+
+
+def check_probability(value: float, name: str, *, open_interval: bool = True) -> float:
+    """Validate that a scalar is a probability.
+
+    With ``open_interval`` (the default) the value must lie strictly in
+    ``(0, 1)`` — the paper's acceptable error rate ``eps`` is meaningless
+    at the endpoints (``eps = 0`` makes every schedule infeasible under
+    fading; ``eps = 1`` removes the constraint entirely).
+    """
+    v = float(value)
+    if open_interval:
+        if not 0.0 < v < 1.0:
+            raise ValueError(f"{name} must be in (0, 1), got {value!r}")
+    else:
+        if not 0.0 <= v <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return v
+
+
+def check_finite(arr: np.ndarray, name: str) -> np.ndarray:
+    """Validate that an array contains no NaN/inf."""
+    a = np.asarray(arr, dtype=float)
+    if not np.all(np.isfinite(a)):
+        raise ValueError(f"{name} must be finite, found NaN or inf")
+    return a
+
+
+def check_shape(arr: np.ndarray, shape: Sequence[Any], name: str) -> np.ndarray:
+    """Validate an array's shape.
+
+    ``shape`` entries may be ``None`` to mean "any size along this
+    axis"; the number of dimensions must match exactly.
+    """
+    a = np.asarray(arr)
+    if a.ndim != len(shape):
+        raise ValueError(f"{name} must have {len(shape)} dims, got {a.ndim}")
+    for axis, want in enumerate(shape):
+        if want is not None and a.shape[axis] != want:
+            raise ValueError(
+                f"{name} has shape {a.shape}, expected {tuple(shape)} "
+                f"(mismatch on axis {axis})"
+            )
+    return a

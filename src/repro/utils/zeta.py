@@ -1,0 +1,56 @@
+"""Riemann zeta evaluation and tail bounds.
+
+The paper's geometric constants — the LDP square-size factor ``beta``
+(Eq. 37) and the RLE elimination radius factor ``c1`` (Eq. 59) — both
+contain ``zeta(alpha - 1)``, which converges for path-loss exponents
+``alpha > 2``.  We wrap :func:`scipy.special.zeta` with domain checks
+and also provide the partial-sum tail bound used in the feasibility
+proofs (Thm 4.1 / 4.3), which is handy for unit-testing the proofs'
+summation arguments numerically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import zeta as _scipy_zeta
+
+
+def riemann_zeta(s: float) -> float:
+    """Return ``zeta(s)`` for real ``s > 1``.
+
+    Raises
+    ------
+    ValueError
+        If ``s <= 1`` (the series diverges; in the paper this would mean
+        ``alpha <= 2``, outside the assumed regime).
+    """
+    s = float(s)
+    if not s > 1.0:
+        raise ValueError(f"zeta(s) requires s > 1 for convergence, got s={s}")
+    return float(_scipy_zeta(s, 1))
+
+
+def zeta_partial_sum(s: float, n_terms: int) -> float:
+    """Partial sum ``sum_{q=1}^{n} q^-s`` (vectorised)."""
+    if n_terms < 0:
+        raise ValueError("n_terms must be >= 0")
+    if n_terms == 0:
+        return 0.0
+    q = np.arange(1, n_terms + 1, dtype=float)
+    return float(np.sum(q**-s))
+
+
+def zeta_tail_bound(s: float, start: int) -> float:
+    """Upper bound on the tail ``sum_{q=start}^{inf} q^-s`` via integral test.
+
+    ``tail <= start^-s + integral_start^inf x^-s dx`` for ``s > 1``.
+    The proofs of Thm 4.1 and 4.3 bound ring-by-ring interference with
+    exactly this kind of tail; tests use it to confirm the ring sums the
+    algorithms rely on really are below ``gamma_eps``.
+    """
+    s = float(s)
+    if not s > 1.0:
+        raise ValueError(f"tail bound requires s > 1, got s={s}")
+    if start < 1:
+        raise ValueError("start must be >= 1")
+    return float(start ** (-s) + start ** (1.0 - s) / (s - 1.0))

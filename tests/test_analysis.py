@@ -1,0 +1,86 @@
+"""Tests for repro.analysis (regimes and density)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.density import empirical_density, ldp_density_ceiling, rle_density_ceiling
+from repro.analysis.regimes import constants_table, summarize_regime
+from repro.core.problem import gamma_epsilon
+
+
+class TestRegimeSummary:
+    def test_matches_bound_functions(self):
+        from repro.core.bounds import ldp_beta, ldp_square_capacity, rle_c1
+
+        s = summarize_regime(3.0, 1.0, 0.01)
+        g = gamma_epsilon(0.01)
+        assert s.gamma_eps == pytest.approx(g)
+        assert s.ldp_beta == pytest.approx(ldp_beta(3.0, 1.0, g))
+        assert s.ldp_square_capacity == ldp_square_capacity(3.0, 1.0, g)
+        assert s.rle_c1_by_c2[0.5] == pytest.approx(rle_c1(3.0, 1.0, g, 0.5))
+
+    def test_budget_ratio(self):
+        s = summarize_regime(3.0, 1.0, 0.01)
+        assert s.budget_vs_deterministic == pytest.approx(1.0 / s.gamma_eps)
+        assert 90 < s.budget_vs_deterministic < 110  # ~100x at eps=0.01
+
+    def test_beta_shrinks_with_alpha(self):
+        betas = [summarize_regime(a).ldp_beta for a in (2.5, 3.0, 4.0)]
+        assert betas[0] > betas[1] > betas[2]
+
+    def test_rigorous_beta_larger_at_high_alpha(self):
+        """The paper's Eq. 37 undersizes squares for large alpha (the
+        corner-geometry gap, EXPERIMENTS.md finding 3)."""
+        s = summarize_regime(4.5)
+        assert s.ldp_beta_rigorous > s.ldp_beta
+
+    def test_alpha_domain(self):
+        with pytest.raises(ValueError):
+            summarize_regime(2.0)
+
+    def test_constants_table_renders(self):
+        out = constants_table(alphas=(2.5, 3.0))
+        assert "gamma_eps" in out
+        assert len(out.splitlines()) == 4
+
+
+class TestDensity:
+    def test_rle_ceiling_formula(self):
+        from repro.core.bounds import rle_c1
+
+        g = gamma_epsilon(0.01)
+        c1 = rle_c1(3.0, 1.0, g, 0.5)
+        ceiling = rle_density_ceiling(3.0, 1.0, g, 10.0)
+        assert ceiling == pytest.approx(1.0 / (np.pi * ((c1 - 1) * 10.0 / 2) ** 2))
+
+    def test_ceilings_decrease_with_length(self):
+        g = gamma_epsilon(0.01)
+        assert rle_density_ceiling(3.0, 1.0, g, 20.0) < rle_density_ceiling(3.0, 1.0, g, 5.0)
+        assert ldp_density_ceiling(3.0, 1.0, g, 20.0) < ldp_density_ceiling(3.0, 1.0, g, 5.0)
+
+    def test_empirical_density_respects_rle_ceiling(self):
+        """RLE's realised density on uniform-length workloads never
+        beats the circle-packing ceiling for the shortest length."""
+        from repro.core.problem import FadingRLS
+        from repro.core.rle import rle_schedule
+        from repro.network.topology import paper_topology
+
+        for seed in range(3):
+            links = paper_topology(
+                400, min_length=10.0, max_length=10.0, seed=seed
+            )
+            p = FadingRLS(links=links)
+            s = rle_schedule(p)
+            realised = empirical_density(p, s, 500.0**2)
+            ceiling = rle_density_ceiling(3.0, 1.0, p.gamma_eps, 10.0)
+            # Boundary effects let the packing overshoot slightly; 2x is safe.
+            assert realised <= 2 * ceiling
+
+    def test_empirical_density_validation(self):
+        from repro.core.schedule import Schedule
+        from repro.core.problem import FadingRLS
+        from repro.network.topology import paper_topology
+
+        p = FadingRLS(links=paper_topology(5, seed=0))
+        with pytest.raises(ValueError):
+            empirical_density(p, Schedule.empty(), 0.0)

@@ -1,0 +1,105 @@
+"""Tests for interference-field analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.interference import admissible_fraction, interference_field, victim_hotspots
+from repro.core.problem import FadingRLS
+from repro.core.rle import rle_schedule
+from repro.core.schedule import Schedule
+from repro.geometry.region import Region
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology
+
+REGION = Region.square(500.0)
+
+
+class TestInterferenceField:
+    def test_shape_and_axes(self, paper_problem):
+        s = rle_schedule(paper_problem)
+        xs, ys, field = interference_field(paper_problem, s, REGION, resolution=20)
+        assert xs.shape == (20,) and ys.shape == (20,)
+        assert field.shape == (20, 20)
+        assert (field >= 0).all()
+
+    def test_empty_schedule_zero_field(self, paper_problem):
+        _, _, field = interference_field(
+            paper_problem, Schedule.empty(), REGION, resolution=10
+        )
+        np.testing.assert_array_equal(field, 0.0)
+
+    def test_field_peaks_near_senders(self):
+        links = LinkSet(senders=[[250.0, 250.0]], receivers=[[260.0, 250.0]])
+        p = FadingRLS(links=links)
+        xs, ys, field = interference_field(
+            p, np.array([0]), REGION, probe_length=10.0, resolution=21
+        )
+        iy, ix = np.unravel_index(np.argmax(field), field.shape)
+        # Hottest grid point is the one nearest the sender.
+        assert abs(xs[ix] - 250.0) <= 30.0 and abs(ys[iy] - 250.0) <= 30.0
+
+    def test_field_decays_with_distance(self):
+        links = LinkSet(senders=[[0.0, 0.0]], receivers=[[10.0, 0.0]])
+        p = FadingRLS(links=links)
+        xs, ys, field = interference_field(
+            p, np.array([0]), Region.square(400.0), resolution=21
+        )
+        # Corner far from origin sees much less than near the origin.
+        assert field[0, 0] > 100 * field[-1, -1]
+
+    def test_longer_probe_more_vulnerable(self, paper_problem):
+        s = rle_schedule(paper_problem)
+        _, _, short = interference_field(paper_problem, s, REGION, probe_length=5.0, resolution=15)
+        _, _, long = interference_field(paper_problem, s, REGION, probe_length=20.0, resolution=15)
+        assert (long >= short - 1e-12).all()
+        assert long.sum() > short.sum()
+
+    def test_validation(self, paper_problem):
+        s = rle_schedule(paper_problem)
+        with pytest.raises(ValueError):
+            interference_field(paper_problem, s, REGION, probe_length=0.0)
+        with pytest.raises(ValueError):
+            interference_field(paper_problem, s, REGION, resolution=1)
+
+
+class TestAdmissibleFraction:
+    def test_empty_schedule_everything_admissible(self, paper_problem):
+        assert admissible_fraction(paper_problem, Schedule.empty(), REGION) == 1.0
+
+    def test_denser_schedule_less_room(self):
+        p = FadingRLS(links=paper_topology(300, seed=0))
+        from repro.core.baselines.approx_diversity import approx_diversity_schedule
+
+        sparse = rle_schedule(p)
+        dense = approx_diversity_schedule(p)
+        assert admissible_fraction(p, dense, REGION, resolution=30) <= admissible_fraction(
+            p, sparse, REGION, resolution=30
+        )
+
+    def test_in_unit_interval(self, paper_problem):
+        s = rle_schedule(paper_problem)
+        frac = admissible_fraction(paper_problem, s, REGION, resolution=25)
+        assert 0.0 <= frac <= 1.0
+
+
+class TestVictimHotspots:
+    def test_sorted_ascending_slack(self, paper_problem):
+        from repro.core.baselines.naive import greedy_fading_schedule
+
+        s = greedy_fading_schedule(paper_problem)
+        spots = victim_hotspots(paper_problem, s, top_k=5)
+        slacks = [sl for _, sl in spots]
+        assert slacks == sorted(slacks)
+        assert len(spots) <= 5
+
+    def test_members_of_schedule(self, paper_problem):
+        s = rle_schedule(paper_problem)
+        for link, _ in victim_hotspots(paper_problem, s):
+            assert link in s
+
+    def test_negative_slack_for_infeasible(self, tight_problem):
+        spots = victim_hotspots(tight_problem, np.array([0, 1, 2]))
+        assert spots[0][1] < 0
+
+    def test_empty(self, paper_problem):
+        assert victim_hotspots(paper_problem, Schedule.empty()) == []

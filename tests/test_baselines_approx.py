@@ -1,0 +1,114 @@
+"""Tests for the ApproxLogN and ApproxDiversity baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines.approx_diversity import approx_diversity_c1, approx_diversity_schedule
+from repro.core.baselines.approx_logn import approx_logn_candidates, approx_logn_mu, approx_logn_schedule
+from repro.core.baselines.deterministic import deterministic_is_feasible
+from repro.core.problem import FadingRLS
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology
+
+
+class TestApproxLogN:
+    def test_empty(self):
+        p = FadingRLS(links=LinkSet.empty())
+        assert approx_logn_schedule(p).size == 0
+
+    def test_mu_smaller_than_ldp_beta(self):
+        """Deterministic budget 1 >> gamma_eps -> smaller squares."""
+        from repro.core.bounds import ldp_beta
+        from repro.core.problem import gamma_epsilon
+
+        assert approx_logn_mu(3.0, 1.0) < ldp_beta(3.0, 1.0, gamma_epsilon(0.01))
+
+    def test_mu_domain(self):
+        with pytest.raises(ValueError):
+            approx_logn_mu(2.0, 1.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_candidates_deterministically_feasible(self, seed):
+        p = FadingRLS(links=paper_topology(150, seed=seed))
+        for _, _, active in approx_logn_candidates(p):
+            assert deterministic_is_feasible(p, active)
+
+    def test_schedules_more_than_ldp(self):
+        """The whole point: denser schedules than fading-aware LDP."""
+        from repro.core.ldp import ldp_schedule
+
+        sizes_logn, sizes_ldp = [], []
+        for seed in range(5):
+            p = FadingRLS(links=paper_topology(300, seed=seed))
+            sizes_logn.append(approx_logn_schedule(p).size)
+            sizes_ldp.append(ldp_schedule(p).size)
+        assert np.mean(sizes_logn) > np.mean(sizes_ldp)
+
+    def test_usually_fading_infeasible(self):
+        """...and those denser schedules break the fading budget."""
+        violations = 0
+        for seed in range(5):
+            p = FadingRLS(links=paper_topology(300, seed=seed))
+            s = approx_logn_schedule(p)
+            if not p.is_feasible(s.active):
+                violations += 1
+        assert violations >= 3
+
+    def test_deterministic_output(self):
+        p = FadingRLS(links=paper_topology(100, seed=1))
+        a = approx_logn_schedule(p)
+        b = approx_logn_schedule(p)
+        np.testing.assert_array_equal(a.active, b.active)
+
+
+class TestApproxDiversity:
+    def test_empty(self):
+        p = FadingRLS(links=LinkSet.empty())
+        assert approx_diversity_schedule(p).size == 0
+
+    def test_c1_smaller_than_rle(self):
+        from repro.core.bounds import rle_c1
+        from repro.core.problem import gamma_epsilon
+
+        assert approx_diversity_c1(3.0, 1.0, 0.5) < rle_c1(3.0, 1.0, gamma_epsilon(0.01), 0.5)
+
+    def test_c1_domain(self):
+        with pytest.raises(ValueError):
+            approx_diversity_c1(2.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            approx_diversity_c1(3.0, 1.0, 1.5)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_deterministically_feasible(self, seed):
+        p = FadingRLS(links=paper_topology(200, seed=seed))
+        s = approx_diversity_schedule(p)
+        assert deterministic_is_feasible(p, s.active)
+
+    def test_schedules_more_than_rle(self):
+        from repro.core.rle import rle_schedule
+
+        more = 0
+        for seed in range(5):
+            p = FadingRLS(links=paper_topology(300, seed=seed))
+            if approx_diversity_schedule(p).size > rle_schedule(p).size:
+                more += 1
+        assert more >= 4
+
+    def test_usually_fading_infeasible(self):
+        violations = 0
+        for seed in range(5):
+            p = FadingRLS(links=paper_topology(300, seed=seed))
+            if not p.is_feasible(approx_diversity_schedule(p).active):
+                violations += 1
+        assert violations >= 3
+
+    def test_includes_shortest_link(self):
+        p = FadingRLS(links=paper_topology(100, seed=2))
+        s = approx_diversity_schedule(p)
+        assert int(np.argmin(p.links.lengths)) in s
+
+    def test_diagnostics_account_for_all_links(self):
+        p = FadingRLS(links=paper_topology(150, seed=3))
+        s = approx_diversity_schedule(p)
+        d = s.diagnostics
+        assert s.size + d["removed_by_radius"] + d["removed_by_affectance"] == 150

@@ -1,0 +1,83 @@
+"""Tests for the deterministic-SINR machinery shared by the baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines.deterministic import (
+    affectance_matrix,
+    deterministic_informed,
+    deterministic_is_feasible,
+)
+from repro.core.problem import FadingRLS
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology
+
+
+class TestAffectanceMatrix:
+    def test_log1p_relation_to_interference_factors(self, paper_problem):
+        """F = log1p(A): the fading and deterministic models share form."""
+        a = affectance_matrix(paper_problem)
+        f = paper_problem.interference_matrix()
+        np.testing.assert_allclose(f, np.log1p(a))
+
+    def test_diagonal_zero(self, paper_problem):
+        assert (np.diag(affectance_matrix(paper_problem)) == 0).all()
+
+    def test_cached(self, paper_problem):
+        assert affectance_matrix(paper_problem) is affectance_matrix(paper_problem)
+
+    def test_empty(self):
+        p = FadingRLS(links=LinkSet.empty())
+        assert affectance_matrix(p).shape == (0, 0)
+
+
+class TestDeterministicFeasibility:
+    def test_matches_sinr_threshold(self, tight_problem):
+        """Affectance budget 1 is exactly SINR >= gamma_th."""
+        from repro.channel.deterministic import deterministic_success
+
+        active = np.array([0, 1, 2])
+        by_affectance = deterministic_informed(tight_problem, active)
+        by_sinr = deterministic_success(
+            tight_problem.distances(), active, tight_problem.alpha, tight_problem.gamma_th
+        )
+        np.testing.assert_array_equal(by_affectance[active], by_sinr)
+
+    def test_single_link_feasible(self, tight_problem):
+        assert deterministic_is_feasible(tight_problem, [0])
+
+    def test_deterministic_weaker_than_fading(self):
+        """Any fading-feasible schedule is deterministically feasible
+        (gamma_eps < 1 makes the fading budget stricter); the converse
+        fails."""
+        for seed in range(5):
+            p = FadingRLS(links=paper_topology(100, seed=seed))
+            from repro.core.rle import rle_schedule
+
+            s = rle_schedule(p)
+            assert p.is_feasible(s.active)
+            assert deterministic_is_feasible(p, s.active)
+
+    def test_fading_stricter_example(self):
+        """A concrete schedule that passes deterministic but fails fading."""
+        # Two links: interference tuned between the two budgets.
+        # Need sum A in (gamma_eps', 1): pick A ~ 0.5 each way.
+        own, alpha = 10.0, 3.0
+        # A = (own/cross)^3 = 0.5 -> cross = own * 2^(1/3).
+        cross = own * 2.0 ** (1.0 / 3.0)
+        # Symmetric geometry with d(s_i, r_j) = cross for i != j.
+        d = np.array([[own, cross], [cross, own]])
+        # Build a LinkSet realising these distances on a line:
+        # s0=(0,0), r0=(10,0); s1=(x+10+?, ...) -- easier: construct the
+        # problem directly via a custom LinkSet with the right geometry.
+        # Place the two links facing away from each other:
+        #   s0=(0,0), r0=(-10,0);  s1=(c,0), r1=(c+10,0)
+        # then d(s1,r0) = c+10, d(s0,r1) = c+10: choose c so c+10=cross.
+        c = cross - 10.0
+        links = LinkSet(
+            senders=[[0.0, 0.0], [c, 0.0]],
+            receivers=[[-10.0, 0.0], [c + 10.0, 0.0]],
+        )
+        p = FadingRLS(links=links, alpha=alpha, gamma_th=1.0, eps=0.01)
+        assert deterministic_is_feasible(p, [0, 1])
+        assert not p.is_feasible([0, 1])

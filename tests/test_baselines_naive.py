@@ -1,0 +1,78 @@
+"""Tests for the naive baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines.naive import (
+    all_active_schedule,
+    greedy_fading_schedule,
+    longest_first_schedule,
+    random_feasible_schedule,
+)
+from repro.core.problem import FadingRLS
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology, random_rates_topology
+
+
+class TestGreedy:
+    def test_feasible(self, paper_problem):
+        s = greedy_fading_schedule(paper_problem)
+        assert paper_problem.is_feasible(s.active)
+
+    def test_maximal(self, paper_problem):
+        """No link outside the schedule can be added without breaking it."""
+        s = greedy_fading_schedule(paper_problem)
+        mask = s.mask(paper_problem.n_links)
+        for i in np.flatnonzero(~mask):
+            trial = np.append(s.active, i)
+            assert not paper_problem.is_feasible(trial)
+
+    def test_prefers_high_rate(self):
+        links = random_rates_topology(80, rate_low=1.0, rate_high=10.0, seed=0)
+        p = FadingRLS(links=links)
+        s = greedy_fading_schedule(p)
+        # Mean rate of scheduled links should exceed the population mean.
+        assert links.rates[s.active].mean() > links.rates.mean()
+
+    def test_deterministic(self, paper_problem):
+        np.testing.assert_array_equal(
+            greedy_fading_schedule(paper_problem).active,
+            greedy_fading_schedule(paper_problem).active,
+        )
+
+
+class TestLongestFirst:
+    def test_feasible(self, paper_problem):
+        s = longest_first_schedule(paper_problem)
+        assert paper_problem.is_feasible(s.active)
+
+    def test_usually_worse_than_greedy(self):
+        wins = 0
+        for seed in range(5):
+            p = FadingRLS(links=paper_topology(200, seed=seed))
+            if greedy_fading_schedule(p).size >= longest_first_schedule(p).size:
+                wins += 1
+        assert wins >= 4
+
+
+class TestRandom:
+    def test_feasible(self, paper_problem):
+        s = random_feasible_schedule(paper_problem, seed=0)
+        assert paper_problem.is_feasible(s.active)
+
+    def test_seed_controls_output(self, paper_problem):
+        a = random_feasible_schedule(paper_problem, seed=1)
+        b = random_feasible_schedule(paper_problem, seed=1)
+        c = random_feasible_schedule(paper_problem, seed=2)
+        np.testing.assert_array_equal(a.active, b.active)
+        assert not np.array_equal(a.active, c.active)
+
+
+class TestAllActive:
+    def test_schedules_everything(self, paper_problem):
+        s = all_active_schedule(paper_problem)
+        assert s.size == paper_problem.n_links
+
+    def test_empty(self):
+        p = FadingRLS(links=LinkSet.empty())
+        assert all_active_schedule(p).size == 0

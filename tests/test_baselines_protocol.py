@@ -1,0 +1,116 @@
+"""Tests for the protocol (graph-based) model baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines.protocol import (
+    conflict_matrix,
+    protocol_model_schedule,
+    protocol_model_schedule_mis,
+)
+from repro.core.problem import FadingRLS
+from repro.network.links import LinkSet
+from repro.network.topology import chain_topology, paper_topology
+
+
+class TestConflictMatrix:
+    def test_symmetric_no_diagonal(self, paper_problem):
+        c = conflict_matrix(paper_problem)
+        assert (c == c.T).all()
+        assert not np.diag(c).any()
+
+    def test_close_links_conflict(self):
+        links = chain_topology(2, hop=15.0, link_length=10.0)
+        p = FadingRLS(links=links)
+        c = conflict_matrix(p, range_factor=2.0)
+        assert c[0, 1]
+
+    def test_far_links_do_not_conflict(self):
+        links = chain_topology(2, hop=500.0, link_length=10.0)
+        p = FadingRLS(links=links)
+        assert not conflict_matrix(p, range_factor=2.0)[0, 1]
+
+    def test_larger_range_more_conflicts(self, paper_problem):
+        small = conflict_matrix(paper_problem, range_factor=1.5).sum()
+        large = conflict_matrix(paper_problem, range_factor=4.0).sum()
+        assert large >= small
+
+    def test_domain(self, paper_problem):
+        with pytest.raises(ValueError):
+            conflict_matrix(paper_problem, range_factor=0.0)
+
+
+class TestProtocolSchedule:
+    def test_empty(self):
+        p = FadingRLS(links=LinkSet.empty())
+        assert protocol_model_schedule(p).size == 0
+
+    def test_independent_in_conflict_graph(self, paper_problem):
+        s = protocol_model_schedule(paper_problem)
+        c = conflict_matrix(paper_problem)
+        sub = c[np.ix_(s.active, s.active)]
+        assert not sub.any()
+
+    def test_maximal(self, paper_problem):
+        s = protocol_model_schedule(paper_problem)
+        c = conflict_matrix(paper_problem)
+        mask = s.mask(paper_problem.n_links)
+        for i in np.flatnonzero(~mask):
+            # Every unscheduled link conflicts with something scheduled.
+            assert c[i, mask].any()
+
+    def test_deterministic(self, paper_problem):
+        a = protocol_model_schedule(paper_problem)
+        b = protocol_model_schedule(paper_problem)
+        np.testing.assert_array_equal(a.active, b.active)
+
+    def test_schedules_densely(self):
+        """The graph abstraction schedules far more links than the
+        fading-aware algorithms — the Gronkvist inefficiency."""
+        from repro.core.rle import rle_schedule
+
+        p = FadingRLS(links=paper_topology(300, seed=0))
+        assert protocol_model_schedule(p).size > 3 * rle_schedule(p).size
+
+    def test_fading_infeasible_on_dense_instances(self):
+        violations = 0
+        for seed in range(5):
+            p = FadingRLS(links=paper_topology(300, seed=seed))
+            if not p.is_feasible(protocol_model_schedule(p).active):
+                violations += 1
+        assert violations >= 4
+
+    def test_accumulation_blindness(self):
+        """Many pairwise-non-conflicting links still sum to failure:
+        a ring of senders, each outside every receiver's protection
+        disk, jointly overload the centre receivers."""
+        # Concentric rings: every cross sender-receiver distance is
+        # ~50 (outside the 2 x 15 = 30 protection disks) yet the summed
+        # interference factors blow the gamma_eps budget.
+        n = 12
+        angles = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        senders = 100.0 * np.column_stack([np.cos(angles), np.sin(angles)])
+        receivers = 85.0 * np.column_stack([np.cos(angles), np.sin(angles)])
+        links = LinkSet(senders=senders, receivers=receivers)  # length 15
+        p = FadingRLS(links=links)
+        s = protocol_model_schedule(p, range_factor=2.0)
+        assert s.size == n  # graph model sees no conflicts at all
+        assert not p.is_feasible(s.active)  # accumulation says otherwise
+
+
+class TestProtocolMis:
+    def test_independent(self, paper_problem):
+        s = protocol_model_schedule_mis(paper_problem, seed=0)
+        c = conflict_matrix(paper_problem)
+        assert not c[np.ix_(s.active, s.active)].any()
+
+    def test_seeded_reproducible(self, paper_problem):
+        a = protocol_model_schedule_mis(paper_problem, seed=5)
+        b = protocol_model_schedule_mis(paper_problem, seed=5)
+        np.testing.assert_array_equal(a.active, b.active)
+
+    def test_registered(self):
+        from repro.core.base import list_schedulers
+
+        assert "protocol" in list_schedulers()
+        assert "protocol_mis" in list_schedulers()

@@ -1,0 +1,72 @@
+"""Tests for repro.channel.deterministic."""
+
+import numpy as np
+import pytest
+
+from repro.channel.deterministic import deterministic_sinr, deterministic_success
+
+
+def two_link_distances(own=10.0, cross=100.0):
+    """d[i, j] = d(s_i, r_j): symmetric two-link layout."""
+    return np.array([[own, cross], [cross, own]])
+
+
+class TestDeterministicSinr:
+    def test_two_links_value(self):
+        d = two_link_distances()
+        sinr = deterministic_sinr(d, np.array([0, 1]), alpha=3.0)
+        expected = (10.0**-3) / (100.0**-3)
+        np.testing.assert_allclose(sinr, expected)
+
+    def test_single_link_infinite(self):
+        d = two_link_distances()
+        sinr = deterministic_sinr(d, np.array([0]), alpha=3.0)
+        assert np.isinf(sinr[0])
+
+    def test_single_link_with_noise(self):
+        d = two_link_distances()
+        sinr = deterministic_sinr(d, np.array([0]), alpha=3.0, noise=1e-3)
+        assert sinr[0] == pytest.approx((10.0**-3) / 1e-3)
+
+    def test_boolean_mask(self):
+        d = two_link_distances()
+        a = deterministic_sinr(d, np.array([True, True]), alpha=3.0)
+        b = deterministic_sinr(d, np.array([0, 1]), alpha=3.0)
+        np.testing.assert_allclose(a, b)
+
+    def test_empty_active(self):
+        d = two_link_distances()
+        assert deterministic_sinr(d, np.zeros(0, dtype=int), alpha=3.0).size == 0
+
+    def test_interference_accumulates(self):
+        # Three symmetric links: SINR lower than in the two-link case.
+        n = 3
+        d = np.full((n, n), 100.0)
+        np.fill_diagonal(d, 10.0)
+        pair = deterministic_sinr(d[:2, :2], np.array([0, 1]), alpha=3.0)
+        triple = deterministic_sinr(d, np.array([0, 1, 2]), alpha=3.0)
+        assert triple[0] < pair[0]
+
+    def test_out_of_range_index(self):
+        with pytest.raises(IndexError):
+            deterministic_sinr(two_link_distances(), np.array([5]), alpha=3.0)
+
+    def test_bad_mask_shape(self):
+        with pytest.raises(ValueError):
+            deterministic_sinr(two_link_distances(), np.array([True]), alpha=3.0)
+
+
+class TestDeterministicSuccess:
+    def test_threshold_behaviour(self):
+        d = two_link_distances()
+        sinr = float(deterministic_sinr(d, np.array([0, 1]), alpha=3.0)[0])
+        ok = deterministic_success(d, np.array([0, 1]), alpha=3.0, gamma_th=sinr * 0.99)
+        assert ok.all()
+        bad = deterministic_success(d, np.array([0, 1]), alpha=3.0, gamma_th=sinr * 1.01)
+        assert not bad.any()
+
+    def test_power_cancels(self):
+        d = two_link_distances()
+        a = deterministic_sinr(d, np.array([0, 1]), alpha=3.0, power=1.0)
+        b = deterministic_sinr(d, np.array([0, 1]), alpha=3.0, power=7.0)
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,111 @@
+"""Tests for the Nakagami-m fading extension."""
+
+import numpy as np
+import pytest
+
+from repro.channel.nakagami import (
+    NakagamiChannel,
+    fading_severity_sweep,
+    sample_nakagami_trials,
+    sample_received_power_nakagami,
+    success_probability_nakagami,
+)
+
+
+def ring_distances(n=4, own=10.0, cross=60.0):
+    d = np.full((n, n), cross)
+    np.fill_diagonal(d, own)
+    return d
+
+
+class TestSampler:
+    def test_mean_matches_pathloss(self):
+        for m in (0.5, 1.0, 4.0):
+            s = sample_received_power_nakagami(10.0, 3.0, m, size=200_000, seed=0)
+            assert np.mean(s) == pytest.approx(10.0**-3, rel=0.02)
+
+    def test_m1_is_exponential(self):
+        """Rayleigh special case: CDF at the mean is 1 - 1/e."""
+        s = sample_received_power_nakagami(10.0, 3.0, 1.0, size=200_000, seed=1)
+        assert np.mean(s <= 10.0**-3) == pytest.approx(1 - np.exp(-1), abs=0.01)
+
+    def test_variance_shrinks_with_m(self):
+        """Var = mean^2 / m: larger m = milder fading."""
+        v = {}
+        for m in (1.0, 4.0):
+            s = sample_received_power_nakagami(10.0, 3.0, m, size=100_000, seed=2)
+            v[m] = np.var(s)
+        assert v[4.0] < v[1.0] / 2
+        assert v[1.0] == pytest.approx((10.0**-3) ** 2, rel=0.05)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            sample_received_power_nakagami(10.0, 3.0, 0.0)
+
+    def test_trials_shape(self):
+        z = sample_nakagami_trials(ring_distances(), np.array([0, 2]), 3.0, 2.0, 7, seed=0)
+        assert z.shape == (7, 2, 2)
+
+
+class TestSuccessProbability:
+    def test_m1_matches_rayleigh_closed_form(self):
+        from repro.channel.rayleigh import success_probability
+
+        d = ring_distances()
+        active = np.arange(4)
+        exact = success_probability(d, active, 3.0, 1.0)
+        mc = success_probability_nakagami(
+            d, active, 3.0, 1.0, m=1.0, n_trials=100_000, seed=3
+        )
+        np.testing.assert_allclose(mc, exact, atol=0.01)
+
+    def test_larger_m_helps_feasible_schedules(self):
+        """Low interference: milder fading raises success probability."""
+        d = ring_distances(own=10.0, cross=200.0)
+        active = np.arange(4)
+        p1 = success_probability_nakagami(d, active, 3.0, 1.0, m=1.0, n_trials=50_000, seed=4)
+        p8 = success_probability_nakagami(d, active, 3.0, 1.0, m=8.0, n_trials=50_000, seed=5)
+        assert (p8 >= p1 - 0.002).all()
+        assert p8.mean() > p1.mean()
+
+    def test_deterministic_limit(self):
+        """Huge m approaches the deterministic success indicator."""
+        from repro.channel.deterministic import deterministic_success
+
+        d = ring_distances(own=10.0, cross=40.0)
+        active = np.arange(4)
+        det = deterministic_success(d, active, 3.0, 1.0)
+        p = success_probability_nakagami(d, active, 3.0, 1.0, m=200.0, n_trials=30_000, seed=6)
+        np.testing.assert_allclose(p, det.astype(float), atol=0.05)
+
+    def test_empty_active(self):
+        p = success_probability_nakagami(
+            ring_distances(), np.zeros(0, dtype=int), 3.0, 1.0, m=2.0, n_trials=10
+        )
+        assert p.size == 0
+
+
+class TestChannelFacade:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NakagamiChannel(alpha=3.0, m=-1.0)
+
+    def test_facade_delegates(self):
+        ch = NakagamiChannel(alpha=3.0, m=2.0)
+        d = ring_distances()
+        p = ch.success_probability(d, np.arange(4), 1.0, n_trials=5000, seed=0)
+        assert p.shape == (4,)
+        assert ((0 <= p) & (p <= 1)).all()
+
+
+class TestSeveritySweep:
+    def test_rayleigh_feasible_schedule_improves_with_m(self):
+        from repro.core.problem import FadingRLS
+        from repro.core.rle import rle_schedule
+        from repro.network.topology import paper_topology
+
+        p = FadingRLS(links=paper_topology(100, seed=0))
+        s = rle_schedule(p)
+        sweep = fading_severity_sweep(p, s.active, m_values=(1.0, 4.0), n_trials=20_000, seed=1)
+        assert sweep[4.0] >= sweep[1.0] - 0.003
+        assert sweep[1.0] >= 1 - p.eps - 0.01  # Rayleigh contract

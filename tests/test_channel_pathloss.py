@@ -1,0 +1,49 @@
+"""Tests for repro.channel.pathloss."""
+
+import numpy as np
+import pytest
+
+from repro.channel.pathloss import mean_received_power, pathloss_matrix
+
+
+class TestMeanReceivedPower:
+    def test_scalar(self):
+        assert mean_received_power(2.0, alpha=3.0) == pytest.approx(0.125)
+
+    def test_power_scales_linearly(self):
+        assert mean_received_power(2.0, alpha=3.0, power=4.0) == pytest.approx(0.5)
+
+    def test_unit_distance(self):
+        assert mean_received_power(1.0, alpha=5.0) == 1.0
+
+    def test_array(self):
+        out = mean_received_power(np.array([1.0, 2.0]), alpha=2.0)
+        np.testing.assert_allclose(out, [1.0, 0.25])
+
+    def test_monotone_decreasing_in_distance(self):
+        d = np.linspace(1, 100, 50)
+        p = mean_received_power(d, alpha=3.0)
+        assert (np.diff(p) < 0).all()
+
+    def test_larger_alpha_decays_faster(self):
+        assert mean_received_power(10.0, alpha=4.0) < mean_received_power(10.0, alpha=3.0)
+
+    def test_zero_distance_rejected(self):
+        with pytest.raises(ValueError):
+            mean_received_power(0.0, alpha=3.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            mean_received_power(1.0, alpha=0.0)
+
+
+class TestPathlossMatrix:
+    def test_matches_elementwise(self, rng):
+        d = rng.uniform(1, 50, size=(4, 4))
+        m = pathloss_matrix(d, alpha=3.0, power=2.0)
+        np.testing.assert_allclose(m, 2.0 * d**-3.0)
+
+    def test_nonpositive_rejected(self):
+        d = np.array([[1.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(ValueError):
+            pathloss_matrix(d, alpha=3.0)

@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_schedulers(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ldp", "rle", "approx_logn", "protocol"):
+            assert name in out
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("ext", ["csv", "json"])
+    def test_generate_roundtrip(self, tmp_path, capsys, ext):
+        path = tmp_path / f"links.{ext}"
+        assert main(["generate", str(path), "--n-links", "40", "--seed", "1"]) == 0
+        from repro.io.linksets import linkset_from_csv, linkset_from_json
+
+        loader = linkset_from_csv if ext == "csv" else linkset_from_json
+        assert len(loader(path)) == 40
+
+    @pytest.mark.parametrize("topology", ["paper", "clustered", "chain", "exponential"])
+    def test_topologies(self, tmp_path, topology):
+        path = tmp_path / "links.csv"
+        assert main(["generate", str(path), "--topology", topology, "--n-links", "20"]) == 0
+
+    def test_grid_topology_rounds(self, tmp_path):
+        path = tmp_path / "links.csv"
+        assert main(["generate", str(path), "--topology", "grid", "--n-links", "9"]) == 0
+        from repro.io.linksets import linkset_from_csv
+
+        assert len(linkset_from_csv(path)) == 9
+
+    def test_bad_extension(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", str(tmp_path / "links.txt")])
+
+
+class TestSchedule:
+    def test_random_workload(self, capsys):
+        assert main(["schedule", "--algorithm", "rle", "--n-links", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "feasible=True" in out
+
+    def test_from_file_with_output(self, tmp_path, capsys):
+        links = tmp_path / "links.csv"
+        main(["generate", str(links), "--n-links", "50", "--seed", "2"])
+        result = tmp_path / "result.json"
+        assert (
+            main(
+                [
+                    "schedule",
+                    "--input",
+                    str(links),
+                    "--algorithm",
+                    "greedy",
+                    "--trials",
+                    "100",
+                    "--output",
+                    str(result),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(result.read_text())
+        assert payload["algorithm"] == "greedy"
+        assert payload["feasible"] is True
+        assert payload["simulation"]["n_trials"] == 100
+
+    def test_noise_flag(self, capsys):
+        assert (
+            main(["schedule", "--n-links", "40", "--algorithm", "greedy", "--noise", "1e-7"])
+            == 0
+        )
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            main(["schedule", "--algorithm", "nope", "--n-links", "5"])
+
+
+class TestConstants:
+    def test_prints_table(self, capsys):
+        assert main(["constants", "--alpha", "3.0", "4.0"]) == 0
+        out = capsys.readouterr().out
+        assert "gamma_eps" in out and "c1" in out
+        assert len(out.strip().splitlines()) == 4  # header + rule + 2 rows
+
+
+class TestQueue:
+    def test_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "queue",
+                    "--n-links",
+                    "40",
+                    "--slots",
+                    "50",
+                    "--arrival-rate",
+                    "0.05",
+                    "--algorithm",
+                    "greedy",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "slot efficiency" in out
+
+    def test_from_file(self, tmp_path, capsys):
+        links = tmp_path / "links.csv"
+        main(["generate", str(links), "--n-links", "30", "--seed", "4"])
+        assert main(["queue", "--input", str(links), "--slots", "30"]) == 0
+
+
+class TestFigures:
+    def test_single_panel_with_json(self, tmp_path, capsys, monkeypatch):
+        # Patch the quick config to something tiny for test speed.
+        from repro.experiments.config import ExperimentConfig
+
+        tiny = ExperimentConfig(
+            n_links_sweep=(20,),
+            alpha_sweep=(3.0,),
+            n_links_fixed=20,
+            n_repetitions=1,
+            n_trials=20,
+        )
+        monkeypatch.setattr(ExperimentConfig, "small", lambda self: tiny)
+        out_path = tmp_path / "series.json"
+        assert main(["figures", "--panel", "fig6a", "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6(a)" in out
+        payload = json.loads(out_path.read_text())
+        assert "fig6a" in payload

@@ -1,0 +1,145 @@
+"""Tests for feasibility certificates and structural audits."""
+
+import numpy as np
+import pytest
+
+from repro.core.certify import audit_ldp_structure, audit_rle_structure, certify
+from repro.core.ldp import ldp_schedule
+from repro.core.problem import FadingRLS
+from repro.core.rle import rle_schedule
+from repro.core.schedule import Schedule
+from repro.network.topology import paper_topology
+
+
+class TestCertify:
+    def test_agrees_with_is_feasible_on_feasible(self, paper_problem):
+        s = rle_schedule(paper_problem)
+        cert = certify(paper_problem, s)
+        assert cert.feasible == paper_problem.is_feasible(s.active) is True
+        assert not cert.violations()
+
+    def test_agrees_with_is_feasible_on_infeasible(self, tight_problem):
+        cert = certify(tight_problem, np.array([0, 1, 2]))
+        assert not cert.feasible
+        assert cert.violations()
+
+    def test_decomposition_matches_cached_matrix(self, paper_problem):
+        """The independent recomputation equals the cached-path numbers."""
+        s = rle_schedule(paper_problem)
+        cert = certify(paper_problem, s)
+        interference = paper_problem.interference_on(s.active)
+        for rb in cert.receivers:
+            assert rb.total_interference == pytest.approx(interference[rb.link], rel=1e-9)
+            assert rb.slack == pytest.approx(
+                paper_problem.effective_budgets()[rb.link] - interference[rb.link],
+                rel=1e-9,
+                abs=1e-15,
+            )
+
+    def test_worst_receiver_has_min_slack(self, paper_problem):
+        from repro.core.baselines.approx_diversity import approx_diversity_schedule
+
+        s = approx_diversity_schedule(paper_problem)
+        cert = certify(paper_problem, s)
+        assert cert.worst.slack == min(r.slack for r in cert.receivers)
+
+    def test_top_interferers_sorted_and_capped(self, paper_problem):
+        from repro.core.baselines.approx_diversity import approx_diversity_schedule
+
+        s = approx_diversity_schedule(paper_problem)
+        cert = certify(paper_problem, s, top_k=2)
+        for rb in cert.receivers:
+            assert len(rb.top_interferers) <= 2
+            factors = [f for _, f in rb.top_interferers]
+            assert factors == sorted(factors, reverse=True)
+
+    def test_empty_schedule(self, paper_problem):
+        cert = certify(paper_problem, Schedule.empty())
+        assert cert.feasible and cert.worst is None
+
+
+class TestAuditLdp:
+    def test_ldp_output_passes(self, paper_problem):
+        s = ldp_schedule(paper_problem)
+        audit = audit_ldp_structure(paper_problem, s)
+        assert all(audit.values()), audit
+
+    def test_rigorous_variant_passes(self):
+        p = FadingRLS(links=paper_topology(120, seed=3), alpha=4.0)
+        s = ldp_schedule(p, rigorous=True)
+        assert all(audit_ldp_structure(p, s).values())
+
+    def test_foreign_schedule_rejected(self, paper_problem):
+        s = rle_schedule(paper_problem)
+        with pytest.raises(ValueError, match="LDP"):
+            audit_ldp_structure(paper_problem, s)
+
+    def test_tampered_schedule_fails_audit(self, paper_problem):
+        """Injecting an extra link into an LDP schedule breaks the
+        distinct-cells or colour invariant (whichever the geometry hits)."""
+        s = ldp_schedule(paper_problem)
+        outsider = next(
+            i for i in range(paper_problem.n_links) if i not in s
+        )
+        tampered = Schedule(
+            active=np.append(s.active, outsider),
+            algorithm="ldp",
+            diagnostics=s.diagnostics,
+        )
+        audit = audit_ldp_structure(paper_problem, tampered)
+        # The audit may still pass by luck of geometry for one outsider,
+        # so check against many: at least one injection must be caught.
+        caught = not all(audit.values())
+        if not caught:
+            for outsider in range(paper_problem.n_links):
+                if outsider in s:
+                    continue
+                tampered = Schedule(
+                    active=np.append(s.active, outsider),
+                    algorithm="ldp",
+                    diagnostics=s.diagnostics,
+                )
+                if not all(audit_ldp_structure(paper_problem, tampered).values()):
+                    caught = True
+                    break
+        assert caught
+
+
+class TestAuditRle:
+    def test_rle_output_passes(self, paper_problem):
+        s = rle_schedule(paper_problem)
+        audit = audit_rle_structure(paper_problem, s)
+        assert all(audit.values()), audit
+
+    @pytest.mark.parametrize("c2", [0.25, 0.75])
+    def test_passes_across_c2(self, c2, paper_problem):
+        s = rle_schedule(paper_problem, c2=c2)
+        assert all(audit_rle_structure(paper_problem, s).values())
+
+    def test_foreign_schedule_rejected(self, paper_problem):
+        s = ldp_schedule(paper_problem)
+        with pytest.raises(ValueError, match="RLE"):
+            audit_rle_structure(paper_problem, s)
+
+    def test_tampered_schedule_fails(self, paper_problem):
+        """Adding the closest unscheduled link violates the radius rule."""
+        s = rle_schedule(paper_problem)
+        dist = paper_problem.distances()
+        # Find an unscheduled sender inside some scheduled link's radius.
+        c1 = s.diagnostics["c1"]
+        lengths = paper_problem.links.lengths
+        offender = None
+        for j in s.active:
+            near = np.flatnonzero(dist[:, j] < c1 * lengths[j])
+            near = [i for i in near if i not in s and i != j]
+            if near:
+                offender = near[0]
+                break
+        assert offender is not None
+        tampered = Schedule(
+            active=np.append(s.active, offender),
+            algorithm="rle",
+            diagnostics=s.diagnostics,
+        )
+        audit = audit_rle_structure(paper_problem, tampered)
+        assert not audit["radius"]

@@ -1,0 +1,60 @@
+"""Tests for the DLS decentralised scheduler (reconstruction)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dls import dls_schedule
+from repro.core.problem import FadingRLS
+from repro.network.links import LinkSet
+from repro.network.topology import clustered_topology, paper_topology
+
+
+class TestDls:
+    def test_empty(self):
+        p = FadingRLS(links=LinkSet.empty())
+        assert dls_schedule(p).size == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_always_feasible(self, seed):
+        p = FadingRLS(links=paper_topology(200, seed=seed))
+        s = dls_schedule(p, seed=seed)
+        assert p.is_feasible(s.active)
+
+    def test_feasible_on_dense_cluster(self):
+        p = FadingRLS(links=clustered_topology(150, n_clusters=2, cluster_std=10.0, seed=0))
+        s = dls_schedule(p, seed=0)
+        assert p.is_feasible(s.active)
+
+    def test_seed_reproducible(self, paper_problem):
+        a = dls_schedule(paper_problem, seed=42)
+        b = dls_schedule(paper_problem, seed=42)
+        np.testing.assert_array_equal(a.active, b.active)
+
+    def test_join_phase_makes_maximal(self, paper_problem):
+        """With the join phase no leftover link fits the schedule."""
+        s = dls_schedule(paper_problem, seed=0, join=True)
+        mask = s.mask(paper_problem.n_links)
+        for i in np.flatnonzero(~mask):
+            assert not paper_problem.is_feasible(np.append(s.active, i))
+
+    def test_join_improves_size(self, paper_problem):
+        with_join = dls_schedule(paper_problem, seed=1, join=True)
+        without = dls_schedule(paper_problem, seed=1, join=False)
+        assert with_join.size >= without.size
+
+    def test_invalid_params(self, paper_problem):
+        with pytest.raises(ValueError):
+            dls_schedule(paper_problem, p0=0.0)
+        with pytest.raises(ValueError):
+            dls_schedule(paper_problem, backoff=1.5)
+
+    def test_diagnostics(self, paper_problem):
+        s = dls_schedule(paper_problem, seed=3)
+        assert s.diagnostics["rounds"] >= 1
+        assert s.diagnostics["joined_late"] >= 0
+
+    def test_converges_even_with_tiny_backoff(self):
+        """The forced-eviction fallback guarantees progress."""
+        p = FadingRLS(links=clustered_topology(80, n_clusters=1, cluster_std=5.0, seed=1))
+        s = dls_schedule(p, seed=0, backoff=0.01, max_rounds=100_000)
+        assert p.is_feasible(s.active)

@@ -1,0 +1,100 @@
+"""Tests for the blue-dominant centers machinery (Def. 4.2 / Lemma 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dominance import (
+    dominance_threshold_holds,
+    find_blue_dominant,
+    is_z_blue_dominant,
+)
+
+
+class TestIsZBlueDominant:
+    def test_paper_figure_example(self):
+        """Fig. 4's structure: a blue point whose every circle holds
+        at least twice as many blue as red points."""
+        # Blue cluster around origin, red points far out.
+        blue = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [-1.0, 0.0], [0.0, -1.0], [1.0, 1.0]]
+        )
+        red = np.array([[10.0, 0.0], [0.0, 12.0]])
+        assert is_z_blue_dominant(blue, red, 0, z=2)
+
+    def test_red_nearby_breaks_dominance(self):
+        blue = np.array([[0.0, 0.0], [5.0, 0.0]])
+        red = np.array([[0.5, 0.0]])
+        # Circle of radius 0.5 around blue[0]: 1 blue vs 1 red -> not > z*1.
+        assert not is_z_blue_dominant(blue, red, 0, z=1)
+
+    def test_no_red_always_dominant(self):
+        blue = np.array([[0.0, 0.0], [1.0, 1.0]])
+        red = np.zeros((0, 2))
+        assert is_z_blue_dominant(blue, red, 0, z=3)
+
+    def test_z_monotone(self):
+        """Dominance at larger z implies dominance at smaller z."""
+        rng = np.random.default_rng(0)
+        blue = rng.uniform(0, 10, (30, 2))
+        red = rng.uniform(0, 10, (2, 2))
+        for i in range(30):
+            if is_z_blue_dominant(blue, red, i, z=3):
+                assert is_z_blue_dominant(blue, red, i, z=1)
+
+    def test_invalid_z(self):
+        with pytest.raises(ValueError):
+            is_z_blue_dominant(np.zeros((1, 2)), np.zeros((0, 2)), 0, z=0)
+
+
+class TestLemma43:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("z", [1, 2])
+    def test_existence_above_threshold(self, seed, z):
+        """Lemma 4.3: |blue| > 5 z |red| guarantees a dominant point."""
+        rng = np.random.default_rng(seed)
+        n_red = 3
+        n_blue = 5 * z * n_red + 1
+        blue = rng.uniform(0, 100, (n_blue, 2))
+        red = rng.uniform(0, 100, (n_red, 2))
+        assert dominance_threshold_holds(blue, red, z)
+        assert find_blue_dominant(blue, red, z) is not None
+
+    def test_threshold_predicate(self):
+        blue = np.zeros((11, 2)) + np.arange(11)[:, None]
+        red = np.array([[500.0, 500.0]])
+        assert dominance_threshold_holds(blue, red, 2)  # 11 > 10
+        assert not dominance_threshold_holds(blue[:10], red, 2)
+
+    def test_below_threshold_may_fail(self):
+        """A configuration with no dominant point (sanity that the
+        checker can say no): reds co-located with every blue."""
+        blue = np.array([[0.0, 0.0], [10.0, 0.0]])
+        red = np.array([[0.1, 0.0], [10.1, 0.0]])
+        assert find_blue_dominant(blue, red, z=1) is None
+
+    def test_found_point_verifies(self):
+        rng = np.random.default_rng(3)
+        blue = rng.uniform(0, 50, (40, 2))
+        red = rng.uniform(0, 50, (3, 2))
+        idx = find_blue_dominant(blue, red, z=2)
+        assert idx is not None
+        assert is_z_blue_dominant(blue, red, idx, z=2)
+
+
+class TestRleProofConnection:
+    def test_lemma44_setup_numerically(self):
+        """The Lemma 4.4 proof labels opt-minus-RLE senders blue and RLE
+        senders red; when the blue set is large enough a dominant blue
+        sender exists — replay that argument on a real instance."""
+        from repro.core.problem import FadingRLS
+        from repro.core.rle import rle_schedule
+        from repro.network.topology import paper_topology
+
+        p = FadingRLS(links=paper_topology(200, seed=0))
+        rle = set(rle_schedule(p).active.tolist())
+        others = [i for i in range(p.n_links) if i not in rle]
+        blue = p.links.senders[others]
+        red = p.links.senders[sorted(rle)]
+        z = 1
+        if len(others) > 5 * z * len(rle):
+            assert find_blue_dominant(blue, red, z) is not None

@@ -1,0 +1,107 @@
+"""Tests for the exact solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import (
+    branch_and_bound_schedule,
+    brute_force_schedule,
+    milp_schedule,
+)
+from repro.core.problem import FadingRLS
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology, random_rates_topology
+
+
+class TestBruteForce:
+    def test_empty(self):
+        p = FadingRLS(links=LinkSet.empty())
+        assert brute_force_schedule(p).size == 0
+
+    def test_limit_guard(self):
+        p = FadingRLS(links=paper_topology(25, seed=0))
+        with pytest.raises(ValueError, match="limit"):
+            brute_force_schedule(p)
+
+    def test_output_feasible(self, small_problem):
+        s = brute_force_schedule(small_problem)
+        assert small_problem.is_feasible(s.active)
+
+    def test_optimum_recorded(self, small_problem):
+        s = brute_force_schedule(small_problem)
+        assert s.diagnostics["optimum"] == small_problem.scheduled_rate(s.active)
+
+    def test_beats_every_heuristic(self, small_problem):
+        from repro.core.base import get_scheduler
+
+        opt = small_problem.scheduled_rate(brute_force_schedule(small_problem).active)
+        for name in ("ldp", "rle", "greedy", "random", "dls"):
+            kwargs = {"seed": 0} if name in ("random", "dls") else {}
+            s = get_scheduler(name)(small_problem, **kwargs)
+            assert small_problem.scheduled_rate(s.active) <= opt + 1e-9
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        links = paper_topology(10, region_side=120, seed=seed)
+        p = FadingRLS(links=links)
+        bf = p.scheduled_rate(brute_force_schedule(p).active)
+        bb = p.scheduled_rate(branch_and_bound_schedule(p).active)
+        assert bb == pytest.approx(bf)
+
+    def test_heterogeneous_rates(self):
+        links = random_rates_topology(10, region_side=120, seed=1)
+        p = FadingRLS(links=links)
+        bf = p.scheduled_rate(brute_force_schedule(p).active)
+        bb = p.scheduled_rate(branch_and_bound_schedule(p).active)
+        assert bb == pytest.approx(bf)
+
+    def test_output_feasible(self, small_problem):
+        assert small_problem.is_feasible(branch_and_bound_schedule(small_problem).active)
+
+    def test_prunes_nodes(self):
+        """B&B should visit far fewer nodes than brute force enumerates."""
+        p = FadingRLS(links=paper_topology(14, region_side=150, seed=2))
+        s = branch_and_bound_schedule(p)
+        assert s.diagnostics["nodes_visited"] < 2**14
+
+    def test_empty(self):
+        p = FadingRLS(links=LinkSet.empty())
+        assert branch_and_bound_schedule(p).size == 0
+
+    def test_handles_larger_instances_than_brute_force(self):
+        p = FadingRLS(links=paper_topology(30, seed=3))
+        s = branch_and_bound_schedule(p)
+        assert p.is_feasible(s.active)
+        assert s.size >= 1
+
+
+class TestMilp:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force(self, seed):
+        links = paper_topology(10, region_side=120, seed=seed)
+        p = FadingRLS(links=links)
+        bf = p.scheduled_rate(brute_force_schedule(p).active)
+        mi = p.scheduled_rate(milp_schedule(p).active)
+        assert mi == pytest.approx(bf, abs=1e-6)
+
+    def test_output_feasible(self, small_problem):
+        s = milp_schedule(small_problem)
+        assert small_problem.is_feasible(s.active, tol=1e-6)
+
+    def test_empty(self):
+        p = FadingRLS(links=LinkSet.empty())
+        assert milp_schedule(p).size == 0
+
+    def test_heterogeneous_rates(self):
+        links = random_rates_topology(12, region_side=150, seed=5)
+        p = FadingRLS(links=links)
+        bb = p.scheduled_rate(branch_and_bound_schedule(p).active)
+        mi = p.scheduled_rate(milp_schedule(p).active)
+        assert mi == pytest.approx(bb, abs=1e-6)
+
+    def test_scales_past_brute_force(self):
+        p = FadingRLS(links=paper_topology(40, seed=6))
+        s = milp_schedule(p)
+        assert p.is_feasible(s.active, tol=1e-6)

@@ -1,0 +1,120 @@
+"""Tests for demand-aware TDMA frame construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.frames import Frame, build_demand_frame, frame_length_lower_bound
+from repro.core.problem import FadingRLS
+from repro.core.rle import rle_schedule
+from repro.core.schedule import Schedule
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology
+
+
+@pytest.fixture(scope="module")
+def frame_problem():
+    return FadingRLS(links=paper_topology(60, seed=0))
+
+
+class TestBuildDemandFrame:
+    def test_demands_met_exactly(self, frame_problem):
+        rng = np.random.default_rng(0)
+        demands = rng.integers(0, 4, frame_problem.n_links)
+        frame = build_demand_frame(frame_problem, demands, rle_schedule)
+        assert frame.verify(frame_problem)
+        np.testing.assert_array_equal(
+            frame.service_counts(frame_problem.n_links), demands
+        )
+
+    def test_every_slot_feasible(self, frame_problem):
+        demands = np.ones(frame_problem.n_links, dtype=int) * 2
+        frame = build_demand_frame(frame_problem, demands, rle_schedule)
+        for slot in frame.slots:
+            assert frame_problem.is_feasible(slot.active)
+
+    def test_unit_demands_match_multislot(self, frame_problem):
+        """All-ones demand == the covering problem."""
+        from repro.core.multislot import multislot_schedule
+
+        demands = np.ones(frame_problem.n_links, dtype=int)
+        frame = build_demand_frame(frame_problem, demands, rle_schedule)
+        cover = multislot_schedule(frame_problem, rle_schedule)
+        assert frame.length == cover.n_slots
+
+    def test_zero_demand_skipped(self, frame_problem):
+        demands = np.zeros(frame_problem.n_links, dtype=int)
+        demands[3] = 2
+        frame = build_demand_frame(frame_problem, demands, rle_schedule)
+        assert frame.length == 2
+        for slot in frame.slots:
+            assert slot.active.tolist() == [3]
+
+    def test_all_zero_empty_frame(self, frame_problem):
+        frame = build_demand_frame(
+            frame_problem, np.zeros(frame_problem.n_links, dtype=int), rle_schedule
+        )
+        assert frame.length == 0
+
+    def test_frame_length_bounded_by_total_demand(self, frame_problem):
+        rng = np.random.default_rng(1)
+        demands = rng.integers(0, 3, frame_problem.n_links)
+        frame = build_demand_frame(frame_problem, demands, rle_schedule)
+        assert frame.length <= demands.sum()
+
+    def test_validation(self, frame_problem):
+        with pytest.raises(ValueError, match="length"):
+            build_demand_frame(frame_problem, np.ones(3, dtype=int), rle_schedule)
+        with pytest.raises(ValueError, match=">= 0"):
+            build_demand_frame(
+                frame_problem, -np.ones(frame_problem.n_links, dtype=int), rle_schedule
+            )
+
+    def test_empty_scheduler_detected(self, frame_problem):
+        def lazy(problem):
+            return Schedule.empty("lazy")
+
+        with pytest.raises(RuntimeError, match="empty schedule"):
+            build_demand_frame(
+                frame_problem, np.ones(frame_problem.n_links, dtype=int), lazy
+            )
+
+    def test_scheduler_kwargs_forwarded(self, frame_problem):
+        demands = np.ones(frame_problem.n_links, dtype=int)
+        frame = build_demand_frame(frame_problem, demands, rle_schedule, c2=0.3)
+        assert frame.verify(frame_problem)
+
+
+class TestFrameVerify:
+    def test_detects_unmet_demand(self, frame_problem):
+        demands = np.ones(frame_problem.n_links, dtype=int)
+        frame = build_demand_frame(frame_problem, demands, rle_schedule)
+        tampered = Frame(slots=frame.slots[:-1], demands=demands, algorithm="x")
+        assert not tampered.verify(frame_problem)
+
+
+class TestLowerBound:
+    def test_zero_for_no_demand(self, frame_problem):
+        assert frame_length_lower_bound(
+            frame_problem, np.zeros(frame_problem.n_links, dtype=int)
+        ) == 0
+
+    def test_max_demand_bound(self, frame_problem):
+        demands = np.ones(frame_problem.n_links, dtype=int)
+        demands[0] = 7
+        assert frame_length_lower_bound(frame_problem, demands) >= 7
+
+    def test_clique_demand_bound(self):
+        """Stacked links' demands serialise."""
+        n = 4
+        senders = np.array([[0.0, float(i)] for i in range(n)])
+        receivers = senders + np.array([10.0, 0.0])
+        p = FadingRLS(links=LinkSet(senders=senders, receivers=receivers))
+        demands = np.full(n, 3, dtype=int)
+        assert frame_length_lower_bound(p, demands) >= 12
+
+    def test_sound_against_actual_frame(self, frame_problem):
+        rng = np.random.default_rng(2)
+        demands = rng.integers(0, 3, frame_problem.n_links)
+        lb = frame_length_lower_bound(frame_problem, demands)
+        frame = build_demand_frame(frame_problem, demands, rle_schedule)
+        assert lb <= frame.length

@@ -1,0 +1,77 @@
+"""Tests for the Eq. 20-22 ILP construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.ilp import ILPData, big_m, build_ilp, check_ilp_solution
+from repro.core.problem import FadingRLS
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology
+
+
+class TestBigM:
+    def test_is_max_column_sum(self, paper_problem):
+        f = paper_problem.interference_matrix()
+        assert big_m(paper_problem) == pytest.approx(f.sum(axis=0).max())
+
+    def test_empty(self):
+        p = FadingRLS(links=LinkSet.empty())
+        assert big_m(p) == 1.0
+
+
+class TestBuildIlp:
+    def test_shapes(self, paper_problem):
+        data = build_ilp(paper_problem)
+        n = paper_problem.n_links
+        assert data.objective.shape == (n,)
+        assert data.constraint_matrix.shape == (n, n)
+        assert data.upper_bounds.shape == (n,)
+        assert data.n_vars == n
+
+    def test_constraint_matrix_structure(self, tight_problem):
+        data = build_ilp(tight_problem)
+        f = tight_problem.interference_matrix()
+        np.testing.assert_allclose(
+            data.constraint_matrix, f.T + data.m * np.eye(3)
+        )
+
+    def test_small_m_rejected(self, tight_problem):
+        with pytest.raises(ValueError, match="big-M"):
+            build_ilp(tight_problem, m=1e-6)
+
+    def test_custom_large_m_accepted(self, tight_problem):
+        data = build_ilp(tight_problem, m=1e6)
+        assert data.m == 1e6
+
+
+class TestEncodingEquivalence:
+    """The pinning test: Eq. 20-22 feasibility == Corollary 3.1 feasibility."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_subsets_agree(self, seed):
+        links = paper_topology(8, region_side=100, seed=seed)
+        p = FadingRLS(links=links)
+        n = len(links)
+        for bits in range(1 << n):
+            x = np.array([(bits >> i) & 1 for i in range(n)], dtype=float)
+            by_ilp = check_ilp_solution(p, x)
+            by_cor31 = p.is_feasible(np.flatnonzero(x == 1))
+            assert by_ilp == by_cor31, bits
+
+    def test_inactive_links_unconstrained(self, tight_problem):
+        """Big-M must deactivate constraints of unscheduled links."""
+        # Empty and singleton schedules always pass, even when the full
+        # set is wildly infeasible.
+        assert check_ilp_solution(tight_problem, np.zeros(3))
+        for i in range(3):
+            x = np.zeros(3)
+            x[i] = 1.0
+            assert check_ilp_solution(tight_problem, x)
+
+    def test_nonbinary_rejected(self, tight_problem):
+        with pytest.raises(ValueError):
+            check_ilp_solution(tight_problem, np.array([0.5, 0.0, 0.0]))
+
+    def test_wrong_length_rejected(self, tight_problem):
+        with pytest.raises(ValueError):
+            check_ilp_solution(tight_problem, np.zeros(5))

@@ -1,0 +1,166 @@
+"""Tests for the LDP algorithm (Algorithm 1, Thms 4.1-4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ldp import ldp_candidates, ldp_schedule
+from repro.core.problem import FadingRLS
+from repro.network.links import LinkSet
+from repro.network.topology import exponential_length_topology, paper_topology
+
+
+class TestLdpBasics:
+    def test_empty_instance(self):
+        p = FadingRLS(links=LinkSet.empty())
+        assert ldp_schedule(p).size == 0
+
+    def test_single_link(self):
+        links = LinkSet(senders=[[0.0, 0.0]], receivers=[[10.0, 0.0]])
+        p = FadingRLS(links=links)
+        s = ldp_schedule(p)
+        assert s.size == 1 and 0 in s
+
+    def test_schedules_at_least_one_link(self, paper_problem):
+        assert ldp_schedule(paper_problem).size >= 1
+
+    def test_deterministic(self, paper_problem):
+        a = ldp_schedule(paper_problem)
+        b = ldp_schedule(paper_problem)
+        np.testing.assert_array_equal(a.active, b.active)
+
+    def test_diagnostics_populated(self, paper_problem):
+        s = ldp_schedule(paper_problem)
+        assert s.algorithm == "ldp"
+        for key in ("class_magnitude", "color", "n_candidates", "total_rate"):
+            assert key in s.diagnostics
+
+    def test_invalid_beta_scale(self, paper_problem):
+        with pytest.raises(ValueError):
+            ldp_schedule(paper_problem, beta_scale=0.0)
+
+
+class TestThm41Feasibility:
+    """Every LDP candidate — not just the winner — must be feasible."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_candidates_feasible_default_alpha(self, seed):
+        p = FadingRLS(links=paper_topology(150, seed=seed))
+        for h, color, active in ldp_candidates(p):
+            assert p.is_feasible(active), (h, color)
+
+    @pytest.mark.parametrize("alpha", [2.5, 3.0, 4.0, 5.0])
+    def test_winner_feasible_across_alpha(self, alpha):
+        p = FadingRLS(links=paper_topology(150, seed=0), alpha=alpha)
+        s = ldp_schedule(p)
+        assert p.is_feasible(s.active)
+
+    @pytest.mark.parametrize("alpha", [2.5, 3.5, 4.5, 6.0])
+    def test_rigorous_mode_feasible(self, alpha):
+        p = FadingRLS(links=paper_topology(150, seed=1), alpha=alpha)
+        for h, color, active in ldp_candidates(p, rigorous=True):
+            assert p.is_feasible(active)
+
+    def test_diverse_lengths_feasible(self):
+        p = FadingRLS(links=exponential_length_topology(120, seed=2))
+        for _, _, active in ldp_candidates(p):
+            assert p.is_feasible(active)
+
+
+class TestCandidateStructure:
+    def test_candidate_count_is_4gL(self, paper_problem):
+        from repro.network.diversity import length_diversity
+
+        cands = ldp_candidates(paper_problem)
+        assert len(cands) == 4 * length_diversity(paper_problem.links)
+
+    def test_one_receiver_per_same_color_square(self):
+        """Within one candidate, receivers occupy distinct same-colour cells."""
+        from repro.core.bounds import ldp_beta, ldp_square_size
+        from repro.geometry.grid import GridPartition
+
+        p = FadingRLS(links=paper_topology(200, seed=5))
+        delta = float(p.links.lengths.min())
+        beta = ldp_beta(p.alpha, p.gamma_th, p.gamma_eps)
+        for h, color, active in ldp_candidates(p):
+            grid = GridPartition(ldp_square_size(h, delta, beta))
+            cells = grid.cell_of(p.links.receivers[active])
+            # All picked receivers in distinct cells...
+            assert len({tuple(c) for c in cells}) == len(active)
+            # ...and all of the candidate's colour.
+            colors = grid.color_of(p.links.receivers[active])
+            assert (colors == color).all()
+
+    def test_class_length_bound_respected(self):
+        from repro.network.diversity import class_length_bound
+
+        p = FadingRLS(links=exponential_length_topology(150, seed=3))
+        for h, _, active in ldp_candidates(p):
+            if active.size:
+                assert (p.links.lengths[active] < class_length_bound(p.links, h) + 1e-9).all()
+
+    def test_per_square_pick_is_max_rate(self):
+        """With heterogeneous rates, each square's winner has the top rate."""
+        from repro.core.bounds import ldp_beta, ldp_square_size
+        from repro.geometry.grid import GridPartition
+        from repro.network.topology import random_rates_topology
+
+        links = random_rates_topology(150, seed=4)
+        p = FadingRLS(links=links)
+        delta = float(links.lengths.min())
+        beta = ldp_beta(p.alpha, p.gamma_th, p.gamma_eps)
+        from repro.network.diversity import length_classes, length_diversity_set
+
+        mags = length_diversity_set(links)
+        classes = length_classes(links)
+        cands = ldp_candidates(p)
+        for (h, color, active), h2, idx in [
+            (cands[i * 4 + c], mags[i], classes[i])
+            for i in range(len(mags))
+            for c in range(4)
+        ]:
+            grid = GridPartition(ldp_square_size(h, delta, beta))
+            cells_all = grid.cell_of(links.receivers[idx])
+            colors_all = grid.color_of(links.receivers[idx])
+            for a in active:
+                cell_a = grid.cell_of(links.receivers[[a]])[0]
+                same_cell = idx[
+                    (cells_all == cell_a).all(axis=1) & (colors_all == color)
+                ]
+                assert links.rates[a] == links.rates[same_cell].max()
+
+
+class TestAblationVariants:
+    def test_two_sided_classes_also_feasible(self):
+        p = FadingRLS(links=exponential_length_topology(120, seed=6))
+        for _, _, active in ldp_candidates(p, two_sided=True):
+            assert p.is_feasible(active)
+
+    def test_one_sided_at_least_as_good_with_uniform_rates(self):
+        """The paper's improvement: one-sided classes offer a superset of
+        candidates per class, so with uniform rates the winner is >=."""
+        for seed in range(5):
+            p = FadingRLS(links=exponential_length_topology(100, seed=seed))
+            one = ldp_schedule(p, two_sided=False)
+            two = ldp_schedule(p, two_sided=True)
+            assert p.scheduled_rate(one.active) >= p.scheduled_rate(two.active)
+
+    def test_beta_scale_conservative(self, paper_problem):
+        """Larger squares -> fewer scheduled links (weak monotonicity)."""
+        base = ldp_schedule(paper_problem, beta_scale=1.0)
+        big = ldp_schedule(paper_problem, beta_scale=3.0)
+        assert big.size <= base.size
+
+
+class TestThm42Ratio:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_within_16gl_of_optimum(self, seed):
+        from repro.core.bounds import ldp_approximation_ratio
+        from repro.core.exact import branch_and_bound_schedule
+        from repro.network.diversity import length_diversity
+
+        links = paper_topology(12, region_side=150, seed=seed)
+        p = FadingRLS(links=links)
+        opt = p.scheduled_rate(branch_and_bound_schedule(p).active)
+        ldp = p.scheduled_rate(ldp_schedule(p).active)
+        assert ldp > 0
+        assert opt / ldp <= ldp_approximation_ratio(length_diversity(links)) + 1e-9

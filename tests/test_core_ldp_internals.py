@@ -1,0 +1,75 @@
+"""White-box tests for LDP's internals (per-square pick, sizing)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ldp import _pick_per_square
+
+
+class TestPickPerSquare:
+    def test_single_winner_per_cell(self):
+        cells = np.array([[0, 0], [0, 0], [1, 0]])
+        rates = np.array([1.0, 5.0, 2.0])
+        idx = np.array([10, 11, 12])
+        out = _pick_per_square(cells, rates, idx)
+        assert sorted(out.tolist()) == [11, 12]  # max-rate in (0,0) is 11
+
+    def test_tie_breaks_to_lower_index(self):
+        cells = np.array([[0, 0], [0, 0]])
+        rates = np.array([3.0, 3.0])
+        idx = np.array([7, 4])
+        out = _pick_per_square(cells, rates, idx)
+        assert out.tolist() == [4]
+
+    def test_empty(self):
+        out = _pick_per_square(
+            np.zeros((0, 2), dtype=np.int64), np.zeros(0), np.zeros(0, dtype=np.int64)
+        )
+        assert out.size == 0
+
+    def test_negative_cells_handled(self):
+        cells = np.array([[-1, -1], [-1, -1], [-1, 0]])
+        rates = np.array([1.0, 2.0, 1.0])
+        idx = np.array([0, 1, 2])
+        out = _pick_per_square(cells, rates, idx)
+        assert sorted(out.tolist()) == [1, 2]
+
+    def test_all_distinct_cells_all_kept(self):
+        rng = np.random.default_rng(0)
+        cells = np.column_stack([np.arange(10), np.zeros(10, dtype=np.int64)])
+        rates = rng.uniform(1, 5, 10)
+        idx = np.arange(10)
+        out = _pick_per_square(cells, rates, idx)
+        assert sorted(out.tolist()) == list(range(10))
+
+    def test_many_per_cell_keeps_global_max(self):
+        rng = np.random.default_rng(1)
+        n = 50
+        cells = np.zeros((n, 2), dtype=np.int64)  # everyone in one cell
+        rates = rng.uniform(0, 10, n)
+        idx = np.arange(n)
+        out = _pick_per_square(cells, rates, idx)
+        assert out.tolist() == [int(np.argmax(rates))]
+
+
+class TestLdpSizingMonotonicity:
+    def test_candidate_count_grows_with_diversity(self):
+        """More magnitudes -> more (class, colour) candidates."""
+        from repro.core.ldp import ldp_candidates
+        from repro.core.problem import FadingRLS
+        from repro.network.topology import exponential_length_topology, paper_topology
+
+        narrow = FadingRLS(links=paper_topology(100, seed=0))
+        wide = FadingRLS(links=exponential_length_topology(100, n_magnitudes=6, seed=0))
+        assert len(ldp_candidates(wide)) > len(ldp_candidates(narrow))
+
+    def test_rigorous_vs_paper_sizing_direction(self):
+        """At alpha = 3 the rigorous beta is slightly smaller (exact ring
+        sum beats the paper's loose closed form); at alpha = 4.5 it is
+        larger (the corner-geometry gap dominates)."""
+        from repro.core.bounds import ldp_beta, ldp_rigorous_beta
+        from repro.core.problem import gamma_epsilon
+
+        g = gamma_epsilon(0.01)
+        assert ldp_rigorous_beta(3.0, 1.0, g) < ldp_beta(3.0, 1.0, g)
+        assert ldp_rigorous_beta(4.5, 1.0, g) > ldp_beta(4.5, 1.0, g)

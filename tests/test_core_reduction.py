@@ -1,0 +1,153 @@
+"""Tests for the Theorem 3.2 Knapsack reduction."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import branch_and_bound_schedule
+from repro.core.reduction import (
+    KnapsackInstance,
+    gate_budget_exact,
+    reduce_knapsack,
+    solve_knapsack_brute,
+    solve_knapsack_dp,
+    solve_knapsack_via_scheduling,
+)
+
+
+def random_instance(rng, n=8, max_v=20, max_w=15, cap=30.0):
+    return KnapsackInstance(
+        values=rng.integers(1, max_v, n).astype(float),
+        weights=rng.integers(1, max_w, n).astype(float),
+        capacity=cap,
+    )
+
+
+class TestKnapsackInstance:
+    def test_valid(self):
+        k = KnapsackInstance(values=[1.0, 2.0], weights=[3.0, 4.0], capacity=5.0)
+        assert k.n_items == 2
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            KnapsackInstance(values=[1.0], weights=[1.0, 2.0], capacity=5.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            KnapsackInstance(values=[0.0], weights=[1.0], capacity=5.0)
+        with pytest.raises(ValueError):
+            KnapsackInstance(values=[1.0], weights=[-1.0], capacity=5.0)
+        with pytest.raises(ValueError):
+            KnapsackInstance(values=[1.0], weights=[1.0], capacity=0.0)
+
+
+class TestDpSolver:
+    def test_trivial(self):
+        k = KnapsackInstance(values=[10.0], weights=[5.0], capacity=5.0)
+        v, chosen = solve_knapsack_dp(k)
+        assert v == 10.0 and chosen == [0]
+
+    def test_item_too_heavy(self):
+        k = KnapsackInstance(values=[10.0], weights=[6.0], capacity=5.0)
+        v, chosen = solve_knapsack_dp(k)
+        assert v == 0.0 and chosen == []
+
+    def test_classic_example(self):
+        k = KnapsackInstance(
+            values=[60.0, 100.0, 120.0], weights=[10.0, 20.0, 30.0], capacity=50.0
+        )
+        v, chosen = solve_knapsack_dp(k)
+        assert v == 220.0 and sorted(chosen) == [1, 2]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        k = random_instance(rng)
+        v_dp, chosen_dp = solve_knapsack_dp(k)
+        v_bf, _ = solve_knapsack_brute(k)
+        assert v_dp == pytest.approx(v_bf)
+        # Recovered set is consistent with its value and capacity.
+        assert k.values[chosen_dp].sum() == pytest.approx(v_dp)
+        assert k.weights[chosen_dp].sum() <= k.capacity + 1e-9
+
+    def test_brute_force_limit(self):
+        rng = np.random.default_rng(0)
+        k = random_instance(rng, n=21)
+        with pytest.raises(ValueError):
+            solve_knapsack_brute(k)
+
+
+class TestReduction:
+    def test_structure(self):
+        k = KnapsackInstance(values=[5.0, 7.0], weights=[3.0, 4.0], capacity=6.0)
+        red = reduce_knapsack(k)
+        assert red.problem.n_links == 3
+        assert red.gate_index == 2
+        assert red.threshold == 24.0  # 2 * (5 + 7)
+        # Gate link: length exactly 1, receiver at origin.
+        np.testing.assert_allclose(red.problem.links.receivers[2], [0.0, 0.0])
+        assert red.problem.links.lengths[2] == pytest.approx(1.0)
+        # Gate rate dominates all item values combined.
+        assert red.problem.links.rates[2] == 2 * k.values.sum()
+
+    def test_gate_interference_encodes_weights_exactly(self):
+        """The heart of Thm 3.2: f(item i -> gate) == gamma_eps * w_i / W."""
+        rng = np.random.default_rng(1)
+        k = random_instance(rng)
+        red = reduce_knapsack(k)
+        g = gate_budget_exact(k, red)
+        expected = red.problem.gamma_eps * k.weights / k.capacity
+        np.testing.assert_allclose(g, expected, rtol=1e-10)
+
+    def test_item_links_always_informed(self):
+        """Certified delta: item links survive any active set."""
+        rng = np.random.default_rng(2)
+        k = random_instance(rng)
+        red = reduce_knapsack(k)
+        p = red.problem
+        # Worst case: everything transmits at once.
+        informed = p.informed(np.arange(p.n_links))
+        assert informed[: k.n_items].all()
+
+    def test_gate_feasible_iff_weights_fit(self):
+        k = KnapsackInstance(
+            values=[1.0, 1.0, 1.0], weights=[3.0, 4.0, 5.0], capacity=7.0
+        )
+        red = reduce_knapsack(k)
+        p = red.problem
+        gate = red.gate_index
+        # {0, 1}: weights 7 <= 7 -> gate + items feasible.
+        assert p.is_feasible([0, 1, gate])
+        # {1, 2}: weights 9 > 7 -> infeasible with the gate...
+        assert not p.is_feasible([1, 2, gate])
+        # ...but fine without it (item links are robust).
+        assert p.is_feasible([1, 2])
+
+    def test_duplicate_weights_supported(self):
+        """The angular-spread deviation: equal weights would collapse
+        the paper's collinear construction."""
+        k = KnapsackInstance(
+            values=[2.0, 3.0, 4.0], weights=[5.0, 5.0, 5.0], capacity=10.0
+        )
+        red = reduce_knapsack(k)
+        v, chosen = solve_knapsack_via_scheduling(k, branch_and_bound_schedule)
+        assert v == 7.0  # best two of three equal-weight items
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_scheduling_recovers_knapsack_optimum(self, seed):
+        """End-to-end: exact scheduling of the reduced instance == DP."""
+        rng = np.random.default_rng(seed)
+        k = random_instance(rng)
+        v_dp, _ = solve_knapsack_dp(k)
+        v_sched, chosen = solve_knapsack_via_scheduling(k, branch_and_bound_schedule)
+        assert v_sched == pytest.approx(v_dp)
+        assert k.weights[chosen].sum() <= k.capacity + 1e-6
+
+    def test_decision_threshold_semantics(self):
+        """Rate >= threshold + C iff knapsack value >= C."""
+        rng = np.random.default_rng(3)
+        k = random_instance(rng)
+        red = reduce_knapsack(k)
+        v_opt, _ = solve_knapsack_dp(k)
+        sched = branch_and_bound_schedule(red.problem)
+        total = red.problem.scheduled_rate(sched.active)
+        assert total == pytest.approx(red.threshold + v_opt)

@@ -1,0 +1,67 @@
+"""Tests for the LP relaxation upper bound."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import branch_and_bound_schedule
+from repro.core.problem import FadingRLS
+from repro.core.relaxation import lp_upper_bound, randomized_rounding
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology
+
+
+class TestLpUpperBound:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bounds_the_optimum(self, seed):
+        p = FadingRLS(links=paper_topology(12, region_side=150, seed=seed))
+        opt = p.scheduled_rate(branch_and_bound_schedule(p).active)
+        bound = lp_upper_bound(p)
+        assert bound.upper_bound >= opt - 1e-6
+
+    def test_never_exceeds_trivial(self, paper_problem):
+        bound = lp_upper_bound(paper_problem)
+        assert bound.upper_bound <= bound.trivial_bound + 1e-6
+        assert 0.0 < bound.tightness <= 1.0 + 1e-9
+
+    def test_fractional_in_unit_box(self, paper_problem):
+        bound = lp_upper_bound(paper_problem)
+        assert (bound.fractional >= -1e-9).all()
+        assert (bound.fractional <= 1 + 1e-9).all()
+
+    def test_empty(self):
+        p = FadingRLS(links=LinkSet.empty())
+        bound = lp_upper_bound(p)
+        assert bound.upper_bound == 0.0 and bound.tightness == 1.0
+
+    def test_loose_instance_all_ones(self):
+        """Far-apart links: the LP packs everything (bound == trivial)."""
+        p = FadingRLS(links=paper_topology(8, region_side=50_000, seed=0))
+        bound = lp_upper_bound(p)
+        assert bound.upper_bound == pytest.approx(8.0, abs=1e-6)
+
+    def test_scales_past_exact_solvers(self):
+        p = FadingRLS(links=paper_topology(300, seed=0))
+        bound = lp_upper_bound(p)
+        # Sanity: the bound must dominate the best heuristic we have.
+        from repro.core.localsearch import local_search_schedule
+
+        heur = p.scheduled_rate(local_search_schedule(p, seed=0).active)
+        assert bound.upper_bound >= heur - 1e-6
+
+
+class TestRandomizedRounding:
+    def test_output_feasible(self, paper_problem):
+        bound = lp_upper_bound(paper_problem)
+        idx = randomized_rounding(paper_problem, bound, n_samples=20, seed=0)
+        assert paper_problem.is_feasible(idx)
+
+    def test_reproducible(self, paper_problem):
+        bound = lp_upper_bound(paper_problem)
+        a = randomized_rounding(paper_problem, bound, n_samples=10, seed=3)
+        b = randomized_rounding(paper_problem, bound, n_samples=10, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_nonempty_on_paper_instances(self, paper_problem):
+        bound = lp_upper_bound(paper_problem)
+        idx = randomized_rounding(paper_problem, bound, n_samples=20, seed=1)
+        assert idx.size >= 1

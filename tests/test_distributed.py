@@ -1,0 +1,156 @@
+"""Tests for the message-passing engine and the DLS protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import FadingRLS
+from repro.distributed.dls_protocol import run_dls_protocol
+from repro.distributed.engine import Message, Node, SyncEngine
+from repro.network.links import LinkSet
+from repro.network.topology import clustered_topology, paper_topology
+
+
+class _Counter(Node):
+    """Counts to a target, messaging its successor each round."""
+
+    def __init__(self, target):
+        self.count = 0
+        self.target = target
+        self.received = 0
+
+    def step(self, round_index, inbox):
+        self.received += len(inbox)
+        self.count += 1
+        if self.count >= self.target:
+            return []
+        return [Message(self.node_id, (self.node_id + 1) % 3, self.count)]
+
+    @property
+    def done(self):
+        return self.count >= self.target
+
+
+class TestEngine:
+    def test_runs_until_done(self):
+        nodes = [_Counter(4) for _ in range(3)]
+        engine = SyncEngine(nodes)
+        stats = engine.run()
+        assert stats.rounds == 4
+        assert all(n.count == 4 for n in nodes)
+
+    def test_message_delivery_next_round(self):
+        nodes = [_Counter(3) for _ in range(3)]
+        SyncEngine(nodes).run()
+        # Rounds 0 and 1 send (count 1, 2); each node hears 2 messages.
+        assert all(n.received == 2 for n in nodes)
+
+    def test_message_counting(self):
+        nodes = [_Counter(3) for _ in range(3)]
+        stats = SyncEngine(nodes).run()
+        assert stats.total_messages == 6  # 3 nodes x 2 sending rounds
+        assert stats.messages_per_round == [3, 3, 0]
+
+    def test_node_ids_assigned(self):
+        nodes = [_Counter(1), _Counter(1)]
+        SyncEngine(nodes)
+        assert [n.node_id for n in nodes] == [0, 1]
+
+    def test_nontermination_detected(self):
+        class Forever(Node):
+            def step(self, round_index, inbox):
+                return []
+
+        with pytest.raises(RuntimeError, match="terminate"):
+            SyncEngine([Forever()]).run(max_rounds=5)
+
+    def test_bad_recipient_rejected(self):
+        class Shouter(Node):
+            def step(self, round_index, inbox):
+                return [Message(self.node_id, 99, None)]
+
+        with pytest.raises(ValueError, match="unknown node"):
+            SyncEngine([Shouter()]).run(max_rounds=2)
+
+    def test_invalid_max_rounds(self):
+        with pytest.raises(ValueError):
+            SyncEngine([]).run(max_rounds=0)
+
+
+class TestDlsProtocol:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_output_feasible_against_full_matrix(self, seed):
+        """The margin/threshold design must certify against ALL
+        interference, not just the visible neighbours."""
+        p = FadingRLS(links=paper_topology(150, seed=seed))
+        result = run_dls_protocol(p, seed=seed)
+        assert p.is_feasible(result.schedule.active)
+
+    def test_feasible_on_dense_cluster(self):
+        p = FadingRLS(links=clustered_topology(120, n_clusters=2, cluster_std=12.0, seed=0))
+        result = run_dls_protocol(p, seed=1)
+        assert p.is_feasible(result.schedule.active)
+
+    def test_reproducible(self):
+        p = FadingRLS(links=paper_topology(80, seed=0))
+        a = run_dls_protocol(p, seed=42)
+        b = run_dls_protocol(p, seed=42)
+        np.testing.assert_array_equal(a.schedule.active, b.schedule.active)
+        assert a.total_messages == b.total_messages
+
+    def test_traffic_accounting(self):
+        p = FadingRLS(links=paper_topology(100, seed=2))
+        result = run_dls_protocol(p, seed=3)
+        assert result.rounds >= 2
+        assert result.total_messages > 0
+        assert result.schedule.diagnostics["total_messages"] == result.total_messages
+
+    def test_messages_bounded_by_neighborhood(self):
+        """Per beacon round, traffic <= sum of out-neighbourhood sizes."""
+        p = FadingRLS(links=paper_topology(100, seed=4))
+        result = run_dls_protocol(p, seed=5)
+        beacon_rounds = (result.rounds + 1) // 2
+        assert result.total_messages <= beacon_rounds * result.mean_neighbors * p.n_links
+
+    def test_empty_instance(self):
+        p = FadingRLS(links=LinkSet.empty())
+        result = run_dls_protocol(p)
+        assert result.schedule.size == 0 and result.rounds == 0
+
+    def test_unserviceable_links_stay_silent(self):
+        noise = 0.01005 / 12.0**3
+        p = FadingRLS(links=paper_topology(100, seed=6), noise=noise)
+        bad = set(np.flatnonzero(~p.serviceable()).tolist())
+        assert bad
+        result = run_dls_protocol(p, seed=7)
+        assert not (set(result.schedule.active.tolist()) & bad)
+        assert p.is_feasible(result.schedule.active)
+
+    def test_margin_validation(self):
+        p = FadingRLS(links=paper_topology(10, seed=0))
+        with pytest.raises(ValueError):
+            run_dls_protocol(p, margin=0.0)
+        with pytest.raises(ValueError):
+            run_dls_protocol(p, backoff=1.0)
+        with pytest.raises(ValueError):
+            run_dls_protocol(p, p0=0.0)
+
+    def test_margined_budget_respected(self):
+        """Visible interference of every scheduled receiver stays within
+        the margined budget (stronger than plain feasibility)."""
+        p = FadingRLS(links=paper_topology(150, seed=8))
+        margin = 0.25
+        result = run_dls_protocol(p, seed=9, margin=margin)
+        idx = result.schedule.active
+        total = p.interference_on(idx)[idx]
+        # Full interference <= budget; the visible part is even smaller.
+        assert (total <= p.effective_budgets()[idx] + 1e-12).all()
+
+    def test_comparable_to_matrix_dls(self):
+        """Protocol output is in the same ballpark as the centralised
+        reconstruction without join (same dynamics, margined budget)."""
+        from repro.core.dls import dls_schedule
+
+        p = FadingRLS(links=paper_topology(200, seed=10))
+        proto = run_dls_protocol(p, seed=11).schedule.size
+        central = dls_schedule(p, join=False, seed=11).size
+        assert proto >= 0.3 * central

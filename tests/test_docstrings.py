@@ -1,0 +1,58 @@
+"""Meta tests: documentation coverage of the public API.
+
+Every public module, class, and function under ``repro`` must carry a
+docstring (deliverable (e): doc comments on every public item).
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), f"{module.__name__} lacks a docstring"
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_members_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exported from elsewhere; documented at home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+            continue
+        if inspect.isclass(obj):
+            for mname, meth in vars(obj).items():
+                if mname.startswith("_") or not inspect.isfunction(meth):
+                    continue
+                if not (meth.__doc__ and meth.__doc__.strip()):
+                    undocumented.append(f"{name}.{mname}")
+    assert not undocumented, f"{module.__name__}: undocumented public items: {undocumented}"
+
+
+def test_public_api_exports_resolve():
+    """Every name in a package's __all__ must be importable from it."""
+    for module in MODULES:
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module.__name__}.__all__ lists missing {name!r}"

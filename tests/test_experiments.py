@@ -1,0 +1,133 @@
+"""Tests for the experiment drivers (small configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    approximation_quality,
+    ldp_class_ablation,
+    rle_c2_ablation,
+)
+from repro.experiments.config import ExperimentConfig, paper_scheduler_set
+from repro.experiments.fig5 import failed_vs_alpha, failed_vs_links
+from repro.experiments.fig6 import throughput_vs_alpha, throughput_vs_links
+from repro.experiments.reporting import format_series, format_table
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ExperimentConfig().small()
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        c = ExperimentConfig()
+        assert c.region_side == 500.0
+        assert (c.min_length, c.max_length) == (5.0, 20.0)
+        assert c.eps == 0.01 and c.gamma_th == 1.0 and c.rate == 1.0
+
+    def test_scheduler_set(self):
+        s = paper_scheduler_set()
+        assert set(s) == {"ldp", "rle", "approx_logn", "approx_diversity"}
+
+    def test_workload_factory(self):
+        c = ExperimentConfig()
+        links = c.workload(30)(seed=0)
+        assert len(links) == 30
+
+    def test_small_is_smaller(self):
+        c = ExperimentConfig()
+        s = c.small()
+        assert s.n_repetitions < c.n_repetitions
+        assert max(s.n_links_sweep) < max(c.n_links_sweep)
+
+
+class TestFig5:
+    def test_failed_vs_links_structure(self, cfg):
+        sweep = failed_vs_links(cfg)
+        assert sweep.x_values == tuple(float(n) for n in cfg.n_links_sweep)
+        assert set(sweep.series) == {"ldp", "rle", "approx_logn", "approx_diversity"}
+
+    def test_fading_resistant_algorithms_rarely_fail(self, cfg):
+        sweep = failed_vs_links(cfg)
+        for alg in ("ldp", "rle"):
+            for v in sweep.metric(alg, "mean_failed"):
+                # Feasible schedules fail w.p. <= eps per link.
+                assert v <= 1.0
+
+    def test_baselines_fail_more_than_ours(self, cfg):
+        sweep = failed_vs_links(cfg)
+        ours = max(
+            max(sweep.metric("ldp", "mean_failed")),
+            max(sweep.metric("rle", "mean_failed")),
+        )
+        theirs = max(
+            max(sweep.metric("approx_logn", "mean_failed")),
+            max(sweep.metric("approx_diversity", "mean_failed")),
+        )
+        assert theirs > ours
+
+    def test_failed_vs_alpha_structure(self, cfg):
+        sweep = failed_vs_alpha(cfg)
+        assert sweep.x_values == tuple(cfg.alpha_sweep)
+        assert sweep.x_label.startswith("path loss")
+
+
+class TestFig6:
+    def test_throughput_vs_links_structure(self, cfg):
+        sweep = throughput_vs_links(cfg)
+        assert set(sweep.series) == {"ldp", "rle"}
+
+    def test_rle_beats_ldp(self, cfg):
+        """The paper's headline Fig. 6 ordering."""
+        sweep = throughput_vs_links(cfg)
+        rle = sweep.metric("rle", "mean_throughput")
+        ldp = sweep.metric("ldp", "mean_throughput")
+        assert all(r >= l for r, l in zip(rle, ldp))
+
+    def test_throughput_grows_with_links(self, cfg):
+        sweep = throughput_vs_links(cfg)
+        rle = sweep.metric("rle", "mean_throughput")
+        assert rle[-1] >= rle[0]
+
+    def test_throughput_grows_with_alpha(self, cfg):
+        sweep = throughput_vs_alpha(cfg)
+        for alg in ("ldp", "rle"):
+            t = sweep.metric(alg, "mean_throughput")
+            assert t[-1] > t[0]
+
+
+class TestAblations:
+    def test_ldp_class_ablation(self):
+        out = ldp_class_ablation(n_links=60, n_repetitions=3)
+        assert set(out) == {"one_sided", "two_sided"}
+        # The paper's improvement: one-sided classes never lose.
+        assert out["one_sided"].means[0] >= out["two_sided"].means[0] - 1e-9
+
+    def test_rle_c2_ablation(self):
+        out = rle_c2_ablation(c2_values=(0.25, 0.75), n_links=60, n_repetitions=3)
+        assert len(out.means) == 2
+        assert all(m > 0 for m in out.means)
+
+    def test_approximation_quality(self):
+        q = approximation_quality(n_links=8, n_instances=4)
+        for alg in ("ldp", "rle"):
+            assert q.mean_ratio[alg] >= 1.0 - 1e-9
+            assert q.worst_ratio[alg] >= q.mean_ratio[alg] - 1e-9
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_format_series(self, cfg):
+        sweep = throughput_vs_links(cfg)
+        out = format_series(sweep, "mean_throughput", title="Fig 6a")
+        assert out.startswith("Fig 6a")
+        assert "ldp" in out and "rle" in out
+        # One row per x value.
+        assert len(out.splitlines()) == 3 + len(cfg.n_links_sweep)

@@ -1,0 +1,65 @@
+"""Tests for the reporting formatters."""
+
+import pytest
+
+from repro.experiments.reporting import format_run_summary, format_series, format_table
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        lines = out.splitlines()
+        assert len(lines) == 2  # header + rule only
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456]], float_fmt="{:.1f}")
+        assert "1.2" in out and "1.23456" not in out
+
+    def test_mixed_types(self):
+        out = format_table(["name", "n", "v"], [["rle", 10, 1.5]])
+        assert "rle" in out and "10" in out and "1.500" in out
+
+    def test_right_alignment(self):
+        out = format_table(["col"], [[1], [100]])
+        lines = out.splitlines()
+        # Shorter values are right-padded to the same width.
+        assert lines[2].endswith("1") and lines[3].endswith("100")
+        assert len(lines[2]) == len(lines[3])
+
+
+class TestFormatRunSummary:
+    def test_renders_run_results(self):
+        from repro.core.base import get_scheduler
+        from repro.network.topology import paper_topology
+        from repro.sim.runner import run_schedulers
+
+        out_map = run_schedulers(
+            {"rle": get_scheduler("rle")},
+            lambda seed: paper_topology(30, seed=seed),
+            n_repetitions=1,
+            n_trials=20,
+        )
+        text = format_run_summary(out_map)
+        assert "rle" in text
+        assert "throughput" in text
+        assert len(text.splitlines()) == 3  # header + rule + one row
+
+
+class TestSweepSeriesMetric:
+    def test_unknown_algorithm_raises(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.fig6 import throughput_vs_links
+
+        cfg = ExperimentConfig(n_links_sweep=(20,), n_repetitions=1, n_trials=20)
+        sweep = throughput_vs_links(cfg)
+        with pytest.raises(KeyError):
+            sweep.metric("nope", "mean_failed")
+
+    def test_unknown_field_raises(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.fig6 import throughput_vs_links
+
+        cfg = ExperimentConfig(n_links_sweep=(20,), n_repetitions=1, n_trials=20)
+        sweep = throughput_vs_links(cfg)
+        with pytest.raises(AttributeError):
+            sweep.metric("rle", "not_a_field")

@@ -1,0 +1,85 @@
+"""Tests for the experiment result store."""
+
+import json
+
+import pytest
+
+from repro.experiments.store import ResultStore, config_key
+
+
+class TestConfigKey:
+    def test_deterministic(self):
+        assert config_key("x", {"a": 1}) == config_key("x", {"a": 1})
+
+    def test_order_insensitive(self):
+        assert config_key("x", {"a": 1, "b": 2}) == config_key("x", {"b": 2, "a": 1})
+
+    def test_name_and_params_matter(self):
+        assert config_key("x", {"a": 1}) != config_key("y", {"a": 1})
+        assert config_key("x", {"a": 1}) != config_key("x", {"a": 2})
+
+    def test_tuples_and_numpy_coerced(self):
+        import numpy as np
+
+        k1 = config_key("x", {"sweep": (1, 2), "n": np.int64(5)})
+        k2 = config_key("x", {"sweep": [1, 2], "n": 5})
+        assert k1 == k2
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(TypeError):
+            config_key("x", {"fn": object()})
+
+
+class TestResultStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        calls = []
+
+        def runner():
+            calls.append(1)
+            return {"value": 42}
+
+        payload, cached = store.load_or_run("exp", {"n": 3}, runner)
+        assert payload == {"value": 42} and not cached
+        payload2, cached2 = store.load_or_run("exp", {"n": 3}, runner)
+        assert payload2 == {"value": 42} and cached2
+        assert len(calls) == 1
+
+    def test_different_params_rerun(self, tmp_path):
+        store = ResultStore(tmp_path)
+        counter = {"n": 0}
+
+        def runner():
+            counter["n"] += 1
+            return {"run": counter["n"]}
+
+        store.load_or_run("exp", {"n": 1}, runner)
+        store.load_or_run("exp", {"n": 2}, runner)
+        assert counter["n"] == 2
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = config_key("exp", {})
+        store.path_for(key).write_text("{not json")
+        assert store.get(key) is None
+        payload, cached = store.load_or_run("exp", {}, lambda: {"ok": True})
+        assert payload == {"ok": True} and not cached
+
+    def test_keys_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.load_or_run("a", {}, lambda: {})
+        store.load_or_run("b", {}, lambda: {})
+        assert len(store.keys()) == 2
+        assert store.clear() == 2
+        assert store.keys() == []
+
+    def test_atomic_write_no_tmp_left(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"x": 1})
+        assert not list(tmp_path.glob("*.tmp"))
+        assert json.loads(store.path_for("k").read_text()) == {"x": 1}
+
+    def test_creates_directory(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        ResultStore(nested)
+        assert nested.is_dir()

@@ -1,0 +1,49 @@
+"""Tests for the eps reliability/throughput trade-off driver."""
+
+import pytest
+
+from repro.core.base import get_scheduler
+from repro.experiments.tradeoff import EpsPoint, best_eps, eps_tradeoff
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return eps_tradeoff(
+        {"rle": get_scheduler("rle"), "greedy": get_scheduler("greedy")},
+        eps_values=(0.01, 0.2),
+        n_links=80,
+        n_repetitions=2,
+        n_trials=100,
+    )
+
+
+class TestEpsTradeoff:
+    def test_grid_complete(self, sweep):
+        assert len(sweep) == 4  # 2 eps x 2 schedulers
+        assert {p.algorithm for p in sweep} == {"rle", "greedy"}
+        assert {p.eps for p in sweep} == {0.01, 0.2}
+
+    def test_larger_eps_schedules_more(self, sweep):
+        """Bigger budget -> denser schedules, for every scheduler."""
+        for alg in ("rle", "greedy"):
+            pts = sorted((p for p in sweep if p.algorithm == alg), key=lambda p: p.eps)
+            assert pts[1].mean_scheduled >= pts[0].mean_scheduled
+
+    def test_larger_eps_more_failures(self, sweep):
+        for alg in ("rle", "greedy"):
+            pts = sorted((p for p in sweep if p.algorithm == alg), key=lambda p: p.eps)
+            assert pts[1].mean_failed >= pts[0].mean_failed
+
+    def test_goodput_positive(self, sweep):
+        assert all(p.mean_expected_goodput > 0 for p in sweep)
+
+    def test_best_eps(self, sweep):
+        best = best_eps(sweep, "rle")
+        assert isinstance(best, EpsPoint)
+        assert best.mean_expected_goodput == max(
+            p.mean_expected_goodput for p in sweep if p.algorithm == "rle"
+        )
+
+    def test_best_eps_unknown_algorithm(self, sweep):
+        with pytest.raises(KeyError):
+            best_eps(sweep, "nope")

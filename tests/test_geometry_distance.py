@@ -1,0 +1,81 @@
+"""Tests for repro.geometry.distance."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import (
+    cross_distances,
+    max_pairwise_distance,
+    min_pairwise_distance,
+    pairwise_distances,
+    point_to_points,
+)
+
+
+class TestCrossDistances:
+    def test_known_values(self):
+        a = [[0.0, 0.0], [3.0, 4.0]]
+        b = [[0.0, 0.0]]
+        d = cross_distances(a, b)
+        np.testing.assert_allclose(d, [[0.0], [5.0]])
+
+    def test_shape(self):
+        d = cross_distances(np.zeros((3, 2)), np.ones((4, 2)))
+        assert d.shape == (3, 4)
+
+    def test_matches_naive(self, rng):
+        a = rng.normal(size=(6, 2))
+        b = rng.normal(size=(5, 2))
+        d = cross_distances(a, b)
+        for i in range(6):
+            for j in range(5):
+                assert d[i, j] == pytest.approx(np.linalg.norm(a[i] - b[j]))
+
+    def test_empty(self):
+        d = cross_distances(np.zeros((0, 2)), np.zeros((3, 2)))
+        assert d.shape == (0, 3)
+
+
+class TestPairwiseDistances:
+    def test_symmetric_zero_diag(self, rng):
+        p = rng.normal(size=(7, 2))
+        d = pairwise_distances(p)
+        np.testing.assert_allclose(d, d.T)
+        np.testing.assert_allclose(np.diag(d), 0.0)
+
+    def test_triangle_inequality(self, rng):
+        p = rng.normal(size=(5, 2))
+        d = pairwise_distances(p)
+        for i in range(5):
+            for j in range(5):
+                for k in range(5):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-12
+
+
+class TestPointToPoints:
+    def test_values(self):
+        out = point_to_points([0.0, 0.0], [[3.0, 4.0], [0.0, 1.0]])
+        np.testing.assert_allclose(out, [5.0, 1.0])
+
+    def test_bad_point(self):
+        with pytest.raises(ValueError):
+            point_to_points([0.0], [[1.0, 1.0]])
+
+
+class TestMinMaxPairwise:
+    def test_min(self):
+        p = [[0, 0], [1, 0], [10, 0]]
+        assert min_pairwise_distance(p) == pytest.approx(1.0)
+
+    def test_max(self):
+        p = [[0, 0], [1, 0], [10, 0]]
+        assert max_pairwise_distance(p) == pytest.approx(10.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            min_pairwise_distance([[0.0, 0.0]])
+        with pytest.raises(ValueError):
+            max_pairwise_distance([[0.0, 0.0]])
+
+    def test_coincident_points_min_zero(self):
+        assert min_pairwise_distance([[1, 1], [1, 1], [2, 2]]) == 0.0

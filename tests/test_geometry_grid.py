@@ -1,0 +1,115 @@
+"""Tests for repro.geometry.grid (LDP's partition + colouring)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.grid import GridPartition, four_coloring, ring_cell_count, ring_cells
+
+
+class TestFourColoring:
+    def test_pattern_2x2(self):
+        cells = np.array([[0, 0], [0, 1], [1, 0], [1, 1]])
+        colors = four_coloring(cells)
+        assert sorted(colors.tolist()) == [0, 1, 2, 3]
+
+    def test_adjacent_differ(self):
+        # Every edge-adjacent pair of cells must get different colours.
+        for a in range(4):
+            for b in range(4):
+                c0 = four_coloring(np.array([[a, b]]))[0]
+                for da, db in ((1, 0), (0, 1)):
+                    c1 = four_coloring(np.array([[a + da, b + db]]))[0]
+                    assert c0 != c1
+
+    def test_same_color_even_offsets(self):
+        c0 = four_coloring(np.array([[3, 5]]))[0]
+        c1 = four_coloring(np.array([[5, 9]]))[0]  # offsets (2, 4): both even
+        assert c0 == c1
+
+    def test_negative_indices(self):
+        # Colour must be stable across negative cells (plane tiling).
+        assert four_coloring(np.array([[-2, -2]]))[0] == four_coloring(np.array([[0, 0]]))[0]
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            four_coloring(np.array([1, 2, 3]))
+
+
+class TestGridPartition:
+    def test_cell_of_basic(self):
+        g = GridPartition(10.0)
+        cells = g.cell_of([[5.0, 5.0], [15.0, 25.0], [-0.1, 0.0]])
+        np.testing.assert_array_equal(cells, [[0, 0], [1, 2], [-1, 0]])
+
+    def test_boundary_floor_semantics(self):
+        g = GridPartition(10.0)
+        np.testing.assert_array_equal(g.cell_of([[10.0, 0.0]]), [[1, 0]])
+
+    def test_origin_shift(self):
+        g = GridPartition(10.0, origin=(5.0, 5.0))
+        np.testing.assert_array_equal(g.cell_of([[4.0, 6.0]]), [[-1, 0]])
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            GridPartition(0.0)
+
+    def test_cell_center_roundtrip(self):
+        g = GridPartition(4.0)
+        centers = g.cell_center(np.array([[2, 3]]))
+        np.testing.assert_allclose(centers, [[10.0, 14.0]])
+        np.testing.assert_array_equal(g.cell_of(centers), [[2, 3]])
+
+    def test_color_of_matches_cells(self):
+        g = GridPartition(7.0)
+        pts = np.array([[1.0, 1.0], [8.0, 1.0]])
+        np.testing.assert_array_equal(g.color_of(pts), four_coloring(g.cell_of(pts)))
+
+    def test_same_color_separation(self):
+        g = GridPartition(10.0)
+        # Same cell: zero separation bound.
+        assert g.same_color_separation((0, 0), (0, 0)) == 0.0
+        # Offset (2, 0): at least one empty cell between them.
+        assert g.same_color_separation((0, 0), (2, 0)) == pytest.approx(10.0)
+        assert g.same_color_separation((0, 0), (4, 2)) == pytest.approx(30.0)
+
+    def test_same_color_separation_is_sound(self, rng):
+        """Any two points in same-colour cells are at least the bound apart."""
+        g = GridPartition(5.0)
+        for _ in range(50):
+            ca = tuple(rng.integers(-5, 5, 2))
+            cb = tuple(rng.integers(-5, 5, 2))
+            if (ca[0] - cb[0]) % 2 or (ca[1] - cb[1]) % 2:
+                continue  # different colour
+            pa = np.array(ca) * 5.0 + rng.uniform(0, 5.0, 2)
+            pb = np.array(cb) * 5.0 + rng.uniform(0, 5.0, 2)
+            bound = g.same_color_separation(ca, cb)
+            assert np.linalg.norm(pa - pb) >= bound - 1e-9
+
+
+class TestRingCells:
+    def test_ring_zero(self):
+        assert list(ring_cells((2, 3), 0)) == [(2, 3)]
+
+    @pytest.mark.parametrize("q", [1, 2, 3, 5])
+    def test_ring_count(self, q):
+        cells = list(ring_cells((0, 0), q))
+        assert len(cells) == ring_cell_count(q) == 8 * q
+        assert len(set(cells)) == len(cells)  # no duplicates
+
+    @pytest.mark.parametrize("q", [1, 2, 4])
+    def test_ring_chebyshev_distance(self, q):
+        for a, b in ring_cells((1, -1), q):
+            assert max(abs(a - 1), abs(b + 1)) == q
+
+    def test_rings_partition_square(self):
+        # Rings 0..3 should exactly tile the 7x7 square around centre.
+        cells = set()
+        for q in range(4):
+            cells.update(ring_cells((0, 0), q))
+        assert cells == {(a, b) for a in range(-3, 4) for b in range(-3, 4)}
+
+    def test_negative_q(self):
+        with pytest.raises(ValueError):
+            list(ring_cells((0, 0), -1))
+        with pytest.raises(ValueError):
+            ring_cell_count(-2)

@@ -1,0 +1,80 @@
+"""Tests for repro.geometry.points."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import as_points, bounding_box, points_on_segment, translate
+
+
+class TestAsPoints:
+    def test_passthrough(self):
+        p = as_points([[0.0, 1.0], [2.0, 3.0]])
+        assert p.shape == (2, 2)
+        assert p.dtype == float
+
+    def test_single_point_promoted(self):
+        p = as_points([1.0, 2.0])
+        assert p.shape == (1, 2)
+
+    def test_empty_ok(self):
+        p = as_points(np.zeros((0, 2)))
+        assert p.shape == (0, 2)
+
+    def test_wrong_width(self):
+        with pytest.raises(ValueError):
+            as_points([[1.0, 2.0, 3.0]])
+
+    def test_wrong_single(self):
+        with pytest.raises(ValueError):
+            as_points([1.0, 2.0, 3.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            as_points([[np.nan, 0.0]])
+
+    def test_integer_input_coerced(self):
+        p = as_points([[1, 2]])
+        assert p.dtype == float
+
+
+class TestBoundingBox:
+    def test_basic(self):
+        assert bounding_box([[0, 0], [2, 3], [-1, 1]]) == (-1.0, 0.0, 2.0, 3.0)
+
+    def test_single_point(self):
+        assert bounding_box([5.0, 7.0]) == (5.0, 7.0, 5.0, 7.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bounding_box(np.zeros((0, 2)))
+
+
+class TestTranslate:
+    def test_offset_applied(self):
+        out = translate([[1.0, 1.0]], [2.0, -1.0])
+        np.testing.assert_allclose(out, [[3.0, 0.0]])
+
+    def test_returns_copy(self):
+        p = np.array([[0.0, 0.0]])
+        out = translate(p, [1.0, 1.0])
+        assert out is not p
+        np.testing.assert_array_equal(p, [[0.0, 0.0]])
+
+    def test_bad_offset_shape(self):
+        with pytest.raises(ValueError):
+            translate([[0.0, 0.0]], [1.0])
+
+
+class TestPointsOnSegment:
+    def test_endpoints_included(self):
+        pts = points_on_segment([0, 0], [10, 0], 5)
+        np.testing.assert_allclose(pts[0], [0, 0])
+        np.testing.assert_allclose(pts[-1], [10, 0])
+
+    def test_even_spacing(self):
+        pts = points_on_segment([0, 0], [3, 0], 4)
+        np.testing.assert_allclose(pts[:, 0], [0, 1, 2, 3])
+
+    def test_min_count(self):
+        with pytest.raises(ValueError):
+            points_on_segment([0, 0], [1, 1], 1)

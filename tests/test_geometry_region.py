@@ -1,0 +1,80 @@
+"""Tests for repro.geometry.region."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.region import Region
+
+
+class TestConstruction:
+    def test_square(self):
+        r = Region.square(500.0)
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (0.0, 0.0, 500.0, 500.0)
+
+    def test_square_with_origin(self):
+        r = Region.square(10.0, origin=(5.0, -5.0))
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (5.0, -5.0, 15.0, 5.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Region(0, 0, 0, 10)
+        with pytest.raises(ValueError):
+            Region.square(-1.0)
+
+    def test_dimensions(self):
+        r = Region(1, 2, 4, 6)
+        assert r.width == 3 and r.height == 4
+        assert r.area == 12
+        assert r.diagonal == pytest.approx(5.0)
+
+
+class TestContains:
+    def test_inside_outside(self):
+        r = Region.square(10.0)
+        mask = r.contains([[5.0, 5.0], [11.0, 5.0], [0.0, 0.0]])
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+    def test_tolerance(self):
+        r = Region.square(10.0)
+        assert not r.contains([[10.5, 5.0]])[0]
+        assert r.contains([[10.5, 5.0]], tol=1.0)[0]
+
+
+class TestSampling:
+    def test_count_and_bounds(self):
+        r = Region.square(500.0)
+        pts = r.sample_uniform(1000, seed=0)
+        assert pts.shape == (1000, 2)
+        assert r.contains(pts).all()
+
+    def test_reproducible(self):
+        r = Region.square(100.0)
+        np.testing.assert_array_equal(r.sample_uniform(10, seed=5), r.sample_uniform(10, seed=5))
+
+    def test_zero(self):
+        assert Region.square(1.0).sample_uniform(0).shape == (0, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Region.square(1.0).sample_uniform(-1)
+
+    def test_covers_region_roughly_uniformly(self):
+        r = Region(10, 20, 20, 40)
+        pts = r.sample_uniform(4000, seed=1)
+        # Mean should be near the centre.
+        assert np.allclose(pts.mean(axis=0), [15.0, 30.0], atol=1.0)
+
+
+class TestClampExpand:
+    def test_clamp(self):
+        r = Region.square(10.0)
+        out = r.clamp([[-5.0, 5.0], [15.0, 12.0]])
+        np.testing.assert_allclose(out, [[0.0, 5.0], [10.0, 10.0]])
+
+    def test_expanded(self):
+        r = Region.square(10.0).expanded(2.0)
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == (-2.0, -2.0, 12.0, 12.0)
+
+    def test_expand_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Region.square(1.0).expanded(-0.1)

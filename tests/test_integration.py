@@ -1,0 +1,156 @@
+"""Cross-module integration tests.
+
+These tie the whole pipeline together: topology -> problem -> scheduler
+-> simulator, checking the paper's *claims* rather than any one module's
+contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FadingRLS,
+    approx_diversity_schedule,
+    approx_logn_schedule,
+    ldp_schedule,
+    paper_topology,
+    rle_schedule,
+    simulate_schedule,
+)
+
+
+class TestPaperStoryEndToEnd:
+    """One mid-size instance; the full Fig. 5/6 narrative must hold."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        links = paper_topology(300, seed=11)
+        problem = FadingRLS(links=links, alpha=3.0, gamma_th=1.0, eps=0.01)
+        schedules = {
+            "ldp": ldp_schedule(problem),
+            "rle": rle_schedule(problem),
+            "approx_logn": approx_logn_schedule(problem),
+            "approx_diversity": approx_diversity_schedule(problem),
+        }
+        results = {
+            name: simulate_schedule(problem, s, n_trials=2000, seed=i)
+            for i, (name, s) in enumerate(schedules.items())
+        }
+        return problem, schedules, results
+
+    def test_fading_resistant_low_failures(self, setup):
+        _, schedules, results = setup
+        for name in ("ldp", "rle"):
+            r = results[name]
+            # Failure probability per link <= eps: tiny mean counts.
+            assert r.mean_failed <= 0.01 * schedules[name].size + 0.2
+
+    def test_baselines_substantial_failures(self, setup):
+        _, _, results = setup
+        assert results["approx_diversity"].mean_failed > 1.0
+        assert results["approx_logn"].mean_failed > results["ldp"].mean_failed
+
+    def test_rle_throughput_beats_ldp(self, setup):
+        _, _, results = setup
+        assert results["rle"].mean_throughput >= results["ldp"].mean_throughput
+
+    def test_per_link_success_meets_eps_contract(self, setup):
+        problem, schedules, results = setup
+        for name in ("ldp", "rle"):
+            # Every scheduled link decodes w.p. >= 1 - eps (allow MC noise).
+            assert (results[name].per_link_success >= 1 - problem.eps - 0.02).all()
+
+    def test_failure_rate_ordering(self, setup):
+        _, _, results = setup
+        assert results["approx_diversity"].failure_rate > results["rle"].failure_rate
+
+
+class TestAlphaShapeEndToEnd:
+    """Fig. 5(b)/6(b) shapes on a single seed."""
+
+    def test_baseline_failures_decrease_with_alpha(self):
+        fails = []
+        for alpha in (2.5, 4.5):
+            links = paper_topology(300, seed=21)
+            p = FadingRLS(links=links, alpha=alpha)
+            s = approx_diversity_schedule(p)
+            r = simulate_schedule(p, s, n_trials=1000, seed=1)
+            fails.append(r.failure_rate)
+        assert fails[1] < fails[0]
+
+    def test_our_throughput_increases_with_alpha(self):
+        tp = []
+        for alpha in (2.5, 4.5):
+            links = paper_topology(300, seed=22)
+            p = FadingRLS(links=links, alpha=alpha)
+            r = simulate_schedule(p, rle_schedule(p), n_trials=500, seed=2)
+            tp.append(r.mean_throughput)
+        assert tp[1] > tp[0]
+
+
+class TestThroughputScalesWithN:
+    def test_rle_monotone_in_n(self):
+        tp = []
+        for n in (100, 500):
+            links = paper_topology(n, seed=23)
+            p = FadingRLS(links=links)
+            r = simulate_schedule(p, rle_schedule(p), n_trials=300, seed=3)
+            tp.append(r.mean_throughput)
+        assert tp[1] > tp[0]
+
+
+class TestAnalyticVsMonteCarlo:
+    """The simulator and Theorem 3.1 must tell the same story."""
+
+    def test_expected_throughput_agreement(self):
+        links = paper_topology(200, seed=31)
+        p = FadingRLS(links=links)
+        s = approx_diversity_schedule(p)  # dense, interesting interference
+        r = simulate_schedule(p, s, n_trials=30_000, seed=4)
+        analytic = p.expected_throughput(s.active)
+        assert r.mean_throughput == pytest.approx(analytic, rel=0.02)
+
+    def test_mean_failed_agreement(self):
+        links = paper_topology(200, seed=32)
+        p = FadingRLS(links=links)
+        s = approx_logn_schedule(p)
+        r = simulate_schedule(p, s, n_trials=30_000, seed=5)
+        probs = p.success_probabilities(s.active)[s.active]
+        analytic_failures = float((1 - probs).sum())
+        assert r.mean_failed == pytest.approx(analytic_failures, rel=0.05, abs=0.05)
+
+
+class TestHardnessPipelineEndToEnd:
+    def test_knapsack_through_milp(self):
+        """Reduction + MILP solver: a different exact path than B&B."""
+        from repro.core.exact import milp_schedule
+        from repro.core.reduction import (
+            KnapsackInstance,
+            solve_knapsack_dp,
+            solve_knapsack_via_scheduling,
+        )
+
+        rng = np.random.default_rng(41)
+        inst = KnapsackInstance(
+            values=rng.integers(1, 30, 7).astype(float),
+            weights=rng.integers(1, 12, 7).astype(float),
+            capacity=25.0,
+        )
+        v_dp, _ = solve_knapsack_dp(inst)
+        v_milp, _ = solve_knapsack_via_scheduling(inst, milp_schedule)
+        assert v_milp == pytest.approx(v_dp)
+
+
+class TestMultislotEndToEnd:
+    def test_all_links_eventually_served_and_simulated(self):
+        from repro.core.multislot import multislot_schedule
+
+        links = paper_topology(80, seed=51)
+        p = FadingRLS(links=links)
+        ms = multislot_schedule(p, rle_schedule)
+        served = 0.0
+        for slot in ms.slots:
+            r = simulate_schedule(p, slot, n_trials=200, seed=6)
+            served += r.mean_throughput
+        # Nearly every link's unit rate is delivered across slots.
+        assert served >= 0.97 * p.links.rates.sum()

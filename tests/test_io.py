@@ -1,0 +1,126 @@
+"""Tests for repro.io (LinkSet and result persistence)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.rle import rle_schedule
+from repro.io.linksets import (
+    linkset_from_csv,
+    linkset_from_json,
+    linkset_to_csv,
+    linkset_to_json,
+)
+from repro.io.results import schedule_to_dict, sweep_to_dict, write_json
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology, random_rates_topology
+
+
+class TestCsvRoundtrip:
+    def test_exact_roundtrip(self, tmp_path):
+        links = random_rates_topology(40, seed=0)
+        path = tmp_path / "links.csv"
+        linkset_to_csv(links, path)
+        back = linkset_from_csv(path)
+        np.testing.assert_array_equal(back.senders, links.senders)
+        np.testing.assert_array_equal(back.receivers, links.receivers)
+        np.testing.assert_array_equal(back.rates, links.rates)
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        linkset_to_csv(LinkSet.empty(), path)
+        assert len(linkset_from_csv(path)) == 0
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            linkset_from_csv(path)
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("sx,sy,rx,ry,rate\n1,2,3\n")
+        with pytest.raises(ValueError, match="5 fields"):
+            linkset_from_csv(path)
+
+    def test_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("sx,sy,rx,ry,rate\n1,2,3,4,x\n")
+        with pytest.raises(ValueError):
+            linkset_from_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "nothing.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            linkset_from_csv(path)
+
+
+class TestJsonRoundtrip:
+    def test_exact_roundtrip(self, tmp_path):
+        links = random_rates_topology(25, seed=1)
+        path = tmp_path / "links.json"
+        linkset_to_json(links, path)
+        back = linkset_from_json(path)
+        np.testing.assert_array_equal(back.senders, links.senders)
+        np.testing.assert_array_equal(back.rates, links.rates)
+
+    def test_default_rate(self, tmp_path):
+        path = tmp_path / "links.json"
+        path.write_text(json.dumps({"links": [{"sender": [0, 0], "receiver": [1, 0]}]}))
+        back = linkset_from_json(path)
+        assert back.rates[0] == 1.0
+
+    def test_missing_links_key(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError, match="links"):
+            linkset_from_json(path)
+
+    def test_malformed_entry(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"links": [{"sender": [0, 0]}]}))
+        with pytest.raises(ValueError, match="malformed"):
+            linkset_from_json(path)
+
+
+class TestResultSerialisation:
+    def test_schedule_to_dict_full(self):
+        from repro.core.problem import FadingRLS
+        from repro.sim.montecarlo import simulate_schedule
+
+        p = FadingRLS(links=paper_topology(30, seed=0))
+        s = rle_schedule(p)
+        r = simulate_schedule(p, s, n_trials=50, seed=1)
+        d = schedule_to_dict(s, p, r)
+        assert d["algorithm"] == "rle"
+        assert d["feasible"] is True
+        assert d["simulation"]["n_trials"] == 50
+        # Everything must be JSON-encodable.
+        json.dumps(d)
+
+    def test_schedule_to_dict_minimal(self):
+        from repro.core.schedule import Schedule
+
+        d = schedule_to_dict(Schedule(active=np.array([1, 2])))
+        assert d["size"] == 2 and "feasible" not in d
+        json.dumps(d)
+
+    def test_sweep_to_dict(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.fig6 import throughput_vs_links
+
+        cfg = ExperimentConfig(
+            n_links_sweep=(20,), n_repetitions=1, n_trials=20
+        )
+        sweep = throughput_vs_links(cfg)
+        d = sweep_to_dict(sweep)
+        assert d["x_values"] == [20.0]
+        assert set(d["series"]) == {"ldp", "rle"}
+        json.dumps(d)
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        write_json({"a": 1}, path)
+        assert json.loads(path.read_text()) == {"a": 1}

@@ -1,0 +1,102 @@
+"""Tests for first-fit packing and the exact slot minimiser."""
+
+import numpy as np
+import pytest
+
+from repro.core.multislot import (
+    exact_min_slots,
+    first_fit_multislot,
+    multislot_lower_bound,
+    multislot_schedule,
+)
+from repro.core.problem import FadingRLS
+from repro.core.rle import rle_schedule
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology
+
+
+class TestFirstFit:
+    @pytest.mark.parametrize("order", ["length", "rate", "random"])
+    def test_covers_disjointly(self, order):
+        p = FadingRLS(links=paper_topology(80, seed=0))
+        ms = first_fit_multislot(p, order=order, seed=0)
+        assignment = ms.slot_of(p.n_links)
+        assert (assignment >= 0).all()
+
+    @pytest.mark.parametrize("order", ["length", "rate"])
+    def test_each_slot_feasible(self, order):
+        p = FadingRLS(links=paper_topology(80, seed=1))
+        ms = first_fit_multislot(p, order=order)
+        for slot in ms.slots:
+            assert p.is_feasible(slot.active)
+
+    def test_fewer_slots_than_rle_covering(self):
+        """First-fit packs much denser than RLE covering."""
+        p = FadingRLS(links=paper_topology(100, seed=2))
+        ff = first_fit_multislot(p).n_slots
+        cover = multislot_schedule(p, rle_schedule).n_slots
+        assert ff < cover
+
+    def test_at_least_lower_bound(self):
+        for seed in range(3):
+            p = FadingRLS(links=paper_topology(60, seed=seed))
+            assert first_fit_multislot(p).n_slots >= multislot_lower_bound(p)
+
+    def test_empty(self):
+        p = FadingRLS(links=LinkSet.empty())
+        assert first_fit_multislot(p).n_slots == 0
+
+    def test_unknown_order(self):
+        p = FadingRLS(links=paper_topology(5, seed=0))
+        with pytest.raises(ValueError, match="order"):
+            first_fit_multislot(p, order="alphabetical")
+
+    def test_unserviceable_rejected(self):
+        p = FadingRLS(links=paper_topology(10, seed=0), noise=1.0)
+        with pytest.raises(ValueError, match="unserviceable"):
+            first_fit_multislot(p)
+
+    def test_feasible_with_noise(self):
+        p = FadingRLS(links=paper_topology(60, seed=3), noise=0.002 / 20.0**3)
+        ms = first_fit_multislot(p)
+        for slot in ms.slots:
+            assert p.is_feasible(slot.active)
+
+
+class TestExactMinSlots:
+    def test_limit_guard(self):
+        p = FadingRLS(links=paper_topology(20, seed=0))
+        with pytest.raises(ValueError, match="limit"):
+            exact_min_slots(p)
+
+    def test_matches_or_beats_first_fit(self):
+        for seed in range(4):
+            p = FadingRLS(links=paper_topology(8, region_side=100, seed=seed))
+            exact = exact_min_slots(p)
+            ff = first_fit_multislot(p)
+            assert exact.n_slots <= ff.n_slots
+            # Coverage and feasibility of the exact solution.
+            assert (exact.slot_of(p.n_links) >= 0).all()
+            for slot in exact.slots:
+                assert p.is_feasible(slot.active)
+
+    def test_respects_lower_bound(self):
+        for seed in range(3):
+            p = FadingRLS(links=paper_topology(8, region_side=100, seed=seed))
+            assert exact_min_slots(p).n_slots >= multislot_lower_bound(p)
+
+    def test_independent_links_one_slot(self):
+        p = FadingRLS(links=paper_topology(6, region_side=5000, seed=0))
+        assert exact_min_slots(p).n_slots == 1
+
+    def test_stacked_links_n_slots(self):
+        """Fully conflicting links need one slot each."""
+        n = 4
+        senders = np.array([[0.0, float(i)] for i in range(n)])
+        receivers = senders + np.array([10.0, 0.0])
+        p = FadingRLS(links=LinkSet(senders=senders, receivers=receivers))
+        assert exact_min_slots(p).n_slots == n
+
+    def test_empty(self):
+        p = FadingRLS(links=LinkSet.empty())
+        assert exact_min_slots(p).n_slots == 0

@@ -1,0 +1,111 @@
+"""Tests for repro.network.diversity (Definition 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.network.diversity import (
+    class_length_bound,
+    length_classes,
+    length_diversity,
+    length_diversity_set,
+    length_magnitudes,
+)
+from repro.network.links import LinkSet
+
+
+def linkset_with_lengths(lengths):
+    lengths = np.asarray(lengths, dtype=float)
+    n = lengths.shape[0]
+    senders = np.column_stack([np.arange(n) * 1000.0, np.zeros(n)])
+    receivers = senders + np.column_stack([lengths, np.zeros(n)])
+    return LinkSet(senders=senders, receivers=receivers)
+
+
+class TestLengthMagnitudes:
+    def test_uniform_lengths_magnitude_zero(self):
+        np.testing.assert_array_equal(length_magnitudes(np.array([5.0, 5.0, 5.0])), 0)
+
+    def test_doubling(self):
+        mags = length_magnitudes(np.array([1.0, 2.0, 4.0, 8.0]))
+        np.testing.assert_array_equal(mags, [0, 1, 2, 3])
+
+    def test_interior_of_octave(self):
+        mags = length_magnitudes(np.array([1.0, 1.5, 1.99, 2.01]))
+        np.testing.assert_array_equal(mags, [0, 0, 0, 1])
+
+    def test_power_of_two_boundary(self):
+        # Exactly 2x the minimum belongs to magnitude 1 despite float noise.
+        mags = length_magnitudes(np.array([3.0, 6.0]))
+        np.testing.assert_array_equal(mags, [0, 1])
+
+    def test_empty(self):
+        assert length_magnitudes(np.zeros(0)).size == 0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            length_magnitudes(np.array([1.0, 0.0]))
+
+
+class TestDiversity:
+    def test_paper_range_is_two(self):
+        # Lengths in [5, 20]: ratios up to 4 -> magnitudes {0, 1, (2)}.
+        ls = linkset_with_lengths([5.0, 9.0, 11.0, 19.0])
+        assert length_diversity_set(ls) == [0, 1]
+        assert length_diversity(ls) == 2
+
+    def test_single_link(self):
+        ls = linkset_with_lengths([7.0])
+        assert length_diversity(ls) == 1
+
+    def test_gaps_in_magnitudes(self):
+        ls = linkset_with_lengths([1.0, 100.0])
+        # floor(log2(100)) = 6: magnitudes {0, 6}, diversity 2.
+        assert length_diversity_set(ls) == [0, 6]
+        assert length_diversity(ls) == 2
+
+    def test_accepts_raw_array(self):
+        assert length_diversity(np.array([1.0, 2.0, 4.0])) == 3
+
+    def test_empty(self):
+        assert length_diversity(np.zeros(0)) == 0
+
+
+class TestLengthClasses:
+    def test_one_sided_nested(self):
+        ls = linkset_with_lengths([1.0, 2.0, 4.0])
+        classes = length_classes(ls, two_sided=False)
+        # Class h contains all links with magnitude <= h: nested growth.
+        assert [len(c) for c in classes] == [1, 2, 3]
+        for smaller, larger in zip(classes, classes[1:]):
+            assert set(smaller) <= set(larger)
+
+    def test_two_sided_partition(self):
+        ls = linkset_with_lengths([1.0, 1.5, 2.0, 4.0])
+        classes = length_classes(ls, two_sided=True)
+        all_indices = np.concatenate(classes)
+        assert sorted(all_indices.tolist()) == [0, 1, 2, 3]
+        # Two-sided classes are disjoint.
+        assert len(set(all_indices.tolist())) == 4
+
+    def test_one_sided_largest_class_is_everything(self):
+        ls = linkset_with_lengths([3.0, 5.0, 17.0, 29.0])
+        classes = length_classes(ls, two_sided=False)
+        assert len(classes[-1]) == 4
+
+    def test_class_respects_length_bound(self):
+        ls = linkset_with_lengths([2.0, 3.0, 7.0, 30.0])
+        classes = length_classes(ls, two_sided=False)
+        for h, idx in zip(length_diversity_set(ls), classes):
+            bound = class_length_bound(ls, h)
+            assert (ls.lengths[idx] < bound + 1e-9).all()
+
+
+class TestClassLengthBound:
+    def test_value(self):
+        ls = linkset_with_lengths([4.0, 8.0])
+        assert class_length_bound(ls, 0) == pytest.approx(8.0)
+        assert class_length_bound(ls, 1) == pytest.approx(16.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            class_length_bound(LinkSet.empty(), 0)

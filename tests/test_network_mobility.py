@@ -1,0 +1,81 @@
+"""Tests for the random-waypoint mobility workload."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.network.mobility import random_waypoint_trace, schedule_churn
+
+
+class TestRandomWaypointTrace:
+    def test_step_count_and_sizes(self):
+        trace = random_waypoint_trace(30, 5, seed=0)
+        assert len(trace) == 5
+        assert all(len(ls) == 30 for ls in trace)
+
+    def test_link_lengths_constant(self):
+        trace = random_waypoint_trace(20, 10, seed=1)
+        first = trace[0].lengths
+        for ls in trace[1:]:
+            np.testing.assert_allclose(ls.lengths, first)
+
+    def test_positions_actually_move(self):
+        trace = random_waypoint_trace(20, 10, speed_range=(3.0, 5.0), seed=2)
+        moved = np.linalg.norm(trace[-1].senders - trace[0].senders, axis=1)
+        assert (moved > 0).all()
+
+    def test_speed_bounds_per_step(self):
+        trace = random_waypoint_trace(15, 20, speed_range=(2.0, 4.0), dt=1.0, seed=3)
+        for a, b in zip(trace, trace[1:]):
+            step = np.linalg.norm(b.senders - a.senders, axis=1)
+            assert (step <= 4.0 + 1e-9).all()
+
+    def test_reproducible(self):
+        a = random_waypoint_trace(10, 4, seed=7)
+        b = random_waypoint_trace(10, 4, seed=7)
+        for la, lb in zip(a, b):
+            np.testing.assert_array_equal(la.senders, lb.senders)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_waypoint_trace(10, 0)
+        with pytest.raises(ValueError):
+            random_waypoint_trace(10, 5, speed_range=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            random_waypoint_trace(10, 5, speed_range=(0.0, 1.0))
+
+
+class TestScheduleChurn:
+    def test_identical_schedules_zero(self):
+        s = Schedule(active=np.array([1, 2, 3]))
+        assert schedule_churn([s, s, s]) == [0.0, 0.0]
+
+    def test_disjoint_schedules_one(self):
+        a = Schedule(active=np.array([0, 1]))
+        b = Schedule(active=np.array([2, 3]))
+        assert schedule_churn([a, b]) == [1.0]
+
+    def test_partial_overlap(self):
+        a = Schedule(active=np.array([0, 1, 2]))
+        b = Schedule(active=np.array([1, 2, 3]))
+        assert schedule_churn([a, b])[0] == pytest.approx(0.5)
+
+    def test_empty_pair(self):
+        a = Schedule.empty()
+        assert schedule_churn([a, a]) == [0.0]
+
+    def test_end_to_end_mobility_scheduling(self):
+        """Schedules over a mobility trace stay feasible; churn is bounded."""
+        from repro.core.problem import FadingRLS
+        from repro.core.rle import rle_schedule
+
+        trace = random_waypoint_trace(60, 6, speed_range=(2.0, 6.0), seed=4)
+        schedules = []
+        for links in trace:
+            p = FadingRLS(links=links)
+            s = rle_schedule(p)
+            assert p.is_feasible(s.active)
+            schedules.append(s)
+        churn = schedule_churn(schedules)
+        assert len(churn) == 5
+        assert all(0.0 <= c <= 1.0 for c in churn)

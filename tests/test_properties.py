@@ -1,0 +1,258 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Strategies generate random geometries and channel parameters; the
+properties are the paper's structural facts:
+
+- feasibility is hereditary (Cor. 3.1's budget is monotone in the set),
+- the interference factor matrix is the log1p of the affectance matrix,
+- success probabilities from Thm 3.1 multiply over interferers,
+- every scheduler's output is feasible and within the link set,
+- the knapsack DP is exact against enumeration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.problem import FadingRLS, gamma_epsilon, interference_factors
+from repro.network.links import LinkSet
+
+# -- strategies ------------------------------------------------------
+
+
+@st.composite
+def link_sets(draw, min_links=1, max_links=12, region=200.0):
+    """Random LinkSets with positive link lengths."""
+    n = draw(st.integers(min_links, max_links))
+    coords = draw(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=(n, 2),
+            elements=st.floats(0.0, region, allow_nan=False, width=64),
+        )
+    )
+    lengths = draw(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=(n,),
+            elements=st.floats(1.0, 30.0, allow_nan=False, width=64),
+        )
+    )
+    angles = draw(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=(n,),
+            elements=st.floats(0.0, 2 * np.pi, allow_nan=False, width=64),
+        )
+    )
+    receivers = coords + np.column_stack(
+        [lengths * np.cos(angles), lengths * np.sin(angles)]
+    )
+    # Distinct-node sanity: interference factors blow up if an
+    # interfering sender sits exactly on a victim receiver; nudge.
+    from repro.geometry.distance import cross_distances
+
+    d = cross_distances(coords, receivers)
+    assume(d.min() > 1e-6)
+    return LinkSet(senders=coords, receivers=receivers)
+
+
+@st.composite
+def problems(draw, **kwargs):
+    links = draw(link_sets(**kwargs))
+    alpha = draw(st.floats(2.1, 6.0))
+    gamma_th = draw(st.floats(0.1, 4.0))
+    eps = draw(st.floats(0.001, 0.2))
+    return FadingRLS(links=links, alpha=alpha, gamma_th=gamma_th, eps=eps)
+
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# -- invariants ------------------------------------------------------
+
+
+class TestInterferenceInvariants:
+    @COMMON
+    @given(problems())
+    def test_matrix_nonnegative_zero_diagonal(self, problem):
+        f = problem.interference_matrix()
+        assert (f >= 0).all()
+        assert (np.diag(f) == 0).all()
+
+    @COMMON
+    @given(problems())
+    def test_log1p_affectance_identity(self, problem):
+        from repro.core.baselines.deterministic import affectance_matrix
+
+        np.testing.assert_allclose(
+            problem.interference_matrix(), np.log1p(affectance_matrix(problem)),
+            rtol=1e-10, atol=1e-12,
+        )
+
+    @COMMON
+    @given(problems(), st.integers(0, 2**31))
+    def test_feasibility_hereditary(self, problem, seed):
+        """Removing a link never breaks feasibility."""
+        rng = np.random.default_rng(seed)
+        n = problem.n_links
+        mask = rng.uniform(size=n) < 0.5
+        active = np.flatnonzero(mask)
+        if active.size == 0 or not problem.is_feasible(active):
+            assume(False)
+        drop = rng.integers(0, active.size)
+        subset = np.delete(active, drop)
+        assert problem.is_feasible(subset)
+
+    @COMMON
+    @given(problems())
+    def test_interference_additive_over_senders(self, problem):
+        """interference_on(P) == sum of single-sender interference."""
+        n = problem.n_links
+        total = problem.interference_on(np.arange(n))
+        acc = np.zeros(n)
+        for i in range(n):
+            acc += problem.interference_on([i])
+        np.testing.assert_allclose(total, acc, rtol=1e-9, atol=1e-12)
+
+    @COMMON
+    @given(problems())
+    def test_success_probability_exp_identity(self, problem):
+        """Thm 3.1: success prob == exp(-summed interference factors)."""
+        n = problem.n_links
+        active = np.arange(n)
+        probs = problem.success_probabilities(active)
+        inf = problem.interference_on(active)
+        np.testing.assert_allclose(probs, np.exp(-inf), rtol=1e-9)
+
+    @COMMON
+    @given(problems())
+    def test_eps_monotone_feasibility(self, problem):
+        """Raising eps (bigger budget) keeps feasible sets feasible."""
+        n = problem.n_links
+        active = np.arange(n)
+        if not problem.is_feasible(active):
+            assume(False)
+        looser = problem.with_params(eps=min(0.5, problem.eps * 2))
+        assert looser.is_feasible(active)
+
+
+class TestSchedulerProperties:
+    @COMMON
+    @given(problems(max_links=20))
+    def test_ldp_output_feasible(self, problem):
+        from repro.core.ldp import ldp_schedule
+
+        s = ldp_schedule(problem)
+        assert s.size >= 1
+        assert problem.is_feasible(s.active)
+
+    @COMMON
+    @given(problems(max_links=20))
+    def test_rle_output_feasible(self, problem):
+        from repro.core.rle import rle_schedule
+
+        s = rle_schedule(problem)
+        assert s.size >= 1
+        assert problem.is_feasible(s.active)
+
+    @COMMON
+    @given(problems(max_links=20), st.integers(0, 2**31))
+    def test_dls_output_feasible(self, problem, seed):
+        from repro.core.dls import dls_schedule
+
+        s = dls_schedule(problem, seed=seed)
+        assert problem.is_feasible(s.active)
+
+    @COMMON
+    @given(problems(max_links=20))
+    def test_greedy_output_feasible_and_maximal(self, problem):
+        from repro.core.baselines.naive import greedy_fading_schedule
+
+        s = greedy_fading_schedule(problem)
+        assert problem.is_feasible(s.active)
+        mask = s.mask(problem.n_links)
+        for i in np.flatnonzero(~mask):
+            assert not problem.is_feasible(np.append(s.active, i))
+
+    @COMMON
+    @given(problems(max_links=10))
+    def test_exact_solvers_agree(self, problem):
+        from repro.core.exact import branch_and_bound_schedule, brute_force_schedule
+
+        bf = problem.scheduled_rate(brute_force_schedule(problem).active)
+        bb = problem.scheduled_rate(branch_and_bound_schedule(problem).active)
+        assert bb == pytest.approx(bf, rel=1e-12)
+
+    @COMMON
+    @given(problems(max_links=10))
+    def test_heuristics_never_beat_optimum(self, problem):
+        from repro.core.exact import branch_and_bound_schedule
+        from repro.core.ldp import ldp_schedule
+        from repro.core.rle import rle_schedule
+
+        opt = problem.scheduled_rate(branch_and_bound_schedule(problem).active)
+        assert problem.scheduled_rate(ldp_schedule(problem).active) <= opt + 1e-9
+        assert problem.scheduled_rate(rle_schedule(problem).active) <= opt + 1e-9
+
+
+class TestGammaEpsilon:
+    @given(st.floats(1e-6, 1 - 1e-6))
+    def test_positive_and_monotone(self, eps):
+        g = gamma_epsilon(eps)
+        assert g > 0
+        assert gamma_epsilon(min(eps * 1.5, 1 - 1e-9)) >= g
+
+    @given(st.floats(1e-6, 0.5))
+    def test_small_eps_approximation(self, eps):
+        """gamma_eps ~ eps for small eps (ln(1/(1-e)) = e + O(e^2))."""
+        g = gamma_epsilon(eps)
+        assert eps <= g <= eps / (1 - eps) + 1e-12
+
+
+class TestKnapsackDp:
+    @COMMON
+    @given(
+        st.integers(1, 10),
+        st.integers(0, 2**31),
+    )
+    def test_dp_matches_enumeration(self, n, seed):
+        from repro.core.reduction import (
+            KnapsackInstance,
+            solve_knapsack_brute,
+            solve_knapsack_dp,
+        )
+
+        rng = np.random.default_rng(seed)
+        inst = KnapsackInstance(
+            values=rng.integers(1, 50, n).astype(float),
+            weights=rng.integers(1, 20, n).astype(float),
+            capacity=float(rng.integers(1, 60)),
+        )
+        v_dp, chosen = solve_knapsack_dp(inst)
+        v_bf, _ = solve_knapsack_brute(inst)
+        assert v_dp == pytest.approx(v_bf)
+        assert inst.weights[chosen].sum() <= inst.capacity + 1e-9
+
+
+class TestInterferenceFactorsFunction:
+    @given(
+        st.floats(2.1, 6.0),
+        st.floats(0.1, 4.0),
+        st.floats(1.0, 50.0),
+        st.floats(1.0, 500.0),
+    )
+    def test_two_link_closed_form(self, alpha, gamma_th, own, cross):
+        d = np.array([[own, cross], [cross, own]])
+        f = interference_factors(d, alpha, gamma_th)
+        expected = np.log1p(gamma_th * (own / cross) ** alpha)
+        assert f[0, 1] == pytest.approx(expected, rel=1e-10)
+        assert f[1, 0] == pytest.approx(expected, rel=1e-10)

@@ -1,0 +1,124 @@
+"""Property-based tests for the noise / power model extensions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import FadingRLS
+from tests.test_properties import link_sets
+
+COMMON = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestPowerInvariance:
+    @COMMON
+    @given(link_sets(), st.floats(0.1, 100.0))
+    def test_uniform_power_scaling_is_noop_without_noise(self, links, scale):
+        """With N0 = 0 only power *ratios* matter: scaling all powers
+        leaves the interference matrix and feasibility untouched."""
+        base = FadingRLS(links=links)
+        scaled = FadingRLS(links=links, power=scale)
+        np.testing.assert_allclose(
+            base.interference_matrix(), scaled.interference_matrix(), rtol=1e-12
+        )
+        active = np.arange(len(links))
+        assert base.is_feasible(active) == scaled.is_feasible(active)
+
+    @COMMON
+    @given(link_sets(), st.floats(1.5, 50.0))
+    def test_power_scaling_helps_under_noise(self, links, scale):
+        """With noise, more power strictly shrinks every noise factor."""
+        noisy = FadingRLS(links=links, noise=1e-5)
+        louder = FadingRLS(links=links, noise=1e-5, power=scale)
+        assert (louder.noise_factors() < noisy.noise_factors()).all()
+        # Success probabilities improve (interference part unchanged).
+        active = np.arange(len(links))
+        assert (
+            louder.success_probabilities(active) >= noisy.success_probabilities(active) - 1e-12
+        ).all()
+
+    @COMMON
+    @given(link_sets(), st.integers(0, 2**31))
+    def test_per_link_powers_change_factors_consistently(self, links, seed):
+        """F[i, j] scales as log1p(P_i/P_j * base) — spot-check against
+        a direct recomputation."""
+        rng = np.random.default_rng(seed)
+        powers = rng.uniform(0.5, 5.0, size=len(links))
+        p = FadingRLS(links=links, powers=powers)
+        f = p.interference_matrix()
+        d = p.distances()
+        n = len(links)
+        i, j = rng.integers(0, n), rng.integers(0, n)
+        if i == j:
+            assert f[i, j] == 0.0
+        else:
+            expected = np.log1p(
+                p.gamma_th
+                * (powers[i] * d[i, j] ** -p.alpha)
+                / (powers[j] * d[j, j] ** -p.alpha)
+            )
+            assert f[i, j] == pytest.approx(expected, rel=1e-10)
+
+
+class TestNoiseMonotonicity:
+    @COMMON
+    @given(link_sets(), st.floats(1e-9, 1e-3), st.floats(1.5, 10.0))
+    def test_more_noise_never_helps(self, links, noise, factor):
+        quiet = FadingRLS(links=links, noise=noise)
+        loud = FadingRLS(links=links, noise=noise * factor)
+        active = np.arange(len(links))
+        # Feasible under loud noise -> feasible under quiet noise.
+        if loud.is_feasible(active):
+            assert quiet.is_feasible(active)
+        assert (
+            loud.success_probabilities(active) <= quiet.success_probabilities(active) + 1e-12
+        ).all()
+
+    @COMMON
+    @given(link_sets(), st.floats(1e-9, 1e-2))
+    def test_serviceability_matches_noise_factor(self, links, noise):
+        p = FadingRLS(links=links, noise=noise)
+        np.testing.assert_array_equal(
+            p.serviceable(), p.noise_factors() <= p.gamma_eps
+        )
+
+    @COMMON
+    @given(link_sets(), st.floats(1e-8, 1e-3), st.integers(0, 2**31))
+    def test_schedulers_feasible_under_noise(self, links, noise, seed):
+        from repro.core.ldp import ldp_schedule
+        from repro.core.rle import rle_schedule
+
+        p = FadingRLS(links=links, noise=noise)
+        assume(p.serviceable().any())
+        for fn in (ldp_schedule, rle_schedule):
+            s = fn(p)
+            assert p.is_feasible(s.active)
+
+
+class TestBudgetDecomposition:
+    @COMMON
+    @given(link_sets(), st.floats(1e-9, 1e-4))
+    def test_success_prob_decomposes(self, links, noise):
+        """log Pr = -(interference + noise factor), exactly."""
+        p = FadingRLS(links=links, noise=noise)
+        active = np.arange(len(links))
+        probs = p.success_probabilities(active)
+        expected = np.exp(-(p.interference_on(active) + p.noise_factors()))
+        np.testing.assert_allclose(probs, expected, rtol=1e-12)
+
+    @COMMON
+    @given(link_sets())
+    def test_certificate_agrees_with_feasibility(self, links):
+        from repro.core.certify import certify
+
+        p = FadingRLS(links=links)
+        active = np.arange(len(links))
+        cert = certify(p, active)
+        assert cert.feasible == p.is_feasible(active)

@@ -1,0 +1,104 @@
+"""Property-based tests for the geometry substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry.distance import cross_distances, pairwise_distances
+from repro.geometry.grid import GridPartition, four_coloring, ring_cell_count, ring_cells
+from repro.geometry.region import Region
+
+COMMON = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+points_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 12), st.just(2)),
+    elements=st.floats(-1e4, 1e4, allow_nan=False, width=64),
+)
+
+
+class TestDistanceProperties:
+    @COMMON
+    @given(points_arrays)
+    def test_pairwise_metric_axioms(self, pts):
+        d = pairwise_distances(pts)
+        assert (d >= 0).all()
+        np.testing.assert_allclose(d, d.T, atol=1e-9)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-9)
+
+    @COMMON
+    @given(points_arrays, points_arrays)
+    def test_cross_transpose_symmetry(self, a, b):
+        np.testing.assert_allclose(
+            cross_distances(a, b), cross_distances(b, a).T, atol=1e-9
+        )
+
+    @COMMON
+    @given(
+        points_arrays,
+        st.floats(-1e3, 1e3, allow_nan=False),
+        st.floats(-1e3, 1e3, allow_nan=False),
+    )
+    def test_translation_invariance(self, pts, dx, dy):
+        shifted = pts + np.array([dx, dy])
+        np.testing.assert_allclose(
+            pairwise_distances(pts), pairwise_distances(shifted), atol=1e-6
+        )
+
+
+class TestGridProperties:
+    @COMMON
+    @given(points_arrays, st.floats(0.1, 1e3))
+    def test_cells_contain_their_points(self, pts, cell_size):
+        grid = GridPartition(cell_size)
+        cells = grid.cell_of(pts)
+        lows = cells * cell_size
+        # floor semantics: low <= point < low + cell (with float slop).
+        assert (pts >= lows - 1e-6 * cell_size).all()
+        assert (pts < lows + cell_size * (1 + 1e-9) + 1e-6).all()
+
+    @COMMON
+    @given(
+        st.integers(-50, 50),
+        st.integers(-50, 50),
+        st.integers(-50, 50),
+        st.integers(-50, 50),
+    )
+    def test_color_rule(self, a1, b1, a2, b2):
+        """Same colour iff both index offsets are even."""
+        c1 = four_coloring(np.array([[a1, b1]]))[0]
+        c2 = four_coloring(np.array([[a2, b2]]))[0]
+        same = (a1 - a2) % 2 == 0 and (b1 - b2) % 2 == 0
+        assert (c1 == c2) == same
+
+    @COMMON
+    @given(st.integers(0, 30), st.integers(-20, 20), st.integers(-20, 20))
+    def test_ring_counts_and_distance(self, q, ca, cb):
+        cells = list(ring_cells((ca, cb), q))
+        assert len(cells) == ring_cell_count(q)
+        for a, b in cells:
+            assert max(abs(a - ca), abs(b - cb)) == q
+
+
+class TestRegionProperties:
+    @COMMON
+    @given(st.floats(1.0, 1e4), st.integers(0, 200), st.integers(0, 2**31))
+    def test_samples_always_inside(self, side, n, seed):
+        region = Region.square(side)
+        pts = region.sample_uniform(n, seed=seed)
+        assert region.contains(pts).all()
+
+    @COMMON
+    @given(points_arrays, st.floats(1.0, 1e3))
+    def test_clamp_idempotent_and_inside(self, pts, side):
+        region = Region.square(side)
+        clamped = region.clamp(pts)
+        assert region.contains(clamped).all()
+        np.testing.assert_array_equal(region.clamp(clamped), clamped)

@@ -1,0 +1,77 @@
+"""Tests for adaptive Monte-Carlo sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import FadingRLS
+from repro.core.rle import rle_schedule
+from repro.core.schedule import Schedule
+from repro.network.topology import paper_topology
+from repro.sim.adaptive import simulate_until
+
+
+@pytest.fixture(scope="module")
+def dense_problem():
+    return FadingRLS(links=paper_topology(200, seed=0))
+
+
+class TestSimulateUntil:
+    def test_converges_and_matches_analytic(self, dense_problem):
+        from repro.core.baselines.approx_diversity import approx_diversity_schedule
+
+        s = approx_diversity_schedule(dense_problem)
+        out = simulate_until(
+            dense_problem, s, metric="failed", target_stderr=0.02, seed=1
+        )
+        assert out.converged
+        probs = dense_problem.success_probabilities(s.active)[s.active]
+        analytic = float((1 - probs).sum())
+        assert out.estimate == pytest.approx(analytic, abs=5 * out.stderr + 0.02)
+
+    def test_throughput_metric(self, dense_problem):
+        s = rle_schedule(dense_problem)
+        out = simulate_until(
+            dense_problem, s, metric="throughput", target_stderr=0.05, seed=2
+        )
+        assert out.converged
+        assert out.estimate == pytest.approx(
+            dense_problem.expected_throughput(s.active), abs=5 * out.stderr + 0.05
+        )
+
+    def test_easy_schedule_stops_early(self, dense_problem):
+        """A feasible (low-variance) schedule needs few batches."""
+        s = rle_schedule(dense_problem)
+        out = simulate_until(dense_problem, s, metric="failed", target_stderr=0.05, batch=500, seed=3)
+        assert out.converged
+        assert out.n_batches == 1
+
+    def test_tighter_tolerance_more_trials(self, dense_problem):
+        from repro.core.baselines.approx_diversity import approx_diversity_schedule
+
+        s = approx_diversity_schedule(dense_problem)
+        loose = simulate_until(dense_problem, s, target_stderr=0.2, seed=4)
+        tight = simulate_until(dense_problem, s, target_stderr=0.02, seed=4)
+        assert tight.n_trials >= loose.n_trials
+
+    def test_cap_reported(self, dense_problem):
+        from repro.core.baselines.approx_diversity import approx_diversity_schedule
+
+        s = approx_diversity_schedule(dense_problem)
+        out = simulate_until(
+            dense_problem, s, target_stderr=1e-9, batch=100, max_trials=300, seed=5
+        )
+        assert not out.converged
+        assert out.n_trials == 300
+
+    def test_empty_schedule_exact(self, dense_problem):
+        out = simulate_until(dense_problem, Schedule.empty(), seed=0)
+        assert out.converged and out.estimate == 0.0 and out.n_trials == 0
+
+    def test_validation(self, dense_problem):
+        s = rle_schedule(dense_problem)
+        with pytest.raises(ValueError):
+            simulate_until(dense_problem, s, metric="latency")
+        with pytest.raises(ValueError):
+            simulate_until(dense_problem, s, target_stderr=0.0)
+        with pytest.raises(ValueError):
+            simulate_until(dense_problem, s, batch=1)

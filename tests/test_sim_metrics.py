@@ -1,0 +1,64 @@
+"""Tests for repro.sim.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import SimulationResult, summarize_trials
+
+
+def make_success(pattern):
+    return np.asarray(pattern, dtype=bool)
+
+
+class TestSummarizeTrials:
+    def test_all_success(self):
+        s = make_success([[1, 1], [1, 1], [1, 1]])
+        r = summarize_trials(s, np.array([1.0, 2.0]), active_indices=np.array([0, 1]))
+        assert r.mean_failed == 0.0
+        assert r.mean_throughput == 3.0
+        assert r.scheduled_rate == 3.0
+        np.testing.assert_array_equal(r.per_link_success, [1.0, 1.0])
+
+    def test_all_fail(self):
+        s = make_success([[0, 0], [0, 0]])
+        r = summarize_trials(s, np.array([1.0, 1.0]), active_indices=np.array([0, 1]))
+        assert r.mean_failed == 2.0
+        assert r.mean_throughput == 0.0
+        assert r.failure_rate == 1.0
+
+    def test_mixed(self):
+        s = make_success([[1, 0], [0, 1]])
+        r = summarize_trials(s, np.array([2.0, 3.0]), active_indices=np.array([0, 1]))
+        assert r.mean_failed == 1.0
+        assert r.mean_throughput == pytest.approx(2.5)
+        np.testing.assert_allclose(r.per_link_success, [0.5, 0.5])
+
+    def test_stderr_zero_single_trial(self):
+        s = make_success([[1, 0]])
+        r = summarize_trials(s, np.array([1.0, 1.0]), active_indices=np.array([0, 1]))
+        assert r.failed_stderr == 0.0 and r.throughput_stderr == 0.0
+
+    def test_stderr_positive_when_varying(self):
+        s = make_success([[1, 1], [0, 0], [1, 0]])
+        r = summarize_trials(s, np.array([1.0, 1.0]), active_indices=np.array([0, 1]))
+        assert r.failed_stderr > 0
+
+    def test_empty_schedule(self):
+        s = np.zeros((5, 0), dtype=bool)
+        r = summarize_trials(s, np.zeros(0), active_indices=np.zeros(0, dtype=int))
+        assert r.mean_failed == 0.0 and r.n_scheduled == 0
+        assert r.failure_rate == 0.0
+
+    def test_zero_trials(self):
+        s = np.zeros((0, 3), dtype=bool)
+        r = summarize_trials(s, np.ones(3), active_indices=np.arange(3))
+        assert r.n_trials == 0
+        assert r.scheduled_rate == 3.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            summarize_trials(np.zeros(3, dtype=bool), np.ones(3), active_indices=np.arange(3))
+        with pytest.raises(ValueError):
+            summarize_trials(
+                np.zeros((2, 3), dtype=bool), np.ones(2), active_indices=np.arange(3)
+            )

@@ -1,0 +1,88 @@
+"""Tests for the Monte-Carlo simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import FadingRLS
+from repro.core.rle import rle_schedule
+from repro.core.schedule import Schedule
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology
+from repro.sim.montecarlo import simulate_schedule, simulate_trials
+
+
+class TestSimulateTrials:
+    def test_shape(self, paper_problem):
+        s = rle_schedule(paper_problem)
+        out = simulate_trials(paper_problem, s, 50, seed=0)
+        assert out.shape == (50, s.size)
+        assert out.dtype == bool
+
+    def test_accepts_raw_indices(self, paper_problem):
+        out = simulate_trials(paper_problem, np.array([0, 1]), 10, seed=0)
+        assert out.shape == (10, 2)
+
+    def test_reproducible(self, paper_problem):
+        s = rle_schedule(paper_problem)
+        a = simulate_trials(paper_problem, s, 20, seed=9)
+        b = simulate_trials(paper_problem, s, 20, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_lone_link_always_succeeds(self):
+        links = LinkSet(senders=[[0.0, 0.0]], receivers=[[10.0, 0.0]])
+        p = FadingRLS(links=links)
+        out = simulate_trials(p, np.array([0]), 100, seed=0)
+        assert out.all()
+
+    def test_noise_can_break_lone_link(self):
+        links = LinkSet(senders=[[0.0, 0.0]], receivers=[[10.0, 0.0]])
+        p = FadingRLS(links=links)
+        # Noise comparable to the mean signal: failures appear.
+        out = simulate_trials(p, np.array([0]), 2000, noise=10.0**-3, seed=0)
+        assert not out.all()
+        assert out.any()
+
+
+class TestSimulateSchedule:
+    def test_result_fields(self, paper_problem):
+        s = rle_schedule(paper_problem)
+        r = simulate_schedule(paper_problem, s, n_trials=200, seed=1)
+        assert r.algorithm == "rle"
+        assert r.n_scheduled == s.size
+        assert r.n_trials == 200
+        assert 0 <= r.mean_failed <= s.size
+        assert 0 <= r.mean_throughput <= r.scheduled_rate
+
+    def test_feasible_schedule_rarely_fails(self, paper_problem):
+        """A fading-feasible schedule fails each link w.p. <= eps, so the
+        mean failure count is at most eps * K (plus MC noise)."""
+        s = rle_schedule(paper_problem)
+        r = simulate_schedule(paper_problem, s, n_trials=2000, seed=2)
+        assert r.mean_failed <= paper_problem.eps * s.size + 3 * (r.failed_stderr + 1e-3) + 0.1
+
+    def test_infeasible_schedule_fails_more(self):
+        from repro.core.baselines.naive import all_active_schedule
+
+        p = FadingRLS(links=paper_topology(300, seed=0))
+        r = simulate_schedule(p, all_active_schedule(p), n_trials=300, seed=3)
+        assert r.mean_failed > 10
+
+    def test_empirical_matches_theorem31(self):
+        """Per-link empirical success == closed-form probability."""
+        p = FadingRLS(links=paper_topology(40, region_side=200, seed=4))
+        active = np.arange(p.n_links)
+        r = simulate_schedule(p, Schedule(active=active), n_trials=40_000, seed=5)
+        analytic = p.success_probabilities(active)[active]
+        np.testing.assert_allclose(r.per_link_success, analytic, atol=0.02)
+
+    def test_expected_throughput_matches_analytic(self):
+        p = FadingRLS(links=paper_topology(40, region_side=200, seed=6))
+        active = np.arange(p.n_links)
+        r = simulate_schedule(p, Schedule(active=active), n_trials=40_000, seed=7)
+        assert r.mean_throughput == pytest.approx(
+            p.expected_throughput(active), rel=0.03
+        )
+
+    def test_empty_schedule(self, paper_problem):
+        r = simulate_schedule(paper_problem, Schedule.empty(), n_trials=10, seed=0)
+        assert r.mean_failed == 0.0 and r.mean_throughput == 0.0

@@ -1,0 +1,76 @@
+"""Tests for the batched experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import get_scheduler
+from repro.network.topology import paper_topology
+from repro.sim.runner import run_schedulers
+
+
+def small_workload(n=40):
+    def make(seed):
+        return paper_topology(n, seed=seed)
+
+    return make
+
+
+class TestRunSchedulers:
+    def test_structure(self):
+        schedulers = {"rle": get_scheduler("rle"), "ldp": get_scheduler("ldp")}
+        out = run_schedulers(
+            schedulers, small_workload(), n_repetitions=3, n_trials=50, root_seed=1
+        )
+        assert set(out) == {"rle", "ldp"}
+        for r in out.values():
+            assert r.n_repetitions == 3
+            assert len(r.per_rep) == 3
+
+    def test_reproducible(self):
+        schedulers = {"rle": get_scheduler("rle")}
+        a = run_schedulers(schedulers, small_workload(), n_repetitions=2, n_trials=50, root_seed=7)
+        b = run_schedulers(schedulers, small_workload(), n_repetitions=2, n_trials=50, root_seed=7)
+        assert a["rle"].mean_throughput == b["rle"].mean_throughput
+        assert a["rle"].mean_failed == b["rle"].mean_failed
+
+    def test_root_seed_changes_results(self):
+        schedulers = {"rle": get_scheduler("rle")}
+        a = run_schedulers(schedulers, small_workload(), n_repetitions=2, n_trials=50, root_seed=1)
+        b = run_schedulers(schedulers, small_workload(), n_repetitions=2, n_trials=50, root_seed=2)
+        assert a["rle"].mean_throughput != b["rle"].mean_throughput
+
+    def test_paired_instances(self):
+        """All schedulers must see the same workload per repetition:
+        all_active's scheduled count equals the workload size for every
+        repetition, and greedy's is <= it."""
+        schedulers = {
+            "all_active": get_scheduler("all_active"),
+            "greedy": get_scheduler("greedy"),
+        }
+        out = run_schedulers(schedulers, small_workload(25), n_repetitions=2, n_trials=10)
+        for rep in range(2):
+            assert out["all_active"].per_rep[rep].n_scheduled == 25
+            assert out["greedy"].per_rep[rep].n_scheduled <= 25
+
+    def test_scheduler_kwargs(self):
+        from repro.core.rle import rle_schedule
+
+        out = run_schedulers(
+            {"rle": rle_schedule},
+            small_workload(),
+            n_repetitions=1,
+            n_trials=10,
+            scheduler_kwargs={"rle": {"c2": 0.3}},
+        )
+        assert out["rle"].n_repetitions == 1
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            run_schedulers({}, small_workload(), n_repetitions=0)
+
+    def test_alpha_passed_through(self):
+        """Higher alpha -> more links schedulable by RLE (Fig. 6b shape)."""
+        schedulers = {"rle": get_scheduler("rle")}
+        lo = run_schedulers(schedulers, small_workload(120), n_repetitions=3, n_trials=20, alpha=2.5)
+        hi = run_schedulers(schedulers, small_workload(120), n_repetitions=3, n_trials=20, alpha=4.5)
+        assert hi["rle"].mean_scheduled > lo["rle"].mean_scheduled

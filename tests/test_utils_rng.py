@@ -1,0 +1,73 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rngs, stable_seed
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_rng(42).random(5)
+        b = as_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_rng(1).random(5), as_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        assert isinstance(as_rng(ss), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_reproducible_from_same_root(self):
+        a1, _ = spawn_rngs(99, 2)
+        a2, _ = spawn_rngs(99, 2)
+        np.testing.assert_array_equal(a1.random(10), a2.random(10))
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(3)
+        children = spawn_rngs(g, 3)
+        assert len(children) == 3
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("a", 1, root=0) == stable_seed("a", 1, root=0)
+
+    def test_parts_matter(self):
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+        assert stable_seed("a", 1) != stable_seed("b", 1)
+
+    def test_root_matters(self):
+        assert stable_seed("a", root=0) != stable_seed("a", root=1)
+
+    def test_range(self):
+        s = stable_seed("x", 123456, root=42)
+        assert 0 <= s < 2**63
+
+    def test_order_sensitivity(self):
+        assert stable_seed("a", "b") != stable_seed("b", "a")

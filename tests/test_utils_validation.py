@@ -1,0 +1,89 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_positive,
+    check_probability,
+    check_shape,
+    require,
+)
+
+
+class TestRequire:
+    def test_pass(self):
+        require(True, "nope")  # no raise
+
+    def test_fail(self):
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+
+class TestCheckPositive:
+    def test_positive_ok(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_zero_rejected_strict(self):
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_zero_ok_nonstrict(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_positive(-1, "x", strict=False)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), "x")
+
+
+class TestCheckProbability:
+    def test_interior_ok(self):
+        assert check_probability(0.5, "p") == 0.5
+
+    @pytest.mark.parametrize("v", [0.0, 1.0])
+    def test_endpoints_rejected_open(self, v):
+        with pytest.raises(ValueError):
+            check_probability(v, "p")
+
+    @pytest.mark.parametrize("v", [0.0, 1.0])
+    def test_endpoints_ok_closed(self, v):
+        assert check_probability(v, "p", open_interval=False) == v
+
+    @pytest.mark.parametrize("v", [-0.1, 1.1])
+    def test_outside_rejected(self, v):
+        with pytest.raises(ValueError):
+            check_probability(v, "p", open_interval=False)
+
+
+class TestCheckFinite:
+    def test_finite_ok(self):
+        out = check_finite([1.0, 2.0], "a")
+        np.testing.assert_array_equal(out, [1.0, 2.0])
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_nonfinite_rejected(self, bad):
+        with pytest.raises(ValueError):
+            check_finite([1.0, bad], "a")
+
+
+class TestCheckShape:
+    def test_exact_shape(self):
+        a = np.zeros((3, 2))
+        assert check_shape(a, (3, 2), "a") is not None
+
+    def test_wildcard(self):
+        a = np.zeros((5, 2))
+        check_shape(a, (None, 2), "a")
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError, match="dims"):
+            check_shape(np.zeros(3), (None, 2), "a")
+
+    def test_wrong_axis(self):
+        with pytest.raises(ValueError, match="axis"):
+            check_shape(np.zeros((3, 3)), (None, 2), "a")

@@ -1,0 +1,58 @@
+"""Tests for repro.utils.zeta."""
+
+import numpy as np
+import pytest
+
+from repro.utils.zeta import riemann_zeta, zeta_partial_sum, zeta_tail_bound
+
+
+class TestRiemannZeta:
+    def test_known_value_basel(self):
+        # zeta(2) = pi^2 / 6
+        assert riemann_zeta(2.0) == pytest.approx(np.pi**2 / 6, rel=1e-12)
+
+    def test_known_value_zeta4(self):
+        assert riemann_zeta(4.0) == pytest.approx(np.pi**4 / 90, rel=1e-12)
+
+    def test_monotone_decreasing(self):
+        assert riemann_zeta(1.5) > riemann_zeta(2.0) > riemann_zeta(3.0) > 1.0
+
+    @pytest.mark.parametrize("s", [1.0, 0.5, 0.0, -1.0])
+    def test_divergent_domain_rejected(self, s):
+        with pytest.raises(ValueError):
+            riemann_zeta(s)
+
+    def test_approaches_one(self):
+        assert riemann_zeta(30.0) == pytest.approx(1.0, abs=1e-8)
+
+
+class TestPartialSum:
+    def test_zero_terms(self):
+        assert zeta_partial_sum(2.0, 0) == 0.0
+
+    def test_one_term(self):
+        assert zeta_partial_sum(2.0, 1) == 1.0
+
+    def test_converges_to_zeta(self):
+        assert zeta_partial_sum(3.0, 10_000) == pytest.approx(riemann_zeta(3.0), rel=1e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            zeta_partial_sum(2.0, -1)
+
+
+class TestTailBound:
+    def test_bounds_actual_tail(self):
+        s = 2.5
+        for start in (1, 2, 5, 10):
+            actual_tail = riemann_zeta(s) - zeta_partial_sum(s, start - 1)
+            assert zeta_tail_bound(s, start) >= actual_tail
+
+    def test_tail_shrinks(self):
+        assert zeta_tail_bound(2.0, 10) < zeta_tail_bound(2.0, 2)
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            zeta_tail_bound(1.0, 1)
+        with pytest.raises(ValueError):
+            zeta_tail_bound(2.0, 0)
