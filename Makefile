@@ -1,0 +1,19 @@
+# Convenience targets; all assume the repo root as CWD.
+# PYTHONPATH=src keeps the package importable without an install.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke figures
+
+test:            ## tier-1 test suite
+	$(PYTHON) -m pytest -x -q
+
+bench:           ## full benchmark suite (writes BENCH_RESULTS.json)
+	$(PYTHON) -m pytest benchmarks -q
+
+bench-smoke:     ## one small figure end-to-end + BENCH_RESULTS.json entry
+	$(PYTHON) -m pytest benchmarks -q -m smoke
+
+figures:         ## regenerate the paper panels (small config)
+	$(PYTHON) -m repro figures

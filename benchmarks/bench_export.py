@@ -1,0 +1,90 @@
+"""Machine-readable benchmark export.
+
+Benchmarks record named wall-time measurements here; at session end the
+collected entries are merged into ``BENCH_RESULTS.json`` at the repo
+root (merge, not overwrite, so a smoke run doesn't wipe the full
+suite's history).  Future PRs diff this file to track the perf
+trajectory.
+
+Schema::
+
+    {
+      "schema": 1,
+      "generated_unix": <float>,
+      "machine": {"cpus": int, "python": str, "numpy": str},
+      "results": {
+         "<name>": {"wall_seconds": float, "recorded_unix": float,
+                    "config": {...}},
+         ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_RESULTS.json"
+SCHEMA_VERSION = 1
+
+_pending: Dict[str, Dict[str, Any]] = {}
+
+
+def machine_info() -> Dict[str, Any]:
+    """CPU/interpreter facts that contextualise a wall-time number."""
+    import numpy as np
+
+    from repro.sim.parallel import available_cpus
+
+    return {
+        "cpus": available_cpus(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def record(name: str, wall_seconds: float, config: Optional[Dict[str, Any]] = None) -> None:
+    """Queue one benchmark measurement for export at session end."""
+    _pending[name] = {
+        "wall_seconds": float(wall_seconds),
+        "recorded_unix": time.time(),
+        "config": dict(config or {}),
+    }
+
+
+def pending() -> Dict[str, Dict[str, Any]]:
+    """The measurements queued so far (read-only view for tests)."""
+    return dict(_pending)
+
+
+def flush(path: Path | None = None) -> Optional[Path]:
+    """Merge queued measurements into the results file.
+
+    Returns the written path, or ``None`` when nothing was recorded
+    (so non-benchmark pytest sessions never touch the file).
+    """
+    if not _pending:
+        return None
+    target = RESULTS_PATH if path is None else Path(path)
+    existing: Dict[str, Any] = {}
+    if target.exists():
+        try:
+            existing = json.loads(target.read_text())
+        except (json.JSONDecodeError, OSError):
+            existing = {}
+    results = dict(existing.get("results", {}))
+    results.update(_pending)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "generated_unix": time.time(),
+        "machine": machine_info(),
+        "results": dict(sorted(results.items())),
+    }
+    target.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    _pending.clear()
+    return target

@@ -38,3 +38,12 @@ def print_series(sweep, metric: str, title: str) -> None:
 
     print()
     print(format_series(sweep, metric, title=title))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge recorded wall times into BENCH_RESULTS.json (if any)."""
+    from benchmarks import bench_export
+
+    path = bench_export.flush()
+    if path is not None:
+        print(f"\nbenchmark export: wrote {path}")

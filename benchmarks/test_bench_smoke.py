@@ -1,0 +1,43 @@
+"""Smoke benchmark: one small figure end-to-end, exported.
+
+``make bench-smoke`` (or ``pytest benchmarks -m smoke``) runs this
+alone: a sub-minute Fig. 5(a) sweep through the full pipeline —
+topology, schedulers, streaming Monte-Carlo replay, aggregation —
+recording its wall time to ``BENCH_RESULTS.json`` so every PR leaves a
+perf data point even when the full suite doesn't run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks import bench_export
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig5 import failed_vs_links
+
+
+@pytest.mark.smoke
+def test_smoke_fig5a_end_to_end():
+    cfg = ExperimentConfig().small()
+    t0 = time.perf_counter()
+    sweep = failed_vs_links(cfg)
+    wall = time.perf_counter() - t0
+
+    # The paper's qualitative shape must hold even at smoke scale.
+    assert len(sweep.x_values) == len(cfg.n_links_sweep)
+    for alg in ("ldp", "rle"):
+        assert max(sweep.metric(alg, "mean_failed")) <= 1.0
+
+    bench_export.record(
+        "smoke_fig5a",
+        wall,
+        {
+            "n_links_sweep": list(cfg.n_links_sweep),
+            "n_repetitions": cfg.n_repetitions,
+            "n_trials": cfg.n_trials,
+            "n_jobs": cfg.n_jobs,
+        },
+    )
+    print(f"\nsmoke fig5a: {wall:.2f}s")

@@ -7,8 +7,8 @@
 - :mod:`repro.channel.rayleigh` — the Rayleigh-fading law: per-pair
   exponential received powers (Eq. 5), the closed-form success
   probability of Theorem 3.1, and fading samplers,
-- :mod:`repro.channel.sampling` — batched Monte-Carlo draws consumed by
-  :mod:`repro.sim`.
+- :mod:`repro.channel.sampling` — batched and streaming (memory-bounded)
+  Monte-Carlo draws consumed by :mod:`repro.sim`.
 """
 
 from repro.channel.deterministic import deterministic_sinr, deterministic_success
@@ -19,7 +19,13 @@ from repro.channel.rayleigh import (
     sample_received_power,
     success_probability,
 )
-from repro.channel.sampling import sample_fading_trials
+from repro.channel.sampling import (
+    DEFAULT_MAX_BYTES,
+    fading_means,
+    iter_fading_trials,
+    sample_fading_trials,
+    trial_chunk_size,
+)
 
 __all__ = [
     "mean_received_power",
@@ -31,4 +37,8 @@ __all__ = [
     "sample_received_power",
     "success_probability",
     "sample_fading_trials",
+    "iter_fading_trials",
+    "fading_means",
+    "trial_chunk_size",
+    "DEFAULT_MAX_BYTES",
 ]

@@ -78,6 +78,24 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _n_jobs(args: argparse.Namespace) -> int | None:
+    """``--jobs`` validated (None = keep config default)."""
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs < 0:
+        raise SystemExit(f"--jobs must be >= 0 (0 = all CPUs), got {jobs}")
+    return jobs
+
+
+def _mc_max_bytes(args: argparse.Namespace) -> int | None:
+    """``--mc-chunk-mb`` to bytes (None = sampler default)."""
+    mb = getattr(args, "mc_chunk_mb", None)
+    if mb is None:
+        return None
+    if mb <= 0:
+        raise SystemExit(f"--mc-chunk-mb must be positive, got {mb}")
+    return int(mb * 2**20)
+
+
 def cmd_schedule(args: argparse.Namespace) -> int:
     """``repro schedule``: run a scheduler, verify, optionally simulate."""
     if args.input:
@@ -99,7 +117,13 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     if args.trials > 0:
         from repro.sim.montecarlo import simulate_schedule
 
-        result = simulate_schedule(problem, schedule, n_trials=args.trials, seed=args.seed)
+        result = simulate_schedule(
+            problem,
+            schedule,
+            n_trials=args.trials,
+            seed=args.seed,
+            max_bytes=_mc_max_bytes(args),
+        )
 
     payload = schedule_to_dict(schedule, problem, result)
     if args.output:
@@ -127,6 +151,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments.reporting import format_series
 
     cfg = ExperimentConfig() if args.full else ExperimentConfig().small()
+    cfg = cfg.with_execution(n_jobs=_n_jobs(args), mc_max_bytes=_mc_max_bytes(args))
     drivers = {
         "fig5a": (failed_vs_links, "mean_failed", "Fig. 5(a): failed transmissions vs #links"),
         "fig5b": (failed_vs_alpha, "mean_failed", "Fig. 5(b): failed transmissions vs alpha"),
@@ -200,6 +225,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
     cfg = ExperimentConfig() if args.full else ExperimentConfig().small()
+    cfg = cfg.with_execution(n_jobs=_n_jobs(args), mc_max_bytes=_mc_max_bytes(args))
     text = generate_report(cfg)
     if args.output:
         Path(args.output).write_text(text)
@@ -235,12 +261,31 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--noise", type=float, default=0.0)
     s.add_argument("--trials", type=int, default=0, help="Monte-Carlo trials (0 = skip)")
     s.add_argument("--seed", type=int, default=0)
+    s.add_argument(
+        "--mc-chunk-mb",
+        type=float,
+        default=None,
+        help="memory budget (MiB) per Monte-Carlo replay chunk (default 128)",
+    )
     s.add_argument("--output", help="write the JSON result here")
     s.set_defaults(fn=cmd_schedule)
 
     f = sub.add_parser("figures", help="regenerate the paper's evaluation panels")
     f.add_argument("--panel", choices=PANELS + ("all",), default="all")
     f.add_argument("--full", action="store_true", help="paper-scale configuration")
+    f.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sweep grid (1 = serial, 0 = all CPUs; "
+        "results are identical for every value)",
+    )
+    f.add_argument(
+        "--mc-chunk-mb",
+        type=float,
+        default=None,
+        help="memory budget (MiB) per Monte-Carlo replay chunk (default 128)",
+    )
     f.add_argument("--output", help="write all series as JSON here")
     f.set_defaults(fn=cmd_figures)
 
@@ -270,6 +315,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     r = sub.add_parser("report", help="render the markdown evaluation report")
     r.add_argument("--full", action="store_true", help="paper-scale configuration")
+    r.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sweep grid (1 = serial, 0 = all CPUs)",
+    )
+    r.add_argument(
+        "--mc-chunk-mb",
+        type=float,
+        default=None,
+        help="memory budget (MiB) per Monte-Carlo replay chunk (default 128)",
+    )
     r.add_argument("--output", help="write markdown here instead of stdout")
     r.set_defaults(fn=cmd_report)
 

@@ -300,8 +300,19 @@ class FadingRLS:
         noise: Optional[float] = None,
         power: Optional[float] = None,
     ) -> "FadingRLS":
-        """Copy of this instance with some channel parameters replaced."""
-        return FadingRLS(
+        """Copy of this instance with some channel parameters replaced.
+
+        Cached derived quantities are carried forward whenever the
+        parameters that define them are untouched, so e.g. an eps-only
+        sweep (``with_params(eps=...)`` per point) reuses the O(N^2)
+        interference matrix ``F`` instead of recomputing it: distances
+        depend only on the shared links; ``F`` on ``(alpha, gamma_th)``
+        (and ``powers``, which this method never changes); the uniform
+        ``tx_powers`` vector on ``power``; the noise factors on
+        ``(alpha, gamma_th, noise, power)``.  The arrays are shared, not
+        copied — they are treated as immutable throughout.
+        """
+        new = FadingRLS(
             links=self.links,
             alpha=self.alpha if alpha is None else alpha,
             gamma_th=self.gamma_th if gamma_th is None else gamma_th,
@@ -310,6 +321,22 @@ class FadingRLS:
             power=self.power if power is None else power,
             powers=self.powers,
         )
+        cache = self._cache
+        if "distances" in cache:
+            new._cache["distances"] = cache["distances"]
+        same_f = new.alpha == self.alpha and new.gamma_th == self.gamma_th
+        if same_f and "F" in cache:
+            new._cache["F"] = cache["F"]
+        if new.power == self.power and "tx_powers" in cache:
+            new._cache["tx_powers"] = cache["tx_powers"]
+        if (
+            same_f
+            and new.noise == self.noise
+            and new.power == self.power
+            and "noise_factors" in cache
+        ):
+            new._cache["noise_factors"] = cache["noise_factors"]
+        return new
 
     def with_powers(self, powers: np.ndarray) -> "FadingRLS":
         """Copy of this instance with per-link transmit powers."""

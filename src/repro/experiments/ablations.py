@@ -10,12 +10,17 @@ Beyond the paper's four figure panels:
   the exact optimum on small instances (feasible for exact solvers);
 - **A4** is runtime scaling and lives entirely in
   ``benchmarks/test_scaling.py`` (pytest-benchmark owns the timing).
+
+Every driver takes ``n_jobs`` and fans its repetition grid out through
+:func:`repro.sim.parallel.parallel_map` (1 = serial, bit-identical
+results for every value).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,8 +28,8 @@ from repro.core.exact import branch_and_bound_schedule
 from repro.core.ldp import ldp_schedule
 from repro.core.problem import FadingRLS
 from repro.core.rle import rle_schedule
-from repro.experiments.config import ExperimentConfig
 from repro.network.topology import exponential_length_topology, paper_topology
+from repro.sim.parallel import parallel_map
 from repro.utils.rng import stable_seed
 
 
@@ -38,6 +43,29 @@ class AblationResult:
     stds: Tuple[float, ...]
 
 
+def _a1_rep(
+    rep: int,
+    *,
+    n_links: int,
+    alpha: float,
+    root_seed: int,
+    diverse_lengths: bool,
+    variants: Tuple[Tuple[str, bool], ...],
+) -> Dict[str, float]:
+    """One A1 repetition: expected throughput per LDP class variant."""
+    seed = stable_seed("a1", rep, root=root_seed)
+    if diverse_lengths:
+        links = exponential_length_topology(n_links, seed=seed)
+    else:
+        links = paper_topology(n_links, seed=seed)
+    problem = FadingRLS(links=links, alpha=alpha)
+    out: Dict[str, float] = {}
+    for name, two_sided in variants:
+        sched = ldp_schedule(problem, two_sided=two_sided)
+        out[name] = float(problem.expected_throughput(sched.active))
+    return out
+
+
 def ldp_class_ablation(
     *,
     n_links: int = 300,
@@ -45,6 +73,7 @@ def ldp_class_ablation(
     alpha: float = 3.0,
     root_seed: int = 2017,
     diverse_lengths: bool = True,
+    n_jobs: Optional[int] = 1,
 ) -> Dict[str, AblationResult]:
     """A1: LDP one-sided vs two-sided classes, expected throughput.
 
@@ -52,21 +81,19 @@ def ldp_class_ablation(
     ``g(L)`` is large and the class policy matters; the paper-uniform
     workload has ``g(L) <= 2`` and the variants nearly tie.
     """
-    variants = {"one_sided": False, "two_sided": True}
+    variants = (("one_sided", False), ("two_sided", True))
+    worker = partial(
+        _a1_rep,
+        n_links=n_links,
+        alpha=alpha,
+        root_seed=root_seed,
+        diverse_lengths=diverse_lengths,
+        variants=variants,
+    )
+    per_rep = parallel_map(worker, range(n_repetitions), n_jobs=n_jobs)
     out: Dict[str, AblationResult] = {}
-    values: Dict[str, List[float]] = {v: [] for v in variants}
-    for rep in range(n_repetitions):
-        seed = stable_seed("a1", rep, root=root_seed)
-        if diverse_lengths:
-            links = exponential_length_topology(n_links, seed=seed)
-        else:
-            links = paper_topology(n_links, seed=seed)
-        problem = FadingRLS(links=links, alpha=alpha)
-        for name, two_sided in variants.items():
-            sched = ldp_schedule(problem, two_sided=two_sided)
-            values[name].append(problem.expected_throughput(sched.active))
-    for name in variants:
-        arr = np.array(values[name])
+    for name, _ in variants:
+        arr = np.array([rows[name] for rows in per_rep])
         out[name] = AblationResult(
             variant=name,
             x_values=(float(n_links),),
@@ -76,6 +103,21 @@ def ldp_class_ablation(
     return out
 
 
+def _a2_cell(
+    cell: Tuple[float, int],
+    *,
+    n_links: int,
+    alpha: float,
+    root_seed: int,
+) -> float:
+    """One A2 cell: RLE expected throughput at one (c2, repetition)."""
+    c2, rep = cell
+    links = paper_topology(n_links, seed=stable_seed("a2", rep, root=root_seed))
+    problem = FadingRLS(links=links, alpha=alpha)
+    sched = rle_schedule(problem, c2=c2)
+    return float(problem.expected_throughput(sched.active))
+
+
 def rle_c2_ablation(
     *,
     c2_values: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9),
@@ -83,18 +125,16 @@ def rle_c2_ablation(
     n_repetitions: int = 10,
     alpha: float = 3.0,
     root_seed: int = 2017,
+    n_jobs: Optional[int] = 1,
 ) -> AblationResult:
     """A2: RLE expected throughput across the ``c2`` budget split."""
+    cells = [(float(c2), rep) for c2 in c2_values for rep in range(n_repetitions)]
+    worker = partial(_a2_cell, n_links=n_links, alpha=alpha, root_seed=root_seed)
+    values = parallel_map(worker, cells, n_jobs=n_jobs)
     means: List[float] = []
     stds: List[float] = []
-    for c2 in c2_values:
-        vals = []
-        for rep in range(n_repetitions):
-            links = paper_topology(n_links, seed=stable_seed("a2", rep, root=root_seed))
-            problem = FadingRLS(links=links, alpha=alpha)
-            sched = rle_schedule(problem, c2=c2)
-            vals.append(problem.expected_throughput(sched.active))
-        arr = np.array(vals)
+    for i in range(len(c2_values)):
+        arr = np.array(values[i * n_repetitions : (i + 1) * n_repetitions])
         means.append(float(arr.mean()))
         stds.append(float(arr.std(ddof=1)) if n_repetitions > 1 else 0.0)
     return AblationResult(
@@ -115,6 +155,35 @@ class ApproximationQuality:
     theoretical_bound: Dict[str, float]
 
 
+def _a3_instance(
+    rep: int,
+    *,
+    n_links: int,
+    alpha: float,
+    region_side: float,
+    root_seed: int,
+) -> Dict[str, Tuple[float, float]]:
+    """One A3 instance: (opt/alg ratio, theoretical bound) per algorithm."""
+    from repro.core.bounds import ldp_approximation_ratio, rle_approximation_ratio
+    from repro.network.diversity import length_diversity
+
+    links = paper_topology(
+        n_links, region_side=region_side, seed=stable_seed("a3", rep, root=root_seed)
+    )
+    problem = FadingRLS(links=links, alpha=alpha)
+    opt = problem.scheduled_rate(branch_and_bound_schedule(problem).active)
+    out: Dict[str, Tuple[float, float]] = {}
+    for name, fn in (("ldp", ldp_schedule), ("rle", rle_schedule)):
+        rate = problem.scheduled_rate(fn(problem).active)
+        ratio = opt / rate if rate > 0 else float(np.inf)
+        if name == "ldp":
+            bound = ldp_approximation_ratio(length_diversity(links))
+        else:
+            bound = rle_approximation_ratio(alpha, problem.eps, problem.gamma_th, 0.5)
+        out[name] = (float(ratio), float(bound))
+    return out
+
+
 def approximation_quality(
     *,
     n_links: int = 12,
@@ -122,30 +191,30 @@ def approximation_quality(
     alpha: float = 3.0,
     region_side: float = 200.0,
     root_seed: int = 2017,
+    n_jobs: Optional[int] = 1,
 ) -> ApproximationQuality:
     """A3: empirical approximation ratios on exactly solvable instances.
 
     Uses branch-and-bound for the optimum; instances are small and
     geographically tight so the optimum is nontrivial.  Reports
     ``opt / alg`` (1.0 = optimal; the paper guarantees ``<= 16 g(L)``
-    for LDP and the Thm 4.4 constant for RLE).
+    for LDP and the Thm 4.4 constant for RLE).  Branch-and-bound
+    dominates the runtime, so ``n_jobs`` parallelises per instance.
     """
-    from repro.core.bounds import ldp_approximation_ratio, rle_approximation_ratio
-    from repro.network.diversity import length_diversity
-
+    worker = partial(
+        _a3_instance,
+        n_links=n_links,
+        alpha=alpha,
+        region_side=region_side,
+        root_seed=root_seed,
+    )
+    per_instance = parallel_map(worker, range(n_instances), n_jobs=n_jobs)
     ratios: Dict[str, List[float]] = {"ldp": [], "rle": []}
     bounds: Dict[str, List[float]] = {"ldp": [], "rle": []}
-    for rep in range(n_instances):
-        links = paper_topology(
-            n_links, region_side=region_side, seed=stable_seed("a3", rep, root=root_seed)
-        )
-        problem = FadingRLS(links=links, alpha=alpha)
-        opt = problem.scheduled_rate(branch_and_bound_schedule(problem).active)
-        for name, fn in (("ldp", ldp_schedule), ("rle", rle_schedule)):
-            rate = problem.scheduled_rate(fn(problem).active)
-            ratios[name].append(opt / rate if rate > 0 else np.inf)
-        bounds["ldp"].append(ldp_approximation_ratio(length_diversity(links)))
-        bounds["rle"].append(rle_approximation_ratio(alpha, problem.eps, problem.gamma_th, 0.5))
+    for rows in per_instance:
+        for name, (ratio, bound) in rows.items():
+            ratios[name].append(ratio)
+            bounds[name].append(bound)
     return ApproximationQuality(
         n_instances=n_instances,
         mean_ratio={k: float(np.mean(v)) for k, v in ratios.items()},

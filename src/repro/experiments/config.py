@@ -9,13 +9,41 @@ default 3.0) cover the ranges its Figs. 5-6 discuss.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.base import get_scheduler
 from repro.core.schedule import Schedule
 from repro.network.links import LinkSet
 from repro.network.topology import paper_topology
+
+
+@dataclass(frozen=True)
+class TopologyWorkload:
+    """Picklable per-repetition workload factory.
+
+    The figure drivers fan work units out over processes
+    (:mod:`repro.sim.parallel`), so the workload callable must survive
+    pickling — a frozen dataclass of plain floats does, a closure over
+    an :class:`ExperimentConfig` does not.  Calling it draws one
+    paper-style topology: ``workload(seed) -> LinkSet``.
+    """
+
+    n_links: int
+    region_side: float = 500.0
+    min_length: float = 5.0
+    max_length: float = 20.0
+    rate: float = 1.0
+
+    def __call__(self, seed: int) -> LinkSet:
+        return paper_topology(
+            self.n_links,
+            region_side=self.region_side,
+            min_length=self.min_length,
+            max_length=self.max_length,
+            rate=self.rate,
+            seed=seed,
+        )
 
 
 def paper_scheduler_set() -> Dict[str, Callable[..., Schedule]]:
@@ -40,6 +68,12 @@ class ExperimentConfig:
     Figs. 5(b)/6(b) (with ``n_links_fixed`` links).  Lower the
     repetition/trial counts for quick runs; the benchmark defaults are
     in each bench file.
+
+    Execution knobs: ``n_jobs`` fans the ``point x rep x scheduler``
+    grid out over worker processes (1 = serial, 0 = all CPUs; results
+    are bit-identical either way) and ``mc_max_bytes`` bounds each
+    Monte-Carlo replay's peak memory (``None`` = the sampler's default
+    128 MiB chunk budget).
     """
 
     region_side: float = 500.0
@@ -55,36 +89,41 @@ class ExperimentConfig:
     n_repetitions: int = 10
     n_trials: int = 500
     root_seed: int = 2017
+    n_jobs: int = 1
+    mc_max_bytes: Optional[int] = None
 
-    def workload(self, n_links: int) -> Callable[[int], LinkSet]:
-        """Per-repetition workload factory for ``n_links`` links."""
+    def workload(self, n_links: int) -> TopologyWorkload:
+        """Per-repetition workload factory for ``n_links`` links.
 
-        def make(seed: int) -> LinkSet:
-            return paper_topology(
-                n_links,
-                region_side=self.region_side,
-                min_length=self.min_length,
-                max_length=self.max_length,
-                rate=self.rate,
-                seed=seed,
-            )
-
-        return make
-
-    def small(self) -> "ExperimentConfig":
-        """A fast variant for tests and smoke runs."""
-        return ExperimentConfig(
+        Returns a picklable :class:`TopologyWorkload` so the same
+        factory serves the serial and process-parallel paths.
+        """
+        return TopologyWorkload(
+            n_links=n_links,
             region_side=self.region_side,
             min_length=self.min_length,
             max_length=self.max_length,
-            gamma_th=self.gamma_th,
-            eps=self.eps,
             rate=self.rate,
-            alpha_default=self.alpha_default,
+        )
+
+    def small(self) -> "ExperimentConfig":
+        """A fast variant for tests and smoke runs."""
+        return replace(
+            self,
             n_links_fixed=60,
             n_links_sweep=(30, 60),
             alpha_sweep=(2.5, 3.5),
             n_repetitions=2,
             n_trials=100,
-            root_seed=self.root_seed,
         )
+
+    def with_execution(
+        self, *, n_jobs: Optional[int] = None, mc_max_bytes: Optional[int] = None
+    ) -> "ExperimentConfig":
+        """Copy with execution knobs replaced (unspecified ones kept)."""
+        out = self
+        if n_jobs is not None:
+            out = replace(out, n_jobs=n_jobs)
+        if mc_max_bytes is not None:
+            out = replace(out, mc_max_bytes=mc_max_bytes)
+        return out

@@ -7,6 +7,12 @@
 
 Expected shape (paper): LDP and RLE show ~zero failures; ApproxLogN and
 ApproxDiversity fail increasingly with N and decreasingly with alpha.
+
+Both sweeps execute through :func:`repro.sim.runner.run_sweep`, so the
+whole ``point x repetition x scheduler`` grid fans out over
+``config.n_jobs`` worker processes (1 = serial; results are
+bit-identical for every value) under the ``config.mc_max_bytes`` replay
+memory budget.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig, paper_scheduler_set
-from repro.sim.runner import RunResult, run_schedulers
+from repro.sim.runner import RunResult, SweepPoint, run_sweep
 from repro.utils.rng import stable_seed
 
 
@@ -33,51 +39,62 @@ class SweepSeries:
         return [getattr(r, field) for r in self.series[algorithm]]
 
 
-def failed_vs_links(config: ExperimentConfig | None = None) -> SweepSeries:
-    """Fig. 5(a): failed transmissions vs number of links."""
-    cfg = config or ExperimentConfig()
-    schedulers = paper_scheduler_set()
+def sweep_panel(
+    schedulers: Dict[str, object],
+    points: Sequence[SweepPoint],
+    cfg: ExperimentConfig,
+    *,
+    x_label: str,
+) -> SweepSeries:
+    """Run a sweep and package the results as a :class:`SweepSeries`."""
+    per_point = run_sweep(
+        schedulers,
+        points,
+        n_repetitions=cfg.n_repetitions,
+        n_trials=cfg.n_trials,
+        gamma_th=cfg.gamma_th,
+        eps=cfg.eps,
+        n_jobs=cfg.n_jobs,
+        max_bytes=cfg.mc_max_bytes,
+    )
     series: Dict[str, List[RunResult]] = {name: [] for name in schedulers}
-    for n in cfg.n_links_sweep:
-        results = run_schedulers(
-            schedulers,
-            cfg.workload(n),
-            n_repetitions=cfg.n_repetitions,
-            n_trials=cfg.n_trials,
-            alpha=cfg.alpha_default,
-            gamma_th=cfg.gamma_th,
-            eps=cfg.eps,
-            root_seed=stable_seed("fig5a", n, root=cfg.root_seed),
-        )
+    for results in per_point:
         for name in schedulers:
             series[name].append(results[name])
     return SweepSeries(
-        x_label="number of links",
-        x_values=tuple(float(n) for n in cfg.n_links_sweep),
+        x_label=x_label,
+        x_values=tuple(p.x for p in points),
         series=series,
     )
+
+
+def failed_vs_links(config: ExperimentConfig | None = None) -> SweepSeries:
+    """Fig. 5(a): failed transmissions vs number of links."""
+    cfg = config or ExperimentConfig()
+    points = [
+        SweepPoint(
+            x=float(n),
+            workload=cfg.workload(n),
+            alpha=cfg.alpha_default,
+            root_seed=stable_seed("fig5a", n, root=cfg.root_seed),
+        )
+        for n in cfg.n_links_sweep
+    ]
+    return sweep_panel(paper_scheduler_set(), points, cfg, x_label="number of links")
 
 
 def failed_vs_alpha(config: ExperimentConfig | None = None) -> SweepSeries:
     """Fig. 5(b): failed transmissions vs path loss exponent alpha."""
     cfg = config or ExperimentConfig()
-    schedulers = paper_scheduler_set()
-    series: Dict[str, List[RunResult]] = {name: [] for name in schedulers}
-    for alpha in cfg.alpha_sweep:
-        results = run_schedulers(
-            schedulers,
-            cfg.workload(cfg.n_links_fixed),
-            n_repetitions=cfg.n_repetitions,
-            n_trials=cfg.n_trials,
+    points = [
+        SweepPoint(
+            x=float(alpha),
+            workload=cfg.workload(cfg.n_links_fixed),
             alpha=alpha,
-            gamma_th=cfg.gamma_th,
-            eps=cfg.eps,
             root_seed=stable_seed("fig5b", alpha, root=cfg.root_seed),
         )
-        for name in schedulers:
-            series[name].append(results[name])
-    return SweepSeries(
-        x_label="path loss exponent alpha",
-        x_values=tuple(cfg.alpha_sweep),
-        series=series,
+        for alpha in cfg.alpha_sweep
+    ]
+    return sweep_panel(
+        paper_scheduler_set(), points, cfg, x_label="path loss exponent alpha"
     )

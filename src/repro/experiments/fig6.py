@@ -7,16 +7,17 @@
 Expected shape (paper): RLE >= LDP throughout; both grow with N and
 with alpha (larger alpha shrinks LDP's squares and RLE's elimination
 radius, so more links fit a slot).
+
+Like Fig. 5, the sweeps run through :func:`repro.sim.runner.run_sweep`
+and honour ``config.n_jobs`` / ``config.mc_max_bytes``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
-
 from repro.core.base import get_scheduler
 from repro.experiments.config import FIG6_SCHEDULERS, ExperimentConfig
-from repro.experiments.fig5 import SweepSeries
-from repro.sim.runner import RunResult, run_schedulers
+from repro.experiments.fig5 import SweepSeries, sweep_panel
+from repro.sim.runner import SweepPoint
 from repro.utils.rng import stable_seed
 
 
@@ -27,48 +28,30 @@ def _fig6_schedulers():
 def throughput_vs_links(config: ExperimentConfig | None = None) -> SweepSeries:
     """Fig. 6(a): throughput vs number of links (LDP vs RLE)."""
     cfg = config or ExperimentConfig()
-    schedulers = _fig6_schedulers()
-    series: Dict[str, List[RunResult]] = {name: [] for name in schedulers}
-    for n in cfg.n_links_sweep:
-        results = run_schedulers(
-            schedulers,
-            cfg.workload(n),
-            n_repetitions=cfg.n_repetitions,
-            n_trials=cfg.n_trials,
+    points = [
+        SweepPoint(
+            x=float(n),
+            workload=cfg.workload(n),
             alpha=cfg.alpha_default,
-            gamma_th=cfg.gamma_th,
-            eps=cfg.eps,
             root_seed=stable_seed("fig6a", n, root=cfg.root_seed),
         )
-        for name in schedulers:
-            series[name].append(results[name])
-    return SweepSeries(
-        x_label="number of links",
-        x_values=tuple(float(n) for n in cfg.n_links_sweep),
-        series=series,
-    )
+        for n in cfg.n_links_sweep
+    ]
+    return sweep_panel(_fig6_schedulers(), points, cfg, x_label="number of links")
 
 
 def throughput_vs_alpha(config: ExperimentConfig | None = None) -> SweepSeries:
     """Fig. 6(b): throughput vs path loss exponent alpha (LDP vs RLE)."""
     cfg = config or ExperimentConfig()
-    schedulers = _fig6_schedulers()
-    series: Dict[str, List[RunResult]] = {name: [] for name in schedulers}
-    for alpha in cfg.alpha_sweep:
-        results = run_schedulers(
-            schedulers,
-            cfg.workload(cfg.n_links_fixed),
-            n_repetitions=cfg.n_repetitions,
-            n_trials=cfg.n_trials,
+    points = [
+        SweepPoint(
+            x=float(alpha),
+            workload=cfg.workload(cfg.n_links_fixed),
             alpha=alpha,
-            gamma_th=cfg.gamma_th,
-            eps=cfg.eps,
             root_seed=stable_seed("fig6b", alpha, root=cfg.root_seed),
         )
-        for name in schedulers:
-            series[name].append(results[name])
-    return SweepSeries(
-        x_label="path loss exponent alpha",
-        x_values=tuple(cfg.alpha_sweep),
-        series=series,
+        for alpha in cfg.alpha_sweep
+    ]
+    return sweep_panel(
+        _fig6_schedulers(), points, cfg, x_label="path loss exponent alpha"
     )

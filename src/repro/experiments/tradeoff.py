@@ -15,19 +15,28 @@ reports, per scheduler:
 The interesting output is the goodput-maximising eps, which is far
 above the paper's conservative 0.01 on its own workload (see
 ``benchmarks/test_eps_tradeoff.py``).
+
+Execution notes: the sweep is repetition-major — one work unit
+generates a workload once and walks *all* eps values on it via
+:meth:`FadingRLS.with_params`, which carries the cached O(N^2)
+interference matrix across the eps-only changes.  Units fan out over
+processes with ``n_jobs`` (results are bit-identical to the serial
+order for every value).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.problem import FadingRLS
+from repro.experiments.config import TopologyWorkload
 from repro.network.links import LinkSet
-from repro.network.topology import paper_topology
 from repro.sim.montecarlo import simulate_schedule
+from repro.sim.parallel import parallel_map
 from repro.utils.rng import stable_seed
 
 
@@ -42,6 +51,46 @@ class EpsPoint:
     mean_failed: float
 
 
+def _tradeoff_rep(
+    rep: int,
+    *,
+    schedulers: Dict[str, Callable],
+    eps_values: Sequence[float],
+    alpha: float,
+    n_trials: int,
+    root_seed: int,
+    workload: Callable[[int], LinkSet],
+    max_bytes: Optional[int],
+) -> Dict[Tuple[float, str], Tuple[float, float, float]]:
+    """One repetition: every (eps, scheduler) cell on a shared workload.
+
+    The workload (and hence the interference matrix) is independent of
+    eps, so the base problem is built once and eps-only copies share its
+    cached ``F`` through :meth:`FadingRLS.with_params`.
+    """
+    links = workload(stable_seed("eps", rep, root=root_seed))
+    base = FadingRLS(links=links, alpha=alpha, eps=float(eps_values[0]))
+    out: Dict[Tuple[float, str], Tuple[float, float, float]] = {}
+    for eps in eps_values:
+        problem = base.with_params(eps=float(eps))
+        for name, fn in schedulers.items():
+            schedule = fn(problem)
+            goodput = problem.expected_throughput(schedule.active)
+            result = simulate_schedule(
+                problem,
+                schedule,
+                n_trials=n_trials,
+                seed=stable_seed("eps-sim", rep, name, eps, root=root_seed),
+                max_bytes=max_bytes,
+            )
+            out[(float(eps), name)] = (
+                float(schedule.size),
+                float(goodput),
+                float(result.mean_failed),
+            )
+    return out
+
+
 def eps_tradeoff(
     schedulers: Dict[str, Callable],
     *,
@@ -52,35 +101,41 @@ def eps_tradeoff(
     alpha: float = 3.0,
     root_seed: int = 2017,
     workload: Callable[[int], LinkSet] | None = None,
+    n_jobs: Optional[int] = 1,
+    max_bytes: Optional[int] = None,
 ) -> List[EpsPoint]:
-    """Run the eps sweep; returns one :class:`EpsPoint` per cell."""
+    """Run the eps sweep; returns one :class:`EpsPoint` per cell.
+
+    ``n_jobs`` fans repetitions out over worker processes (the workload
+    and schedulers must then be picklable); ``max_bytes`` bounds each
+    Monte-Carlo replay's memory.
+    """
     if workload is None:
-        workload = lambda seed: paper_topology(n_links, seed=seed)  # noqa: E731
+        workload = TopologyWorkload(n_links=n_links)
+    worker = partial(
+        _tradeoff_rep,
+        schedulers=dict(schedulers),
+        eps_values=tuple(float(e) for e in eps_values),
+        alpha=alpha,
+        n_trials=n_trials,
+        root_seed=root_seed,
+        workload=workload,
+        max_bytes=max_bytes,
+    )
+    per_rep = parallel_map(worker, range(n_repetitions), n_jobs=n_jobs)
     out: List[EpsPoint] = []
     for eps in eps_values:
-        acc: Dict[str, List[Tuple[float, float, float]]] = {k: [] for k in schedulers}
-        for rep in range(n_repetitions):
-            links = workload(stable_seed("eps", rep, root=root_seed))
-            problem = FadingRLS(links=links, alpha=alpha, eps=eps)
-            for name, fn in schedulers.items():
-                schedule = fn(problem)
-                goodput = problem.expected_throughput(schedule.active)
-                result = simulate_schedule(
-                    problem,
-                    schedule,
-                    n_trials=n_trials,
-                    seed=stable_seed("eps-sim", rep, name, eps, root=root_seed),
-                )
-                acc[name].append((schedule.size, goodput, result.mean_failed))
-        for name, rows in acc.items():
-            arr = np.asarray(rows, dtype=float)
+        for name in schedulers:
+            rows = np.asarray(
+                [rep_rows[(float(eps), name)] for rep_rows in per_rep], dtype=float
+            )
             out.append(
                 EpsPoint(
                     eps=float(eps),
                     algorithm=name,
-                    mean_scheduled=float(arr[:, 0].mean()),
-                    mean_expected_goodput=float(arr[:, 1].mean()),
-                    mean_failed=float(arr[:, 2].mean()),
+                    mean_scheduled=float(rows[:, 0].mean()),
+                    mean_expected_goodput=float(rows[:, 1].mean()),
+                    mean_failed=float(rows[:, 2].mean()),
                 )
             )
     return out

@@ -3,23 +3,40 @@
 Replays schedules through the Rayleigh-fading channel to measure what
 the paper's Section V measures: failed transmissions and throughput.
 
-- :mod:`repro.sim.montecarlo` — vectorised fading trials per schedule,
+- :mod:`repro.sim.montecarlo` — memory-bounded streaming fading trials
+  per schedule,
 - :mod:`repro.sim.metrics` — the evaluation metrics,
-- :mod:`repro.sim.runner` — batched multi-repetition experiment runner.
+- :mod:`repro.sim.runner` — batched multi-repetition experiment runner,
+- :mod:`repro.sim.parallel` — process-parallel work-unit engine behind
+  the runner (deterministic fan-out, ``n_jobs`` control).
 """
 
 from repro.sim.adaptive import AdaptiveResult, simulate_until
 from repro.sim.metrics import SimulationResult, summarize_trials
 from repro.sim.montecarlo import simulate_schedule
 from repro.sim.network_sim import QueueSimResult, simulate_queues, stability_sweep
-from repro.sim.runner import RunResult, run_schedulers
+from repro.sim.parallel import (
+    WorkUnit,
+    available_cpus,
+    execute_units,
+    parallel_map,
+    resolve_n_jobs,
+)
+from repro.sim.runner import RunResult, SweepPoint, run_schedulers, run_sweep
 
 __all__ = [
     "simulate_schedule",
     "SimulationResult",
     "summarize_trials",
     "run_schedulers",
+    "run_sweep",
+    "SweepPoint",
     "RunResult",
+    "WorkUnit",
+    "execute_units",
+    "parallel_map",
+    "resolve_n_jobs",
+    "available_cpus",
     "simulate_queues",
     "stability_sweep",
     "QueueSimResult",

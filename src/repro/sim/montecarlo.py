@@ -9,16 +9,22 @@ experiment behind both paper metrics:
   below ``gamma_th`` in a trial;
 - **throughput** (Fig. 6): total rate of the links that succeeded.
 
-All trials for one schedule are drawn in a single exponential sample of
-shape ``(T, K, K)`` and reduced with two vectorised sums (guide: one big
-draw, no per-trial Python loop).
+The replay is **memory-bounded**: trials stream through
+:func:`~repro.channel.sampling.iter_fading_trials` in chunks under a
+``max_bytes`` budget, and each ``(t_c, K, K)`` chunk is immediately
+reduced to its ``(t_c, K)`` success slab — the full ``(T, K, K)`` power
+tensor (~20 GB at ``K = 500``, ``T = 10_000``) is never materialised.
+Chunking along the trial axis preserves the RNG stream exactly (see the
+stream-layout contract in :mod:`repro.channel.sampling`), so results are
+bit-identical for every chunk size, including the legacy single-draw
+behaviour.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.channel.sampling import instantaneous_sinr, sample_fading_trials
+from repro.channel.sampling import instantaneous_sinr, iter_fading_trials
 from repro.core.problem import FadingRLS
 from repro.core.schedule import Schedule
 from repro.sim.metrics import SimulationResult, summarize_trials
@@ -32,6 +38,7 @@ def simulate_trials(
     *,
     noise: float | None = None,
     seed: SeedLike = None,
+    max_bytes: int | None = None,
 ) -> np.ndarray:
     """Boolean success matrix over fading trials.
 
@@ -49,6 +56,11 @@ def simulate_trials(
         (0 in the paper's setting, Eq. 8).
     seed:
         RNG seed.
+    max_bytes:
+        Byte budget for the streamed fading chunks (default
+        :data:`~repro.channel.sampling.DEFAULT_MAX_BYTES`).  Only the
+        ``(T, K)`` success matrix is held for the full run; peak extra
+        memory is one chunk.
 
     Returns
     -------
@@ -59,16 +71,27 @@ def simulate_trials(
     active = schedule.active if isinstance(schedule, Schedule) else np.asarray(schedule)
     mask = problem.active_mask(active)
     idx = np.flatnonzero(mask)
-    z = sample_fading_trials(
+    n0 = problem.noise if noise is None else noise
+    success = np.empty((n_trials, idx.size), dtype=bool)
+    done = 0
+    for z in iter_fading_trials(
         problem.distances(),
         idx,
         problem.alpha,
         n_trials,
         power=problem.tx_powers(),
         seed=seed,
-    )
-    sinr = instantaneous_sinr(z, noise=problem.noise if noise is None else noise)
-    return sinr >= problem.gamma_th
+        max_bytes=max_bytes,
+    ):
+        t_c = z.shape[0]
+        sinr = instantaneous_sinr(z, noise=n0)
+        # Release the chunk before the generator draws the next one —
+        # holding it through the loop head would double peak memory.
+        del z
+        success[done : done + t_c] = sinr >= problem.gamma_th
+        del sinr
+        done += t_c
+    return success
 
 
 def simulate_schedule(
@@ -78,6 +101,7 @@ def simulate_schedule(
     n_trials: int = 1000,
     noise: float | None = None,
     seed: SeedLike = None,
+    max_bytes: int | None = None,
 ) -> SimulationResult:
     """Replay a schedule and summarise the paper's metrics.
 
@@ -86,11 +110,15 @@ def simulate_schedule(
     success rates.  The analytic cross-check
     (:meth:`FadingRLS.success_probabilities`) should match the empirical
     rates within Monte-Carlo error — the integration tests assert it.
+    ``max_bytes`` bounds the replay's peak memory (see
+    :func:`simulate_trials`); the summary is identical for every budget.
     """
     active = schedule.active if isinstance(schedule, Schedule) else np.asarray(schedule)
     mask = problem.active_mask(active)
     idx = np.flatnonzero(mask)
-    success = simulate_trials(problem, idx, n_trials, noise=noise, seed=seed)
+    success = simulate_trials(
+        problem, idx, n_trials, noise=noise, seed=seed, max_bytes=max_bytes
+    )
     rates = problem.links.rates[idx]
     algorithm = schedule.algorithm if isinstance(schedule, Schedule) else "raw"
     return summarize_trials(success, rates, active_indices=idx, algorithm=algorithm)

@@ -1,0 +1,230 @@
+"""Process-parallel experiment execution.
+
+The figure pipeline is embarrassingly parallel: every
+``(sweep point, workload repetition, scheduler)`` cell generates its own
+workload, runs one scheduler, and replays the schedule through the
+fading channel — no cell reads another's output.  This module fans
+those cells out as :class:`WorkUnit`\\ s over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Determinism
+-----------
+A unit's randomness is fully determined by its identity: the workload
+seed is ``stable_seed("workload", rep, root=root_seed)`` and the fading
+seed ``stable_seed("fading", rep, name, root=root_seed)`` — exactly the
+derivation the serial runner has always used.  Results are reassembled
+in submission order, so ``n_jobs=4`` is **bit-identical** to the serial
+``n_jobs=1`` fallback (the tests assert equality, not closeness).
+
+Pickling
+--------
+Work units cross a process boundary, so the workload factory and the
+scheduler callables must be picklable: module-level functions,
+``functools.partial`` of them, or dataclass instances like
+:class:`repro.experiments.config.TopologyWorkload` — not closures or
+lambdas.  :func:`execute_units` verifies this up front and raises a
+clear error instead of an opaque pool crash.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, TypeVar
+
+from repro.core.problem import FadingRLS
+from repro.core.schedule import Schedule
+from repro.network.links import LinkSet
+from repro.sim.metrics import SimulationResult
+from repro.sim.montecarlo import simulate_schedule
+from repro.utils.rng import stable_seed
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalise an ``n_jobs`` knob to a concrete worker count.
+
+    ``None`` or ``0`` means "all available CPUs"; positive values are
+    taken literally (oversubscription is allowed — useful for testing
+    the parallel path on small machines); negatives are rejected.
+    """
+    if n_jobs is None or n_jobs == 0:
+        return available_cpus()
+    if n_jobs < 0:
+        raise ValueError(f"n_jobs must be >= 0 (0 = all CPUs), got {n_jobs}")
+    return int(n_jobs)
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent cell of an experiment grid.
+
+    Executing a unit regenerates its workload from the derived seed,
+    builds the :class:`FadingRLS` instance, runs one scheduler, and
+    replays the schedule through the fading channel.  Units carry
+    everything they need, so they can run in any process in any order.
+
+    Attributes
+    ----------
+    tag:
+        Opaque grouping key the caller uses to reassemble results
+        (e.g. the sweep-point index); never interpreted here.
+    rep:
+        Workload repetition index (seeds derive from it).
+    name:
+        Scheduler name (seeds derive from it; becomes the result's
+        algorithm label via the schedule).
+    scheduler:
+        Picklable scheduler callable ``(problem, **kwargs) -> Schedule``.
+    workload:
+        Picklable factory ``workload(seed) -> LinkSet``.
+    """
+
+    tag: Any
+    rep: int
+    name: str
+    scheduler: Callable[..., Schedule]
+    workload: Callable[[int], LinkSet]
+    n_trials: int
+    alpha: float
+    gamma_th: float
+    eps: float
+    root_seed: int
+    scheduler_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    noise: float = 0.0
+    max_bytes: Optional[int] = None
+
+
+def execute_unit(unit: WorkUnit) -> SimulationResult:
+    """Run one :class:`WorkUnit` — the per-process worker function."""
+    links = unit.workload(stable_seed("workload", unit.rep, root=unit.root_seed))
+    problem = FadingRLS(
+        links=links,
+        alpha=unit.alpha,
+        gamma_th=unit.gamma_th,
+        eps=unit.eps,
+        noise=unit.noise,
+    )
+    schedule = unit.scheduler(problem, **dict(unit.scheduler_kwargs))
+    return simulate_schedule(
+        problem,
+        schedule,
+        n_trials=unit.n_trials,
+        seed=stable_seed("fading", unit.rep, unit.name, root=unit.root_seed),
+        max_bytes=unit.max_bytes,
+    )
+
+
+def _check_picklable(units: Sequence[Any]) -> None:
+    """Fail fast with a readable error if units cannot cross processes."""
+    try:
+        pickle.dumps(units[0])
+    except Exception as exc:
+        raise ValueError(
+            "work units must be picklable for n_jobs > 1: define workload "
+            "factories and schedulers at module level (e.g. "
+            "repro.experiments.config.TopologyWorkload) instead of closures "
+            f"or lambdas ({exc})"
+        ) from exc
+
+
+def parallel_map(
+    func: Callable[[T], U],
+    items: Sequence[T],
+    *,
+    n_jobs: Optional[int] = 1,
+    chunksize: int = 1,
+) -> List[U]:
+    """Order-preserving map over a process pool (serial when possible).
+
+    The generic primitive under :func:`execute_units` and the ablation /
+    trade-off drivers: ``n_jobs=1`` (or a single item) runs a plain loop
+    in-process — no pool, no pickling, bit-identical to the historical
+    serial code path.  ``func`` and every item must be picklable for
+    ``n_jobs > 1``.
+    """
+    jobs = resolve_n_jobs(n_jobs)
+    items = list(items)
+    if jobs == 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    _check_picklable(items)
+    try:
+        pickle.dumps(func)
+    except Exception as exc:
+        raise ValueError(
+            f"func must be picklable for n_jobs > 1 (module-level function "
+            f"or functools.partial of one): {exc}"
+        ) from exc
+    workers = min(jobs, len(items))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(func, items, chunksize=max(1, chunksize)))
+
+
+def execute_units(
+    units: Sequence[WorkUnit],
+    *,
+    n_jobs: Optional[int] = 1,
+) -> List[SimulationResult]:
+    """Execute work units, preserving input order.
+
+    ``n_jobs=1`` is the serial fallback (same process, same iteration
+    order as the historical runner); ``n_jobs=0``/``None`` uses all
+    CPUs.  Results land at the same index as their unit regardless of
+    completion order, so aggregation downstream is order-stable.
+    """
+    return parallel_map(execute_unit, units, n_jobs=n_jobs)
+
+
+def build_units(
+    schedulers: Mapping[str, Callable[..., Schedule]],
+    workload: Callable[[int], LinkSet],
+    *,
+    tag: Any = None,
+    n_repetitions: int,
+    n_trials: int,
+    alpha: float,
+    gamma_th: float,
+    eps: float,
+    root_seed: int,
+    scheduler_kwargs: Optional[Mapping[str, dict]] = None,
+    noise: float = 0.0,
+    max_bytes: Optional[int] = None,
+) -> List[WorkUnit]:
+    """The ``rep x scheduler`` unit grid for one sweep point.
+
+    Rep-major, scheduler-minor — the same nesting as the serial loops,
+    so zipping results back by index reproduces the historical
+    aggregation order exactly.
+    """
+    kwargs_map = dict(scheduler_kwargs or {})
+    return [
+        WorkUnit(
+            tag=tag,
+            rep=rep,
+            name=name,
+            scheduler=scheduler,
+            workload=workload,
+            n_trials=n_trials,
+            alpha=alpha,
+            gamma_th=gamma_th,
+            eps=eps,
+            root_seed=root_seed,
+            scheduler_kwargs=kwargs_map.get(name, {}),
+            noise=noise,
+            max_bytes=max_bytes,
+        )
+        for rep in range(n_repetitions)
+        for name, scheduler in schedulers.items()
+    ]

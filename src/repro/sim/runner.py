@@ -5,21 +5,26 @@ workload, run every scheduler on it, replay each schedule through the
 fading channel, average over repetitions*.  :func:`run_schedulers`
 packages that loop with per-repetition derived seeds so any point is
 reproducible in isolation.
+
+Execution is delegated to :mod:`repro.sim.parallel`: the
+``rep x scheduler`` grid becomes independent work units that run
+serially (``n_jobs=1``, the bit-identical default) or fan out over a
+process pool.  :func:`run_sweep` extends the same fan-out across *all*
+points of a figure sweep, so a whole panel parallelises as one flat
+unit list instead of point-by-point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.core.problem import FadingRLS
 from repro.core.schedule import Schedule
 from repro.network.links import LinkSet
 from repro.sim.metrics import SimulationResult
-from repro.sim.montecarlo import simulate_schedule
-from repro.utils.rng import stable_seed
+from repro.sim.parallel import WorkUnit, build_units, execute_units
 
 
 @dataclass(frozen=True)
@@ -42,6 +47,38 @@ class RunResult:
     per_rep: List[SimulationResult]
 
 
+def aggregate_results(name: str, results: List[SimulationResult]) -> RunResult:
+    """Reduce one scheduler's per-repetition results to a :class:`RunResult`."""
+    n_repetitions = len(results)
+    failed = np.array([r.mean_failed for r in results])
+    throughput = np.array([r.mean_throughput for r in results])
+    scheduled = np.array([r.n_scheduled for r in results], dtype=float)
+    scheduled_rate = np.array([r.scheduled_rate for r in results])
+    return RunResult(
+        algorithm=name,
+        n_repetitions=n_repetitions,
+        mean_failed=float(failed.mean()),
+        failed_std=float(failed.std(ddof=1)) if n_repetitions > 1 else 0.0,
+        mean_throughput=float(throughput.mean()),
+        throughput_std=float(throughput.std(ddof=1)) if n_repetitions > 1 else 0.0,
+        mean_scheduled=float(scheduled.mean()),
+        mean_scheduled_rate=float(scheduled_rate.mean()),
+        per_rep=results,
+    )
+
+
+def _group_by_scheduler(
+    schedulers: Mapping[str, Callable[..., Schedule]],
+    units: Sequence[WorkUnit],
+    results: Sequence[SimulationResult],
+) -> Dict[str, RunResult]:
+    """Regroup flat unit results into per-scheduler aggregates."""
+    per_alg: Dict[str, List[SimulationResult]] = {name: [] for name in schedulers}
+    for unit, result in zip(units, results):
+        per_alg[unit.name].append(result)
+    return {name: aggregate_results(name, results) for name, results in per_alg.items()}
+
+
 def run_schedulers(
     schedulers: Mapping[str, Callable[..., Schedule]],
     workload: Callable[[int], LinkSet],
@@ -53,6 +90,8 @@ def run_schedulers(
     eps: float = 0.01,
     root_seed: int = 0,
     scheduler_kwargs: Mapping[str, dict] | None = None,
+    n_jobs: Optional[int] = 1,
+    max_bytes: Optional[int] = None,
 ) -> Dict[str, RunResult]:
     """Run every scheduler on ``n_repetitions`` random workloads.
 
@@ -63,7 +102,8 @@ def run_schedulers(
     workload:
         ``workload(seed) -> LinkSet`` — the per-repetition instance
         generator.  All schedulers see the *same* instance in each
-        repetition (paired comparison, lower variance).
+        repetition (paired comparison, lower variance).  Must be
+        picklable for ``n_jobs > 1``.
     n_repetitions, n_trials:
         Workload draws, and fading realisations per schedule.
     alpha, gamma_th, eps:
@@ -73,6 +113,14 @@ def run_schedulers(
         are independent by construction).
     scheduler_kwargs:
         Optional per-scheduler extra keyword arguments.
+    n_jobs:
+        Worker processes; ``1`` (default) runs serially in-process,
+        ``0``/``None`` uses all CPUs.  Results are bit-identical for
+        every value — seeds derive from unit identity, not execution
+        order.
+    max_bytes:
+        Memory budget per Monte-Carlo replay chunk (see
+        :func:`repro.sim.montecarlo.simulate_schedule`).
 
     Returns
     -------
@@ -80,37 +128,79 @@ def run_schedulers(
     """
     if n_repetitions < 1:
         raise ValueError("n_repetitions must be >= 1")
-    kwargs_map = dict(scheduler_kwargs or {})
-    per_alg: Dict[str, List[SimulationResult]] = {name: [] for name in schedulers}
+    units = build_units(
+        schedulers,
+        workload,
+        n_repetitions=n_repetitions,
+        n_trials=n_trials,
+        alpha=alpha,
+        gamma_th=gamma_th,
+        eps=eps,
+        root_seed=root_seed,
+        scheduler_kwargs=scheduler_kwargs,
+        max_bytes=max_bytes,
+    )
+    results = execute_units(units, n_jobs=n_jobs)
+    return _group_by_scheduler(schedulers, units, results)
 
-    for rep in range(n_repetitions):
-        links = workload(stable_seed("workload", rep, root=root_seed))
-        problem = FadingRLS(links=links, alpha=alpha, gamma_th=gamma_th, eps=eps)
-        for name, scheduler in schedulers.items():
-            schedule = scheduler(problem, **kwargs_map.get(name, {}))
-            result = simulate_schedule(
-                problem,
-                schedule,
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-axis point of a figure sweep.
+
+    ``x`` is the plotted value; ``workload``, ``alpha`` and
+    ``root_seed`` fully determine the point's experiment (the root seed
+    is usually derived from ``x`` via ``stable_seed`` so points remain
+    reproducible in isolation).
+    """
+
+    x: float
+    workload: Callable[[int], LinkSet]
+    alpha: float
+    root_seed: int
+
+
+def run_sweep(
+    schedulers: Mapping[str, Callable[..., Schedule]],
+    points: Sequence[SweepPoint],
+    *,
+    n_repetitions: int = 10,
+    n_trials: int = 500,
+    gamma_th: float = 1.0,
+    eps: float = 0.01,
+    scheduler_kwargs: Mapping[str, dict] | None = None,
+    n_jobs: Optional[int] = 1,
+    max_bytes: Optional[int] = None,
+) -> List[Dict[str, RunResult]]:
+    """Run a whole sweep as one flat parallel unit list.
+
+    Equivalent to calling :func:`run_schedulers` once per
+    :class:`SweepPoint` (same seeds, same results, in order) — but all
+    ``point x rep x scheduler`` cells share a single process pool, so
+    small per-point grids still saturate the workers.
+    """
+    all_units: List[WorkUnit] = []
+    for i, point in enumerate(points):
+        all_units.extend(
+            build_units(
+                schedulers,
+                point.workload,
+                tag=i,
+                n_repetitions=n_repetitions,
                 n_trials=n_trials,
-                seed=stable_seed("fading", rep, name, root=root_seed),
+                alpha=point.alpha,
+                gamma_th=gamma_th,
+                eps=eps,
+                root_seed=point.root_seed,
+                scheduler_kwargs=scheduler_kwargs,
+                max_bytes=max_bytes,
             )
-            per_alg[name].append(result)
-
-    out: Dict[str, RunResult] = {}
-    for name, results in per_alg.items():
-        failed = np.array([r.mean_failed for r in results])
-        throughput = np.array([r.mean_throughput for r in results])
-        scheduled = np.array([r.n_scheduled for r in results], dtype=float)
-        scheduled_rate = np.array([r.scheduled_rate for r in results])
-        out[name] = RunResult(
-            algorithm=name,
-            n_repetitions=n_repetitions,
-            mean_failed=float(failed.mean()),
-            failed_std=float(failed.std(ddof=1)) if n_repetitions > 1 else 0.0,
-            mean_throughput=float(throughput.mean()),
-            throughput_std=float(throughput.std(ddof=1)) if n_repetitions > 1 else 0.0,
-            mean_scheduled=float(scheduled.mean()),
-            mean_scheduled_rate=float(scheduled_rate.mean()),
-            per_rep=results,
         )
+    results = execute_units(all_units, n_jobs=n_jobs)
+    per_point = len(all_units) // len(points) if points else 0
+    out: List[Dict[str, RunResult]] = []
+    for i in range(len(points)):
+        chunk_units = all_units[i * per_point : (i + 1) * per_point]
+        chunk_results = results[i * per_point : (i + 1) * per_point]
+        out.append(_group_by_scheduler(schedulers, chunk_units, chunk_results))
     return out

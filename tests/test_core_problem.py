@@ -184,3 +184,56 @@ class TestRestriction:
         assert p2.alpha == 4.0
         assert p2.eps == tiny_problem.eps
         assert p2.links is tiny_problem.links
+
+
+class TestWithParamsCacheCarry:
+    """with_params must reuse cached derived arrays when their defining
+    parameters are untouched (eps-only sweeps reuse the O(N^2) F)."""
+
+    def test_eps_only_change_carries_f(self, paper_problem):
+        f = paper_problem.interference_matrix()
+        p2 = paper_problem.with_params(eps=0.2)
+        assert p2.interference_matrix() is f
+        assert p2.distances() is paper_problem.distances()
+
+    def test_noise_only_change_carries_f(self, paper_problem):
+        f = paper_problem.interference_matrix()
+        p2 = paper_problem.with_params(noise=1e-9)
+        assert p2.interference_matrix() is f
+
+    def test_alpha_change_recomputes_f(self, paper_problem):
+        f = paper_problem.interference_matrix()
+        p2 = paper_problem.with_params(alpha=4.0)
+        f2 = p2.interference_matrix()
+        assert f2 is not f
+        assert not np.allclose(f2, f)
+
+    def test_gamma_change_recomputes_f(self, paper_problem):
+        f = paper_problem.interference_matrix()
+        p2 = paper_problem.with_params(gamma_th=2.0)
+        assert p2.interference_matrix() is not f
+
+    def test_carried_f_matches_fresh_computation(self, paper_problem):
+        paper_problem.interference_matrix()
+        p2 = paper_problem.with_params(eps=0.3)
+        from repro.core.problem import interference_factors
+
+        fresh = interference_factors(
+            p2.distances(), p2.alpha, p2.gamma_th, p2.powers
+        )
+        np.testing.assert_array_equal(p2.interference_matrix(), fresh)
+
+    def test_uncached_source_stays_lazy(self, tiny_problem):
+        # No caches built yet: with_params must not force computation.
+        p2 = tiny_problem.with_params(eps=0.2)
+        assert "F" not in p2._cache
+        np.testing.assert_allclose(
+            p2.interference_matrix(), tiny_problem.interference_matrix()
+        )
+
+    def test_power_change_recomputes_noise_factors(self, paper_problem):
+        noisy = paper_problem.with_params(noise=1e-6)
+        nf = noisy.noise_factors()
+        p2 = noisy.with_params(power=2.0)
+        assert p2.noise_factors() is not nf
+        np.testing.assert_allclose(p2.noise_factors(), nf / 2.0)
