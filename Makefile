@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke figures
+.PHONY: test bench bench-smoke figures verify-fuzz coverage
 
 test:            ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
@@ -17,3 +17,14 @@ bench-smoke:     ## one small figure end-to-end + BENCH_RESULTS.json entry
 
 figures:         ## regenerate the paper panels (small config)
 	$(PYTHON) -m repro figures
+
+verify-fuzz:     ## differential + metamorphic oracle over fuzzed scenarios
+	$(PYTHON) -m repro verify --budget 300 --seed 0 --time-budget 120
+
+coverage:        ## tier-1 suite under coverage with a floor (needs pytest-cov)
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTHON) -m pytest -q --cov=src/repro --cov-report=term-missing --cov-fail-under=85; \
+	else \
+		echo "pytest-cov not installed; running plain test suite instead"; \
+		$(PYTHON) -m pytest -q; \
+	fi

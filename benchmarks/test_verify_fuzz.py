@@ -1,0 +1,44 @@
+"""Smoke benchmark: the verification oracle as a timed fuzz run.
+
+``make bench-smoke`` includes this alongside the figure smoke: a
+fixed-seed :func:`repro.verify.run_verification` sweep whose wall time
+and per-check cell counts land in ``BENCH_RESULTS.json``, so the cost
+of the oracle matrix is tracked PR-over-PR just like the figures.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks import bench_export
+from repro.verify import run_verification
+
+BUDGET = 120
+SEED = 0
+
+
+@pytest.mark.smoke
+def test_smoke_verify_fuzz():
+    t0 = time.perf_counter()
+    report = run_verification(budget=BUDGET, seed=SEED)
+    wall = time.perf_counter() - t0
+
+    assert report.passed, report.summary()
+    assert report.n_cells == BUDGET
+
+    per_check = report.per_check_counts()
+    bench_export.record(
+        "verify_fuzz",
+        wall,
+        {
+            "budget": BUDGET,
+            "seed": SEED,
+            "n_cells": report.n_cells,
+            "n_scenarios": report.n_scenarios,
+            "checks": {name: row["cells"] for name, row in sorted(per_check.items())},
+            "mismatches": sum(row["mismatches"] for row in per_check.values()),
+        },
+    )
+    print(f"\nverify fuzz: {report.n_cells} cells, {report.n_scenarios} scenarios, {wall:.2f}s")

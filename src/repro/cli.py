@@ -11,6 +11,9 @@ Commands
     Regenerate the paper's evaluation panels as tables (and JSON).
 ``list``
     Show the registered schedulers.
+``verify``
+    Run the differential + metamorphic verification oracle over fuzzed
+    adversarial scenarios (exit status 1 on any mismatch).
 """
 
 from __future__ import annotations
@@ -219,6 +222,27 @@ def cmd_queue(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """``repro verify``: run the differential + metamorphic oracle."""
+    from repro.verify import all_checks, run_verification
+
+    if args.list_checks:
+        for name in sorted(all_checks()):
+            print(name)
+        return 0
+    report = run_verification(
+        budget=args.budget,
+        seed=args.seed,
+        checks=args.check or None,
+        time_budget=args.time_budget,
+    )
+    print(report.summary())
+    if args.output:
+        write_json(report.to_dict(), args.output)
+        print(f"wrote verification report to {args.output}")
+    return 0 if report.passed else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """``repro report``: render the full markdown evaluation report."""
     from repro.experiments.config import ExperimentConfig
@@ -312,6 +336,36 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--noise", type=float, default=0.0)
     q.add_argument("--seed", type=int, default=0)
     q.set_defaults(fn=cmd_queue)
+
+    v = sub.add_parser(
+        "verify", help="run the differential + metamorphic verification oracle"
+    )
+    v.add_argument(
+        "--budget",
+        type=int,
+        default=200,
+        help="number of (scenario, check) cells to execute (default 200)",
+    )
+    v.add_argument("--seed", type=int, default=0, help="scenario-stream root seed")
+    v.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="optional wall-clock cap in seconds (stops between cells)",
+    )
+    v.add_argument(
+        "--check",
+        action="append",
+        metavar="NAME",
+        help="run only this check/relation (repeatable; default: all)",
+    )
+    v.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="list registered checks and relations, then exit",
+    )
+    v.add_argument("--output", help="write the JSON report here")
+    v.set_defaults(fn=cmd_verify)
 
     r = sub.add_parser("report", help="render the markdown evaluation report")
     r.add_argument("--full", action="store_true", help="paper-scale configuration")

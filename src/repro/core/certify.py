@@ -27,6 +27,35 @@ import numpy as np
 from repro.core.problem import FadingRLS
 from repro.core.schedule import Schedule
 
+#: Reason codes for budget violations (stable strings, mirrored in
+#: docs/VERIFICATION.md).  ``noise-unserviceable`` means the receiver's
+#: noise factor alone exceeds ``gamma_eps`` — no interferer removal can
+#: save it; ``interference-budget-exceeded`` means the accumulated
+#: factors from the other active senders overran a non-negative budget.
+CODE_NOISE_UNSERVICEABLE = "noise-unserviceable"
+CODE_BUDGET_EXCEEDED = "interference-budget-exceeded"
+
+
+@dataclass(frozen=True)
+class AuditCheck:
+    """One named invariant's verdict inside a structural audit.
+
+    Truthiness equals ``passed``, so existing boolean-style consumers
+    (``all(audit.values())``) keep working while the ``code`` and
+    ``detail`` say *which* relation failed and why.
+    """
+
+    code: str
+    passed: bool
+    detail: str = ""
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+    def __repr__(self) -> str:  # keep assertion output readable
+        state = "ok" if self.passed else f"FAILED ({self.detail})"
+        return f"AuditCheck({self.code}: {state})"
+
 
 @dataclass(frozen=True)
 class ReceiverBudget:
@@ -42,6 +71,15 @@ class ReceiverBudget:
     def informed(self) -> bool:
         return self.slack >= -1e-12
 
+    @property
+    def failure_code(self) -> str | None:
+        """Why this receiver is uninformed (``None`` when it is fine)."""
+        if self.informed:
+            return None
+        if self.budget < 0.0:
+            return CODE_NOISE_UNSERVICEABLE
+        return CODE_BUDGET_EXCEEDED
+
 
 @dataclass(frozen=True)
 class FeasibilityCertificate:
@@ -54,6 +92,18 @@ class FeasibilityCertificate:
     def violations(self) -> List[ReceiverBudget]:
         """The receivers whose budgets are exceeded (empty iff feasible)."""
         return [r for r in self.receivers if not r.informed]
+
+    def reason_codes(self) -> Dict[str, List[int]]:
+        """Violation reason codes mapped to the offending link indices.
+
+        Empty iff feasible; otherwise e.g.
+        ``{"interference-budget-exceeded": [3, 17]}`` — which budget
+        term failed, not just that *something* did.
+        """
+        codes: Dict[str, List[int]] = {}
+        for r in self.violations():
+            codes.setdefault(r.failure_code, []).append(r.link)
+        return codes
 
 
 def certify(
@@ -110,7 +160,7 @@ def certify(
     )
 
 
-def audit_ldp_structure(problem: FadingRLS, schedule: Schedule) -> Dict[str, bool]:
+def audit_ldp_structure(problem: FadingRLS, schedule: Schedule) -> Dict[str, AuditCheck]:
     """Re-check Thm 4.1's structural preconditions on an LDP schedule.
 
     Uses the schedule's diagnostics (class magnitude, colour, sizing
@@ -119,6 +169,11 @@ def audit_ldp_structure(problem: FadingRLS, schedule: Schedule) -> Dict[str, boo
     - every scheduled receiver lies in a cell of the winning colour,
     - no two scheduled receivers share a cell,
     - every scheduled link respects the class length bound.
+
+    Each entry is an :class:`AuditCheck` carrying a stable reason code
+    and a detail naming the offending links, so a failed audit says
+    *which* Thm 4.1 precondition broke; truthiness still matches the
+    historical bare-boolean behaviour.
     """
     from repro.core.bounds import ldp_beta, ldp_rigorous_beta, ldp_square_size
     from repro.geometry.grid import GridPartition
@@ -140,16 +195,42 @@ def audit_ldp_structure(problem: FadingRLS, schedule: Schedule) -> Dict[str, boo
     cells = grid.cell_of(links.receivers[schedule.active])
     colors = grid.color_of(links.receivers[schedule.active])
     bound = class_length_bound(links, d["class_magnitude"])
+    off_color = [int(schedule.active[k]) for k in np.flatnonzero(colors != d["color"])]
+    seen: Dict[tuple, int] = {}
+    shared: List[int] = []
+    for k, c in enumerate(map(tuple, cells)):
+        if c in seen:
+            shared.extend({int(schedule.active[seen[c]]), int(schedule.active[k])})
+        else:
+            seen[c] = k
+    too_long = [
+        int(schedule.active[k])
+        for k in np.flatnonzero(links.lengths[schedule.active] >= bound + 1e-9)
+    ]
     return {
-        "single_color": bool((colors == d["color"]).all()),
-        "distinct_cells": len({tuple(c) for c in cells}) == schedule.size,
-        "length_bound": bool(
-            (links.lengths[schedule.active] < bound + 1e-9).all()
+        "single_color": AuditCheck(
+            code="ldp-color-mismatch",
+            passed=not off_color,
+            detail=f"links {sorted(off_color)} lie outside colour {d['color']}"
+            if off_color
+            else "",
+        ),
+        "distinct_cells": AuditCheck(
+            code="ldp-duplicate-cell",
+            passed=not shared,
+            detail=f"links {sorted(set(shared))} share a grid cell" if shared else "",
+        ),
+        "length_bound": AuditCheck(
+            code="ldp-length-bound-exceeded",
+            passed=not too_long,
+            detail=f"links {too_long} exceed the class bound {bound:.6g}"
+            if too_long
+            else "",
         ),
     }
 
 
-def audit_rle_structure(problem: FadingRLS, schedule: Schedule) -> Dict[str, bool]:
+def audit_rle_structure(problem: FadingRLS, schedule: Schedule) -> Dict[str, AuditCheck]:
     """Re-check the RLE invariants on an RLE schedule.
 
     - *radius rule*: for any two scheduled links, the longer one's
@@ -159,6 +240,10 @@ def audit_rle_structure(problem: FadingRLS, schedule: Schedule) -> Dict[str, boo
       ``(c1 - 1) x`` the shorter involved link's length apart;
     - *budget*: every scheduled receiver's total interference fits its
       effective budget.
+
+    Entries are :class:`AuditCheck` records naming the violating link
+    pairs (or budget-overrun receivers) via stable reason codes;
+    truthiness still matches the historical bare-boolean behaviour.
     """
     d = schedule.diagnostics
     if "c1" not in d:
@@ -168,27 +253,47 @@ def audit_rle_structure(problem: FadingRLS, schedule: Schedule) -> Dict[str, boo
     links = problem.links
     dist = problem.distances()
     lengths = links.lengths
-    radius_ok = True
-    separation_ok = True
+    radius_pairs: List[tuple] = []
     for a in idx:
         for b in idx:
             if a == b:
                 continue
             if lengths[a] <= lengths[b]:
                 if dist[b, a] < c1 * lengths[a] - 1e-9:
-                    radius_ok = False
+                    radius_pairs.append((int(a), int(b)))
     senders = links.senders[idx]
     diff = senders[:, None, :] - senders[None, :, :]
     sep = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    separation_pairs: List[tuple] = []
     for ai in range(idx.size):
         for bi in range(ai + 1, idx.size):
             shorter = min(lengths[idx[ai]], lengths[idx[bi]])
             if sep[ai, bi] < (c1 - 1) * shorter - 1e-9:
-                separation_ok = False
-    budget_ok = bool(
-        np.all(
-            problem.interference_on(idx)[idx]
-            <= problem.effective_budgets()[idx] + 1e-12
-        )
-    )
-    return {"radius": radius_ok, "separation": separation_ok, "budget": budget_ok}
+                separation_pairs.append((int(idx[ai]), int(idx[bi])))
+    overrun = idx[
+        problem.interference_on(idx)[idx]
+        > problem.effective_budgets()[idx] + 1e-12
+    ]
+    return {
+        "radius": AuditCheck(
+            code="rle-radius-violation",
+            passed=not radius_pairs,
+            detail=f"sender inside elimination radius for pairs {radius_pairs[:5]}"
+            if radius_pairs
+            else "",
+        ),
+        "separation": AuditCheck(
+            code="rle-separation-violation",
+            passed=not separation_pairs,
+            detail=f"Lemma 4.1 separation broken for pairs {separation_pairs[:5]}"
+            if separation_pairs
+            else "",
+        ),
+        "budget": AuditCheck(
+            code="rle-budget-violation",
+            passed=overrun.size == 0,
+            detail=f"receivers {[int(i) for i in overrun]} exceed their budgets"
+            if overrun.size
+            else "",
+        ),
+    }

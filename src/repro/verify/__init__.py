@@ -1,0 +1,70 @@
+"""Differential & metamorphic verification subsystem.
+
+The library ships many redundant computation paths (analytic vs
+Monte-Carlo, exact vs ILP, serial vs parallel, cached vs recomputed);
+this package turns that redundancy into an always-on oracle.  See
+``docs/VERIFICATION.md`` for the oracle matrix and reason-code
+catalogue.
+
+Entry points::
+
+    from repro.verify import run_verification
+    report = run_verification(budget=200, seed=0)
+    assert report.passed, report.summary()
+
+or from the shell: ``python -m repro verify --budget 200``.
+"""
+
+from repro.verify.differential import (
+    DIFFERENTIAL_CHECKS,
+    register_differential,
+)
+from repro.verify.fuzz import (
+    FAMILIES,
+    Scenario,
+    collinear_gadget,
+    degenerate_ring,
+    dense_cluster,
+    fuzz_scenarios,
+    make_scenario,
+    near_duplicate_receivers,
+    witness_set,
+)
+from repro.verify.harness import (
+    all_checks,
+    resolve_checks,
+    run_verification,
+    verify_scenario,
+)
+from repro.verify.metamorphic import (
+    METAMORPHIC_RELATIONS,
+    register_relation,
+)
+from repro.verify.report import (
+    CheckOutcome,
+    Mismatch,
+    VerificationReport,
+)
+
+__all__ = [
+    "DIFFERENTIAL_CHECKS",
+    "METAMORPHIC_RELATIONS",
+    "FAMILIES",
+    "Scenario",
+    "CheckOutcome",
+    "Mismatch",
+    "VerificationReport",
+    "all_checks",
+    "collinear_gadget",
+    "degenerate_ring",
+    "dense_cluster",
+    "fuzz_scenarios",
+    "make_scenario",
+    "near_duplicate_receivers",
+    "register_differential",
+    "register_relation",
+    "resolve_checks",
+    "run_verification",
+    "verify_scenario",
+    "witness_set",
+]

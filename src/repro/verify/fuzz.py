@@ -1,0 +1,260 @@
+"""Adversarial scenario generation for the verification harness.
+
+``paper_topology`` draws benign instances: senders spread over a
+500x500 region, lengths in a narrow band.  The oracle wants the
+opposite — geometry that stresses tie-breaking, cache coherence and
+floating-point boundaries:
+
+- **near-duplicate receivers** — link pairs whose receivers almost
+  coincide, so cross factors approach the own-signal regime and
+  ``F[i, j]`` saturates near ``ln(1 + gamma_th)``;
+- **collinear gadgets** — the Thm 3.2 knapsack-reduction shape: all
+  senders on a line with geometrically spread lengths, where optimal
+  subset selection involves genuine trade-offs;
+- **dense clusters** — every sender inside a box comparable to one
+  link length, the maximal-interference regime where most subsets are
+  infeasible;
+- **degenerate rings** — receivers packed at the centre of a sender
+  ring so ``d_ij ≈ d_jj`` for *every* pair and all interference factors
+  nearly tie.
+
+:func:`fuzz_scenarios` streams :class:`Scenario` instances from these
+families with channel parameters swept over
+``alpha x gamma_th x eps x n``, deterministically derived from a root
+seed via :func:`~repro.utils.rng.stable_seed` — the same budget and
+seed always produce the same scenario sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator
+
+import numpy as np
+
+from repro.core.problem import FadingRLS
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology
+from repro.utils.rng import as_rng, stable_seed
+
+#: Scenario family names, in generation rotation order.
+FAMILIES = (
+    "paper",
+    "near-duplicate",
+    "collinear-gadget",
+    "dense-cluster",
+    "degenerate-ring",
+)
+
+_ALPHAS = (2.6, 3.0, 4.0)
+_GAMMAS = (0.5, 1.0, 2.0)
+_EPSILONS = (0.01, 0.05, 0.2)
+_SIZES = (8, 12, 16, 24)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fuzzed problem instance plus its provenance.
+
+    ``name`` is unique within a run and encodes family, size and index;
+    ``seed`` is the stable seed all scenario-local randomness (trial
+    draws, perturbation choices) must derive from so every check is
+    reproducible in isolation.
+    """
+
+    name: str
+    family: str
+    problem: FadingRLS
+    seed: int
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+def near_duplicate_receivers(
+    n_links: int,
+    *,
+    separation: float = 1e-6,
+    region_side: float = 200.0,
+    seed: int = 0,
+) -> LinkSet:
+    """Link pairs whose receivers nearly coincide.
+
+    Links ``2k`` and ``2k + 1`` share a receiver location up to
+    ``separation`` — the cross-interference factor within a pair then
+    approaches ``ln(1 + gamma_th)``, the own-signal saturation value,
+    exercising the budget boundary and near-tie ordering.
+    """
+    if n_links < 2:
+        raise ValueError("need at least 2 links for receiver pairs")
+    rng = as_rng(seed)
+    base = paper_topology(
+        n_links, region_side=region_side, min_length=5.0, max_length=20.0, seed=rng
+    )
+    receivers = base.receivers.copy()
+    for k in range(n_links // 2):
+        jitter = rng.uniform(-separation, separation, size=2)
+        receivers[2 * k + 1] = receivers[2 * k] + jitter
+    return LinkSet(senders=base.senders, receivers=receivers, rates=base.rates)
+
+
+def collinear_gadget(
+    n_links: int,
+    *,
+    hop: float = 30.0,
+    base_length: float = 4.0,
+    growth: float = 2.0,
+) -> LinkSet:
+    """Thm 3.2's knapsack-gadget shape: collinear, geometric lengths.
+
+    Senders sit on a line at ``hop`` spacing; link ``i`` has length
+    ``base_length * growth^(i mod 4)``, so selecting a maximum-rate
+    feasible subset trades short quiet links against long loud ones —
+    the regime where exact solvers and heuristics genuinely disagree
+    unless the feasibility predicate is exactly right.  Fully
+    deterministic.
+    """
+    if n_links < 0:
+        raise ValueError("n_links must be >= 0")
+    senders = np.zeros((n_links, 2), dtype=float)
+    senders[:, 0] = np.arange(n_links, dtype=float) * hop
+    lengths = base_length * growth ** (np.arange(n_links, dtype=float) % 4)
+    receivers = senders.copy()
+    receivers[:, 0] += lengths
+    return LinkSet(
+        senders=senders, receivers=receivers, rates=np.ones(n_links, dtype=float)
+    )
+
+
+def dense_cluster(
+    n_links: int,
+    *,
+    box_side: float = 30.0,
+    min_length: float = 5.0,
+    max_length: float = 20.0,
+    seed: int = 0,
+) -> LinkSet:
+    """Every sender inside a box comparable to a single link length.
+
+    The maximal-interference regime: most subsets are infeasible, so
+    feasibility checks run right at the budget boundary and schedulers
+    exercise their earliest rejection paths.
+    """
+    return paper_topology(
+        n_links,
+        region_side=box_side,
+        min_length=min_length,
+        max_length=max_length,
+        seed=seed,
+    )
+
+
+def degenerate_ring(
+    n_links: int,
+    *,
+    radius: float = 50.0,
+    center_jitter: float = 0.5,
+    seed: int = 0,
+) -> LinkSet:
+    """Senders on a ring, receivers jittered around its centre.
+
+    Then ``d_ij ≈ d_jj ≈ radius`` for *every* sender/receiver pair:
+    all interference factors nearly tie at ``ln(1 + gamma_th)`` and
+    every ordering decision rides on floating-point noise — the
+    degenerate ``d_ij ≈ d_jj`` case the oracle must survive.
+    """
+    if n_links < 1:
+        raise ValueError("n_links must be >= 1")
+    rng = as_rng(seed)
+    theta = 2.0 * np.pi * np.arange(n_links, dtype=float) / n_links
+    senders = radius * np.column_stack([np.cos(theta), np.sin(theta)])
+    receivers = rng.uniform(-center_jitter, center_jitter, size=(n_links, 2))
+    return LinkSet(
+        senders=senders, receivers=receivers, rates=np.ones(n_links, dtype=float)
+    )
+
+
+def _build_links(family: str, n: int, seed: int) -> LinkSet:
+    if family == "paper":
+        return paper_topology(n, seed=seed)
+    if family == "near-duplicate":
+        return near_duplicate_receivers(max(n, 2), seed=seed)
+    if family == "collinear-gadget":
+        return collinear_gadget(n)
+    if family == "dense-cluster":
+        return dense_cluster(n, seed=seed)
+    if family == "degenerate-ring":
+        return degenerate_ring(n, seed=seed)
+    raise ValueError(f"unknown scenario family {family!r}; choose from {FAMILIES}")
+
+
+def make_scenario(
+    family: str,
+    index: int,
+    *,
+    root_seed: int = 0,
+    n_links: int | None = None,
+    alpha: float | None = None,
+    gamma_th: float | None = None,
+    eps: float | None = None,
+) -> Scenario:
+    """One deterministic scenario of a family.
+
+    Parameters left ``None`` are drawn from the sweep grids by index,
+    so consecutive indices rotate through sizes and channel parameters;
+    explicit values pin them (used by tests to reproduce one cell).
+    """
+    n = _SIZES[index % len(_SIZES)] if n_links is None else int(n_links)
+    a = _ALPHAS[index % len(_ALPHAS)] if alpha is None else float(alpha)
+    g = _GAMMAS[(index // 2) % len(_GAMMAS)] if gamma_th is None else float(gamma_th)
+    e = _EPSILONS[(index // 3) % len(_EPSILONS)] if eps is None else float(eps)
+    seed = stable_seed("verify-scenario", family, index, root=root_seed)
+    links = _build_links(family, n, seed)
+    problem = FadingRLS(links=links, alpha=a, gamma_th=g, eps=e)
+    return Scenario(
+        name=f"{family}/n={len(links)}/i={index}",
+        family=family,
+        problem=problem,
+        seed=seed,
+        metadata={"alpha": a, "gamma_th": g, "eps": e, "index": index},
+    )
+
+
+def witness_set(problem: FadingRLS, *, cap: int | None = None) -> np.ndarray:
+    """A deterministic feasible active set for oracle probes.
+
+    Shortest-first greedy under :meth:`FadingRLS.is_feasible` — feasible
+    by construction, scheduler-independent (the oracles must not trust
+    the algorithms they cross-check), and a pure function of the
+    instance.  ``cap`` optionally bounds the set size to keep
+    downstream Monte-Carlo probes cheap.
+    """
+    order = np.argsort(problem.links.lengths, kind="stable")
+    order = order[problem.serviceable()[order]]
+    chosen: list[int] = []
+    for i in order:
+        if cap is not None and len(chosen) >= cap:
+            break
+        candidate = np.array(chosen + [int(i)], dtype=np.int64)
+        if problem.is_feasible(candidate):
+            chosen.append(int(i))
+    return np.array(chosen, dtype=np.int64)
+
+
+def fuzz_scenarios(
+    n_scenarios: int,
+    *,
+    seed: int = 0,
+    families: tuple = FAMILIES,
+) -> Iterator[Scenario]:
+    """Stream ``n_scenarios`` deterministic adversarial scenarios.
+
+    Families rotate round-robin; within a family the index advances, so
+    the parameter grids decorrelate across the stream.  The sequence is
+    a pure function of ``(n_scenarios, seed, families)``.
+    """
+    if n_scenarios < 0:
+        raise ValueError("n_scenarios must be >= 0")
+    if not families:
+        raise ValueError("families must be non-empty")
+    for i in range(n_scenarios):
+        family = families[i % len(families)]
+        yield make_scenario(family, i // len(families), root_seed=seed)

@@ -1,0 +1,284 @@
+"""Metamorphic-relation registry.
+
+A metamorphic relation is a paper-derived invariant connecting the
+library's answers on an instance and on a *transformed* copy — no
+ground truth needed, which is exactly what an NP-hard scheduling
+problem denies us.  Each relation here traces to a specific statement:
+
+- ``geometry-scale-invariance`` — Eq. 17's factors depend only on
+  distance *ratios* ``d_jj / d_ij``, so scaling every coordinate by a
+  constant leaves ``F``, feasibility and Thm 3.1 success probabilities
+  unchanged (for ``N0 = 0``, the paper's setting);
+- ``eps-monotonicity`` — Corollary 3.1's budget
+  ``gamma_eps = ln(1/(1-eps))`` grows with ``eps``, so enlarging the
+  error allowance can only enlarge the feasible family, and shrinking
+  it can only shrink it;
+- ``interferer-monotonicity`` — adding a transmitter adds a
+  non-negative term to every other receiver's interference sum, so no
+  link's success probability may increase;
+- ``subset-feasibility`` — feasibility is hereditary (interference
+  only grows with the active set), so removing a link from a feasible
+  schedule keeps it feasible — the invariant every elimination-style
+  algorithm (RLE, local search) silently relies on;
+- ``power-scale-invariance`` — with zero ambient noise the uniform
+  transmit power cancels from every factor (Eq. 17), so rescaling it
+  changes nothing.
+
+Relations are registered callables ``(Scenario) -> list[Mismatch]``;
+the harness runs them alongside the differential checks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.core.problem import FadingRLS
+from repro.network.links import LinkSet
+from repro.verify.fuzz import Scenario, witness_set
+from repro.verify.report import Mismatch
+
+RelationFn = Callable[[Scenario], List[Mismatch]]
+
+#: Reason codes emitted by the relations below.
+CODE_SCALE_VARIANCE = "scale-variance"
+CODE_EPS_MONOTONICITY = "eps-monotonicity-violation"
+CODE_INTERFERER_MONOTONICITY = "interferer-monotonicity-violation"
+CODE_SUBSET_FEASIBILITY = "subset-feasibility-violation"
+CODE_POWER_SCALE_VARIANCE = "power-scale-variance"
+
+METAMORPHIC_RELATIONS: Dict[str, RelationFn] = {}
+
+
+def register_relation(name: str):
+    """Register a metamorphic relation under ``name`` (decorator)."""
+
+    def _register(fn: RelationFn) -> RelationFn:
+        if name in METAMORPHIC_RELATIONS and METAMORPHIC_RELATIONS[name] is not fn:
+            raise ValueError(f"relation {name!r} is already registered")
+        METAMORPHIC_RELATIONS[name] = fn
+        return fn
+
+    return _register
+
+
+def _mismatch(name: str, scenario: Scenario, code: str, message: str, **details) -> Mismatch:
+    return Mismatch(
+        check=name, scenario=scenario.name, code=code, message=message, details=details
+    )
+
+
+@register_relation("geometry-scale-invariance")
+def relation_scale_invariance(scenario: Scenario) -> List[Mismatch]:
+    """Uniform coordinate scaling must not change any answer (N0 = 0)."""
+    p = scenario.problem
+    if p.noise != 0.0:
+        return []  # nu_j = gamma N0 d_jj^alpha / P scales with geometry
+    out: List[Mismatch] = []
+    active = witness_set(p)
+    for factor in (0.5, 3.0):
+        scaled = FadingRLS(
+            links=LinkSet(
+                senders=p.links.senders * factor,
+                receivers=p.links.receivers * factor,
+                rates=p.links.rates,
+            ),
+            alpha=p.alpha,
+            gamma_th=p.gamma_th,
+            eps=p.eps,
+            power=p.power,
+            powers=p.powers,
+        )
+        if not np.allclose(
+            scaled.interference_matrix(), p.interference_matrix(), rtol=1e-9, atol=1e-12
+        ):
+            delta = float(
+                np.abs(scaled.interference_matrix() - p.interference_matrix()).max()
+            )
+            out.append(
+                _mismatch(
+                    "geometry-scale-invariance",
+                    scenario,
+                    CODE_SCALE_VARIANCE,
+                    f"F changed under x{factor} coordinate scaling "
+                    f"(max |delta| = {delta:.3e})",
+                    factor=factor,
+                    max_abs_delta=delta,
+                )
+            )
+        if scaled.is_feasible(active) != p.is_feasible(active):
+            out.append(
+                _mismatch(
+                    "geometry-scale-invariance",
+                    scenario,
+                    CODE_SCALE_VARIANCE,
+                    f"witness-set feasibility flipped under x{factor} scaling",
+                    factor=factor,
+                    active=[int(i) for i in active],
+                )
+            )
+        if not np.allclose(
+            scaled.success_probabilities(active),
+            p.success_probabilities(active),
+            rtol=1e-9,
+            atol=1e-12,
+        ):
+            out.append(
+                _mismatch(
+                    "geometry-scale-invariance",
+                    scenario,
+                    CODE_SCALE_VARIANCE,
+                    f"Thm 3.1 probabilities changed under x{factor} scaling",
+                    factor=factor,
+                )
+            )
+    return out
+
+
+@register_relation("eps-monotonicity")
+def relation_eps_monotonicity(scenario: Scenario) -> List[Mismatch]:
+    """Growing ``eps`` only adds feasible sets; shrinking only removes."""
+    p = scenario.problem
+    out: List[Mismatch] = []
+    feasible_set = witness_set(p)
+    eps_up = p.eps + (1.0 - p.eps) / 2.0
+    if feasible_set.size and not p.with_params(eps=eps_up).is_feasible(feasible_set):
+        out.append(
+            _mismatch(
+                "eps-monotonicity",
+                scenario,
+                CODE_EPS_MONOTONICITY,
+                f"set feasible at eps={p.eps} became infeasible at "
+                f"larger eps={eps_up}",
+                eps=p.eps,
+                eps_up=eps_up,
+                active=[int(i) for i in feasible_set],
+            )
+        )
+    everything = np.arange(p.n_links)
+    if not p.is_feasible(everything):
+        eps_down = p.eps / 2.0
+        if p.with_params(eps=eps_down).is_feasible(everything):
+            out.append(
+                _mismatch(
+                    "eps-monotonicity",
+                    scenario,
+                    CODE_EPS_MONOTONICITY,
+                    f"all-links set infeasible at eps={p.eps} became feasible "
+                    f"at smaller eps={eps_down}",
+                    eps=p.eps,
+                    eps_down=eps_down,
+                )
+            )
+    return out
+
+
+@register_relation("interferer-monotonicity")
+def relation_interferer_monotonicity(scenario: Scenario) -> List[Mismatch]:
+    """Adding a transmitter never raises any other link's success probability."""
+    p = scenario.problem
+    active = witness_set(p)
+    outsiders = np.setdiff1d(np.arange(p.n_links), active)
+    if outsiders.size == 0:
+        # Witness set covers everything: drop its last member so an
+        # outsider exists (the relation is about *adding* a link).
+        active, outsiders = active[:-1], active[-1:]
+    if active.size == 0:
+        return []
+    extra = int(outsiders[0])
+    before = p.success_probabilities(active)[active]
+    augmented = np.append(active, extra)
+    after = p.success_probabilities(augmented)[active]
+    worst = float((after - before).max())
+    if worst > 1e-12:
+        bad = int(active[int(np.argmax(after - before))])
+        return [
+            _mismatch(
+                "interferer-monotonicity",
+                scenario,
+                CODE_INTERFERER_MONOTONICITY,
+                f"adding interferer {extra} raised link {bad}'s success "
+                f"probability by {worst:.3e}",
+                added=extra,
+                link=bad,
+                increase=worst,
+            )
+        ]
+    return []
+
+
+@register_relation("subset-feasibility")
+def relation_subset_feasibility(scenario: Scenario) -> List[Mismatch]:
+    """Every one-link deletion from a feasible schedule stays feasible."""
+    p = scenario.problem
+    active = witness_set(p)
+    out: List[Mismatch] = []
+    for drop in active[:8]:  # cap the quadratic probe on large sets
+        reduced = active[active != drop]
+        if not p.is_feasible(reduced):
+            out.append(
+                _mismatch(
+                    "subset-feasibility",
+                    scenario,
+                    CODE_SUBSET_FEASIBILITY,
+                    f"removing link {int(drop)} from a feasible schedule "
+                    f"made it infeasible",
+                    dropped=int(drop),
+                    active=[int(i) for i in active],
+                )
+            )
+    return out
+
+
+@register_relation("power-scale-invariance")
+def relation_power_scale_invariance(scenario: Scenario) -> List[Mismatch]:
+    """Uniform power rescaling is invisible when ``N0 = 0`` (Eq. 17)."""
+    p = scenario.problem
+    if p.noise != 0.0:
+        return []
+    rescaled = FadingRLS(
+        links=p.links,
+        alpha=p.alpha,
+        gamma_th=p.gamma_th,
+        eps=p.eps,
+        power=p.power * 7.5,
+    )
+    out: List[Mismatch] = []
+    if not np.allclose(
+        rescaled.interference_matrix(), p.interference_matrix(), rtol=1e-9, atol=1e-12
+    ):
+        out.append(
+            _mismatch(
+                "power-scale-invariance",
+                scenario,
+                CODE_POWER_SCALE_VARIANCE,
+                "F changed under uniform power rescaling with N0 = 0",
+            )
+        )
+    active = witness_set(p)
+    if rescaled.is_feasible(active) != p.is_feasible(active):
+        out.append(
+            _mismatch(
+                "power-scale-invariance",
+                scenario,
+                CODE_POWER_SCALE_VARIANCE,
+                "witness-set feasibility flipped under uniform power rescaling",
+                active=[int(i) for i in active],
+            )
+        )
+    if not np.allclose(
+        rescaled.success_probabilities(active),
+        p.success_probabilities(active),
+        rtol=1e-9,
+        atol=1e-12,
+    ):
+        out.append(
+            _mismatch(
+                "power-scale-invariance",
+                scenario,
+                CODE_POWER_SCALE_VARIANCE,
+                "Thm 3.1 probabilities changed under uniform power rescaling",
+            )
+        )
+    return out

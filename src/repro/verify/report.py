@@ -1,0 +1,168 @@
+"""Structured verification outcomes.
+
+Every oracle in :mod:`repro.verify` — differential checks and
+metamorphic relations alike — reports failures as :class:`Mismatch`
+records: a machine-readable reason ``code``, the check and scenario that
+produced it, a human-readable message, and enough numeric detail to
+reproduce the divergence.  The harness aggregates per-(scenario, check)
+executions into :class:`CheckOutcome` rows and a whole run into a
+:class:`VerificationReport` that renders as text (CLI) or JSON
+(CI artifacts, ``BENCH_RESULTS.json``).
+
+Reason codes are stable strings (``"cache-divergence"``, not enum
+members) so they survive JSON round-trips and can be grepped in CI
+logs; the canonical list lives in ``docs/VERIFICATION.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One detected divergence between supposedly-equivalent paths.
+
+    Attributes
+    ----------
+    check:
+        Name of the differential check or metamorphic relation that
+        fired (e.g. ``"cached-vs-certificate"``).
+    scenario:
+        Identifier of the fuzzed scenario it fired on.
+    code:
+        Stable machine-readable reason code (e.g. ``"cache-divergence"``).
+    message:
+        Human-readable explanation with the offending numbers inline.
+    details:
+        Reproduction data (link indices, deltas, seeds); JSON-safe
+        scalars and small lists only.
+    """
+
+    check: str
+    scenario: str
+    code: str
+    message: str
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict form (CI artifacts, ``--output`` files)."""
+        return {
+            "check": self.check,
+            "scenario": self.scenario,
+            "code": self.code,
+            "message": self.message,
+            "details": dict(self.details),
+        }
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """One (scenario, check) execution."""
+
+    check: str
+    scenario: str
+    mismatches: Tuple[Mismatch, ...]
+    wall_seconds: float
+
+    @property
+    def passed(self) -> bool:
+        return not self.mismatches
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict form of this cell."""
+        return {
+            "check": self.check,
+            "scenario": self.scenario,
+            "passed": self.passed,
+            "wall_seconds": self.wall_seconds,
+            "mismatches": [m.to_dict() for m in self.mismatches],
+        }
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Aggregate result of one harness run.
+
+    Attributes
+    ----------
+    outcomes:
+        Every (scenario, check) cell executed, in execution order.
+    budget:
+        The requested cell budget.
+    seed:
+        Root seed the scenario stream derived from.
+    wall_seconds:
+        Total harness wall time.
+    """
+
+    outcomes: Tuple[CheckOutcome, ...]
+    budget: int
+    seed: int
+    wall_seconds: float
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_scenarios(self) -> int:
+        return len({o.scenario for o in self.outcomes})
+
+    @property
+    def passed(self) -> bool:
+        return all(o.passed for o in self.outcomes)
+
+    def mismatches(self) -> List[Mismatch]:
+        """Every mismatch across all cells, in execution order."""
+        return [m for o in self.outcomes for m in o.mismatches]
+
+    def per_check_counts(self) -> Dict[str, Dict[str, int]]:
+        """``{check: {"cells": n, "mismatches": m}}`` summary table."""
+        table: Dict[str, Dict[str, int]] = {}
+        for o in self.outcomes:
+            row = table.setdefault(o.check, {"cells": 0, "mismatches": 0})
+            row["cells"] += 1
+            row["mismatches"] += len(o.mismatches)
+        return table
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary (the CLI's ``--output`` payload)."""
+        return {
+            "budget": self.budget,
+            "seed": self.seed,
+            "wall_seconds": self.wall_seconds,
+            "n_cells": self.n_cells,
+            "n_scenarios": self.n_scenarios,
+            "passed": self.passed,
+            "per_check": self.per_check_counts(),
+            "mismatches": [m.to_dict() for m in self.mismatches()],
+        }
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary (the CLI's output)."""
+        lines = [
+            f"verification: {self.n_cells} cells over {self.n_scenarios} "
+            f"scenarios in {self.wall_seconds:.1f}s "
+            f"(budget {self.budget}, seed {self.seed})",
+        ]
+        for check in sorted(self.per_check_counts()):
+            row = self.per_check_counts()[check]
+            status = "ok" if row["mismatches"] == 0 else f"{row['mismatches']} MISMATCH"
+            lines.append(f"  {check:<28s} {row['cells']:>4d} cells  {status}")
+        bad = self.mismatches()
+        if bad:
+            lines.append(f"FAILED: {len(bad)} mismatch(es)")
+            for m in bad[:20]:
+                lines.append(f"  [{m.code}] {m.check} on {m.scenario}: {m.message}")
+            if len(bad) > 20:
+                lines.append(f"  ... and {len(bad) - 20} more")
+        else:
+            lines.append("PASSED: zero mismatches")
+        return "\n".join(lines)
+
+
+def merge_outcomes(outcomes: Iterable[CheckOutcome]) -> List[Mismatch]:
+    """Flatten outcomes to their mismatches (helper for tests)."""
+    return [m for o in outcomes for m in o.mismatches]

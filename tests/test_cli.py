@@ -119,6 +119,51 @@ class TestQueue:
         assert main(["queue", "--input", str(links), "--slots", "30"]) == 0
 
 
+class TestVerify:
+    def test_small_budget_passes(self, capsys):
+        assert main(["verify", "--budget", "8", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out and "zero mismatches" in out
+
+    def test_list_checks(self, capsys):
+        assert main(["verify", "--list-checks"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert "cached-vs-certificate" in lines
+        assert "eps-monotonicity" in lines
+        assert lines == sorted(lines)
+
+    def test_check_subset(self, capsys):
+        assert (
+            main(
+                [
+                    "verify",
+                    "--budget",
+                    "4",
+                    "--check",
+                    "subset-feasibility",
+                    "--check",
+                    "cached-vs-certificate",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "4 cells" in out
+
+    def test_output_json(self, tmp_path, capsys):
+        path = tmp_path / "verify.json"
+        assert main(["verify", "--budget", "6", "--output", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["passed"] is True
+        assert payload["budget"] == 6
+        assert payload["n_cells"] == 6
+        assert payload["mismatches"] == []
+
+    def test_unknown_check_rejected(self):
+        with pytest.raises(KeyError, match="unknown check"):
+            main(["verify", "--budget", "2", "--check", "nope"])
+
+
 class TestFigures:
     def test_single_panel_with_json(self, tmp_path, capsys, monkeypatch):
         # Patch the quick config to something tiny for test speed.

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.core.certify import audit_ldp_structure, audit_rle_structure, certify
+from repro.core.certify import (
+    CODE_BUDGET_EXCEEDED,
+    CODE_NOISE_UNSERVICEABLE,
+    AuditCheck,
+    audit_ldp_structure,
+    audit_rle_structure,
+    certify,
+)
 from repro.core.ldp import ldp_schedule
 from repro.core.problem import FadingRLS
 from repro.core.rle import rle_schedule
@@ -143,3 +150,90 @@ class TestAuditRle:
         )
         audit = audit_rle_structure(paper_problem, tampered)
         assert not audit["radius"]
+
+
+class TestStructuredReasonCodes:
+    """Audits and certificates must *name* what broke, not just fail."""
+
+    def test_audit_check_truthiness_and_repr(self):
+        ok = AuditCheck(code="x", passed=True)
+        bad = AuditCheck(code="x", passed=False, detail="links [3]")
+        assert ok and not bad
+        assert "ok" in repr(ok)
+        assert "FAILED" in repr(bad) and "links [3]" in repr(bad)
+
+    def test_feasible_certificate_has_no_codes(self, paper_problem):
+        s = rle_schedule(paper_problem)
+        cert = certify(paper_problem, s)
+        assert cert.reason_codes() == {}
+
+    def test_infeasible_certificate_names_budget_overrun(self, tight_problem):
+        cert = certify(tight_problem, np.array([0, 1, 2]))
+        codes = cert.reason_codes()
+        assert codes, "infeasible certificate must carry reason codes"
+        # Every violating link shows up under exactly one code.
+        flagged = sorted(i for links in codes.values() for i in links)
+        assert flagged == sorted(r.link for r in cert.violations())
+        assert set(codes) <= {CODE_BUDGET_EXCEEDED, CODE_NOISE_UNSERVICEABLE}
+
+    def test_receiver_failure_code_noise_vs_interference(self):
+        from repro.core.certify import ReceiverBudget
+
+        fine = ReceiverBudget(
+            link=0, budget=1.0, total_interference=0.5, slack=0.5, top_interferers=[]
+        )
+        overrun = ReceiverBudget(
+            link=1, budget=1.0, total_interference=2.0, slack=-1.0, top_interferers=[]
+        )
+        dead = ReceiverBudget(
+            link=2, budget=-0.1, total_interference=0.0, slack=-0.1, top_interferers=[]
+        )
+        assert fine.failure_code is None
+        assert overrun.failure_code == CODE_BUDGET_EXCEEDED
+        assert dead.failure_code == CODE_NOISE_UNSERVICEABLE
+
+    def test_tampered_ldp_audit_carries_code_and_detail(self, paper_problem):
+        s = ldp_schedule(paper_problem)
+        for outsider in range(paper_problem.n_links):
+            if outsider in s:
+                continue
+            tampered = Schedule(
+                active=np.append(s.active, outsider),
+                algorithm="ldp",
+                diagnostics=s.diagnostics,
+            )
+            audit = audit_ldp_structure(paper_problem, tampered)
+            failing = [c for c in audit.values() if not c]
+            if failing:
+                for check in failing:
+                    assert check.code in {
+                        "ldp-color-mismatch",
+                        "ldp-duplicate-cell",
+                        "ldp-length-bound-exceeded",
+                    }
+                    assert check.detail  # names the offending links
+                return
+        pytest.fail("no injected outsider tripped the LDP audit")
+
+    def test_tampered_rle_audit_carries_code_and_detail(self, paper_problem):
+        s = rle_schedule(paper_problem)
+        dist = paper_problem.distances()
+        c1 = s.diagnostics["c1"]
+        lengths = paper_problem.links.lengths
+        offender = None
+        for j in s.active:
+            near = np.flatnonzero(dist[:, j] < c1 * lengths[j])
+            near = [i for i in near if i not in s and i != j]
+            if near:
+                offender = near[0]
+                break
+        assert offender is not None
+        tampered = Schedule(
+            active=np.append(s.active, offender),
+            algorithm="rle",
+            diagnostics=s.diagnostics,
+        )
+        check = audit_rle_structure(paper_problem, tampered)["radius"]
+        assert not check
+        assert check.code == "rle-radius-violation"
+        assert "pairs" in check.detail

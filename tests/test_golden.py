@@ -58,6 +58,54 @@ class TestSchedulerGolden:
         )
 
 
+class TestParallelGolden:
+    """Pin the PR-1 contract: ``n_jobs=2`` is bit-identical to serial.
+
+    The work-unit grid runs ``dls`` (the seeded, stateful scheduler —
+    the one most likely to drift under parallel execution) and checks
+    both exact serial/parallel equality and golden metric values, so
+    any future change to seed derivation, unit ordering, or the
+    streaming replay fails here by name.
+    """
+
+    @pytest.fixture(scope="class")
+    def dls_results(self):
+        from repro.core.base import get_scheduler
+        from repro.experiments.config import TopologyWorkload
+        from repro.sim.parallel import build_units, execute_units
+
+        units = build_units(
+            {"dls": get_scheduler("dls")},
+            TopologyWorkload(n_links=60),
+            n_repetitions=2,
+            n_trials=200,
+            alpha=3.0,
+            gamma_th=1.0,
+            eps=0.01,
+            root_seed=2017,
+            scheduler_kwargs={"dls": {"seed": 0}},
+        )
+        return execute_units(units, n_jobs=1), execute_units(units, n_jobs=2)
+
+    def test_parallel_bit_identical_to_serial(self, dls_results):
+        serial, parallel = dls_results
+        assert len(serial) == len(parallel) == 2
+        for s, p in zip(serial, parallel):
+            assert s.mean_failed == p.mean_failed
+            assert s.mean_throughput == p.mean_throughput
+            assert s.n_scheduled == p.n_scheduled
+            np.testing.assert_array_equal(s.per_link_success, p.per_link_success)
+            np.testing.assert_array_equal(s.active_indices, p.active_indices)
+
+    def test_dls_parallel_golden_values(self, dls_results):
+        _, parallel = dls_results
+        assert [r.n_scheduled for r in parallel] == [15, 22]
+        assert parallel[0].mean_failed == pytest.approx(0.035, abs=0)
+        assert parallel[0].mean_throughput == pytest.approx(14.965, abs=0)
+        assert parallel[1].mean_failed == pytest.approx(0.05, abs=0)
+        assert parallel[1].mean_throughput == pytest.approx(21.95, abs=0)
+
+
 class TestSimulationGolden:
     def test_monte_carlo_pinned(self, golden_problem):
         from repro.sim.montecarlo import simulate_schedule

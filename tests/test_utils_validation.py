@@ -4,6 +4,14 @@ import numpy as np
 import pytest
 
 from repro.utils.validation import (
+    CODE_NEGATIVE,
+    CODE_NOT_FINITE,
+    CODE_NOT_POSITIVE,
+    CODE_NOT_PROBABILITY,
+    CODE_REQUIREMENT,
+    CODE_WRONG_AXIS,
+    CODE_WRONG_NDIM,
+    ValidationError,
     check_finite,
     check_positive,
     check_probability,
@@ -69,6 +77,80 @@ class TestCheckFinite:
     def test_nonfinite_rejected(self, bad):
         with pytest.raises(ValueError):
             check_finite([1.0, bad], "a")
+
+
+class TestStructuredErrorPaths:
+    """Every check raises a ValidationError with a stable reason code
+    and the offending parameter name — the machine-readable contract
+    the verification subsystem and audits rely on."""
+
+    def test_is_valueerror_subclass(self):
+        # Callers that catch plain ValueError keep working.
+        assert issubclass(ValidationError, ValueError)
+
+    def test_require_code(self):
+        with pytest.raises(ValidationError) as exc:
+            require(False, "broken")
+        assert exc.value.code == CODE_REQUIREMENT
+        assert exc.value.param is None
+
+    def test_require_custom_code(self):
+        with pytest.raises(ValidationError) as exc:
+            require(False, "broken", code="my-code")
+        assert exc.value.code == "my-code"
+
+    def test_positive_strict_code(self):
+        with pytest.raises(ValidationError) as exc:
+            check_positive(0.0, "alpha")
+        assert exc.value.code == CODE_NOT_POSITIVE
+        assert exc.value.param == "alpha"
+
+    def test_positive_nonstrict_code(self):
+        with pytest.raises(ValidationError) as exc:
+            check_positive(-1.0, "noise", strict=False)
+        assert exc.value.code == CODE_NEGATIVE
+        assert exc.value.param == "noise"
+
+    def test_nan_hits_positive_code(self):
+        with pytest.raises(ValidationError) as exc:
+            check_positive(float("nan"), "gamma_th")
+        assert exc.value.code == CODE_NOT_POSITIVE
+
+    @pytest.mark.parametrize("v", [0.0, 1.0, -0.1, 1.1])
+    def test_probability_code(self, v):
+        with pytest.raises(ValidationError) as exc:
+            check_probability(v, "eps")
+        assert exc.value.code == CODE_NOT_PROBABILITY
+        assert exc.value.param == "eps"
+
+    def test_finite_code(self):
+        with pytest.raises(ValidationError) as exc:
+            check_finite([1.0, float("inf")], "rates")
+        assert exc.value.code == CODE_NOT_FINITE
+        assert exc.value.param == "rates"
+
+    def test_shape_ndim_code(self):
+        with pytest.raises(ValidationError) as exc:
+            check_shape(np.zeros(3), (None, 2), "senders")
+        assert exc.value.code == CODE_WRONG_NDIM
+
+    def test_shape_axis_code(self):
+        with pytest.raises(ValidationError) as exc:
+            check_shape(np.zeros((3, 3)), (None, 2), "senders")
+        assert exc.value.code == CODE_WRONG_AXIS
+
+    def test_problem_surfaces_codes(self):
+        # End-to-end: FadingRLS construction errors carry codes too.
+        from repro.core.problem import FadingRLS
+        from repro.network.links import LinkSet
+
+        links = LinkSet(
+            senders=np.array([[0.0, 0.0]]), receivers=np.array([[5.0, 0.0]])
+        )
+        with pytest.raises(ValidationError) as exc:
+            FadingRLS(links=links, eps=1.5)
+        assert exc.value.code == CODE_NOT_PROBABILITY
+        assert exc.value.param == "eps"
 
 
 class TestCheckShape:

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.utils.zeta import riemann_zeta, zeta_partial_sum, zeta_tail_bound
 
@@ -39,6 +41,44 @@ class TestPartialSum:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             zeta_partial_sum(2.0, -1)
+
+
+class TestPartialSumProperties:
+    """Hypothesis: the proofs' ring sums rely on these order facts."""
+
+    _s = st.floats(min_value=1.05, max_value=12.0, allow_nan=False)
+
+    @given(_s, st.integers(0, 500), st.integers(0, 500))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_terms(self, s, n1, n2):
+        # Monotone up to summation-order rounding (numpy sums pairwise,
+        # so two prefixes can disagree in their last ulp).
+        lo, hi = sorted((n1, n2))
+        hi_sum = zeta_partial_sum(s, hi)
+        assert zeta_partial_sum(s, lo) <= hi_sum + 4 * np.finfo(float).eps * hi_sum
+
+    @given(_s, st.integers(1, 500))
+    @settings(max_examples=80, deadline=None)
+    def test_each_term_adds_its_value(self, s, n):
+        # Each step adds exactly n^-s (up to float rounding; for large s
+        # the term can fall below one ulp of the running sum).
+        lo, hi = zeta_partial_sum(s, n - 1), zeta_partial_sum(s, n)
+        assert hi >= lo - 4 * np.finfo(float).eps * hi
+        assert hi - lo == pytest.approx(n**-s, abs=4 * np.finfo(float).eps * hi)
+
+    @given(_s, st.integers(0, 500))
+    @settings(max_examples=80, deadline=None)
+    def test_bounded_by_zeta(self, s, n):
+        assert zeta_partial_sum(s, n) <= riemann_zeta(s) * (1 + 1e-12)
+
+    @given(_s, st.integers(1, 200))
+    @settings(max_examples=80, deadline=None)
+    def test_tail_bound_dominates_true_tail(self, s, start):
+        # The subtraction cancels catastrophically for tiny tails, so
+        # allow a few ulps of zeta(s) as absolute slack.
+        true_tail = riemann_zeta(s) - zeta_partial_sum(s, start - 1)
+        slack = 8 * np.finfo(float).eps * riemann_zeta(s)
+        assert zeta_tail_bound(s, start) >= true_tail - slack
 
 
 class TestTailBound:

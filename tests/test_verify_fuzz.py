@@ -1,0 +1,106 @@
+"""Tests for the adversarial scenario fuzzer (repro.verify.fuzz)."""
+
+import numpy as np
+import pytest
+
+from repro.verify.fuzz import (
+    FAMILIES,
+    collinear_gadget,
+    degenerate_ring,
+    dense_cluster,
+    fuzz_scenarios,
+    make_scenario,
+    near_duplicate_receivers,
+    witness_set,
+)
+
+
+class TestGenerators:
+    def test_near_duplicate_receiver_pairs(self):
+        links = near_duplicate_receivers(10, separation=1e-6, seed=0)
+        for k in range(5):
+            gap = np.hypot(*(links.receivers[2 * k] - links.receivers[2 * k + 1]))
+            assert gap <= np.sqrt(2) * 1e-6
+
+    def test_near_duplicate_needs_pairs(self):
+        with pytest.raises(ValueError):
+            near_duplicate_receivers(1)
+
+    def test_collinear_gadget_is_collinear_and_geometric(self):
+        links = collinear_gadget(8, base_length=4.0, growth=2.0)
+        assert np.all(links.senders[:, 1] == 0.0)
+        assert np.all(links.receivers[:, 1] == 0.0)
+        np.testing.assert_allclose(links.lengths[:4], [4.0, 8.0, 16.0, 32.0])
+        np.testing.assert_allclose(links.lengths[4:], links.lengths[:4])
+
+    def test_collinear_gadget_deterministic(self):
+        a, b = collinear_gadget(6), collinear_gadget(6)
+        np.testing.assert_array_equal(a.senders, b.senders)
+        np.testing.assert_array_equal(a.receivers, b.receivers)
+
+    def test_dense_cluster_stays_in_box(self):
+        links = dense_cluster(12, box_side=30.0, seed=1)
+        assert links.senders.min() >= 0.0 and links.senders.max() <= 30.0
+
+    def test_degenerate_ring_distances_nearly_tie(self):
+        links = degenerate_ring(10, radius=50.0, center_jitter=0.5, seed=2)
+        d = links.sender_receiver_distances()
+        # every sender-receiver distance is within ~2*jitter of the radius
+        assert np.all(np.abs(d - 50.0) < 2.0)
+
+    def test_degenerate_ring_needs_links(self):
+        with pytest.raises(ValueError):
+            degenerate_ring(0)
+
+
+class TestWitnessSet:
+    def test_feasible_by_construction(self, paper_problem):
+        active = witness_set(paper_problem)
+        assert active.size > 0
+        assert paper_problem.is_feasible(active)
+
+    def test_deterministic(self, paper_problem):
+        np.testing.assert_array_equal(
+            witness_set(paper_problem), witness_set(paper_problem)
+        )
+
+    def test_cap_bounds_size(self, paper_problem):
+        assert witness_set(paper_problem, cap=3).size <= 3
+
+
+class TestScenarioStream:
+    def test_round_robin_families(self):
+        scenarios = list(fuzz_scenarios(len(FAMILIES), seed=0))
+        assert [s.family for s in scenarios] == list(FAMILIES)
+
+    def test_deterministic_stream(self):
+        a = [s.name for s in fuzz_scenarios(12, seed=5)]
+        b = [s.name for s in fuzz_scenarios(12, seed=5)]
+        assert a == b
+
+    def test_seed_changes_instances(self):
+        a = next(iter(fuzz_scenarios(1, seed=0)))
+        b = next(iter(fuzz_scenarios(1, seed=1)))
+        assert not np.array_equal(a.problem.links.senders, b.problem.links.senders)
+
+    def test_names_unique_within_run(self):
+        names = [s.name for s in fuzz_scenarios(25, seed=0)]
+        assert len(set(names)) == len(names)
+
+    def test_metadata_carries_channel_params(self):
+        s = make_scenario("paper", 3, root_seed=0)
+        assert s.metadata["alpha"] == s.problem.alpha
+        assert s.metadata["eps"] == s.problem.eps
+
+    def test_explicit_params_pin(self):
+        s = make_scenario("dense-cluster", 0, root_seed=0, n_links=9, alpha=3.3)
+        assert s.problem.n_links == 9
+        assert s.problem.alpha == 3.3
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="family"):
+            make_scenario("nope", 0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            list(fuzz_scenarios(-1))

@@ -1,0 +1,86 @@
+"""Tests for the metamorphic-relation registry (repro.verify.metamorphic)."""
+
+import numpy as np
+import pytest
+
+from repro.verify.fuzz import FAMILIES, make_scenario
+from repro.verify.metamorphic import (
+    CODE_SCALE_VARIANCE,
+    METAMORPHIC_RELATIONS,
+    register_relation,
+    relation_eps_monotonicity,
+    relation_interferer_monotonicity,
+    relation_scale_invariance,
+    relation_subset_feasibility,
+)
+
+
+class TestRegistry:
+    def test_all_relations_registered(self):
+        assert set(METAMORPHIC_RELATIONS) == {
+            "geometry-scale-invariance",
+            "eps-monotonicity",
+            "interferer-monotonicity",
+            "subset-feasibility",
+            "power-scale-invariance",
+        }
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_relation("eps-monotonicity")(lambda s: [])
+
+
+class TestRelationsHoldOnSeededScenarios:
+    """The relations are paper theorems: they must hold on every family."""
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("index", [0, 1])
+    def test_all_relations_pass(self, family, index):
+        scenario = make_scenario(family, index, root_seed=0)
+        for name, relation in METAMORPHIC_RELATIONS.items():
+            assert relation(scenario) == [], f"{name} fired on {scenario.name}"
+
+
+class TestFaultInjection:
+    """A corrupted cached matrix must trip the invariants by name."""
+
+    def test_scale_invariance_catches_cache_corruption(self):
+        scenario = make_scenario("paper", 0, root_seed=0)
+        scenario.problem.interference_matrix()[2, 5] += 0.1
+        mismatches = relation_scale_invariance(scenario)
+        assert mismatches, "corrupted F went undetected"
+        assert all(m.code == CODE_SCALE_VARIANCE for m in mismatches)
+        assert all(m.check == "geometry-scale-invariance" for m in mismatches)
+
+    def test_mismatch_names_scenario(self):
+        scenario = make_scenario("paper", 0, root_seed=0)
+        scenario.problem.interference_matrix()[2, 5] += 0.1
+        m = relation_scale_invariance(scenario)[0]
+        assert m.scenario == scenario.name
+        assert "delta" in m.message or "changed" in m.message
+
+
+class TestIndividualRelations:
+    def test_eps_monotonicity_clean(self):
+        scenario = make_scenario("dense-cluster", 0, root_seed=1)
+        assert relation_eps_monotonicity(scenario) == []
+
+    def test_interferer_monotonicity_handles_full_witness(self):
+        # A well-separated instance where the witness set is everything:
+        # the relation must carve out an outsider rather than skip.
+        scenario = make_scenario("paper", 0, root_seed=0, n_links=4)
+        assert relation_interferer_monotonicity(scenario) == []
+
+    def test_subset_feasibility_clean(self):
+        scenario = make_scenario("near-duplicate", 1, root_seed=0)
+        assert relation_subset_feasibility(scenario) == []
+
+    def test_noise_skips_scale_invariance(self):
+        from dataclasses import replace
+
+        scenario = make_scenario("paper", 0, root_seed=0)
+        noisy = replace(
+            scenario,
+            problem=scenario.problem.with_params(noise=1e-9),
+        )
+        assert relation_scale_invariance(noisy) == []
