@@ -4,10 +4,13 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke figures verify-fuzz coverage
+.PHONY: test bench bench-smoke figures verify-fuzz coverage docs-check
 
-test:            ## tier-1 test suite
+test: docs-check ## tier-1 test suite (docs contract first — it is cheap)
 	$(PYTHON) -m pytest -x -q
+
+docs-check:      ## span/metric catalogues complete + API.md snippets run
+	$(PYTHON) tools/docs_check.py
 
 bench:           ## full benchmark suite (writes BENCH_RESULTS.json)
 	$(PYTHON) -m pytest benchmarks -q

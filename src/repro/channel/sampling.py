@@ -36,6 +36,7 @@ from typing import Iterator, Tuple
 import numpy as np
 
 from repro.channel.pathloss import pathloss_matrix
+from repro.obs import metrics as obs_metrics
 from repro.utils.rng import SeedLike, as_rng
 
 #: Default byte budget for one streamed chunk of fading trials
@@ -152,6 +153,7 @@ def iter_fading_trials(
         t_c = min(chunk_trials, n_trials - done)
         z = rng.exponential(1.0, size=(t_c, k, k))
         z *= means[None, :, :]
+        obs_metrics.inc("mc.chunks_sampled")
         yield z
         # Drop our reference before drawing the next chunk so only one
         # chunk is ever alive (the consumer must do the same — see

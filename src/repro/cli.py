@@ -14,6 +14,17 @@ Commands
 ``verify``
     Run the differential + metamorphic verification oracle over fuzzed
     adversarial scenarios (exit status 1 on any mismatch).
+``trace``
+    Inspect observability traces (``trace summarize out.jsonl``).
+
+Global observability flags (before the command name):
+
+- ``--trace PATH`` enables the :mod:`repro.obs` layer and writes the
+  run's span tree + metric snapshot as ``repro.trace.v1`` JSONL;
+- ``--metrics`` enables the layer and prints the metric snapshot as a
+  table on exit;
+- ``--profile`` wraps the command in cProfile and prints the top
+  cumulative entries (independent of the obs switch).
 """
 
 from __future__ import annotations
@@ -22,8 +33,11 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.core.base import get_scheduler, list_schedulers
 from repro.core.problem import FadingRLS
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.io.linksets import (
     linkset_from_csv,
     linkset_from_json,
@@ -114,7 +128,9 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     )
     scheduler = get_scheduler(args.algorithm)
     kwargs = {"seed": args.seed} if args.algorithm in ("dls", "random", "protocol_mis") else {}
-    schedule = scheduler(problem, **kwargs)
+    with span("scheduler.run", algorithm=args.algorithm):
+        schedule = scheduler(problem, **kwargs)
+    obs_metrics.inc("scheduler.links_admitted", schedule.size)
 
     result = None
     if args.trials > 0:
@@ -259,11 +275,44 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace summarize``: aggregate a trace file per span name."""
+    from repro.obs.export import (
+        TraceFormatError,
+        format_trace_summary,
+        read_trace,
+    )
+
+    try:
+        trace = read_trace(args.path)
+    except (OSError, TraceFormatError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(format_trace_summary(trace, top=args.top, path=args.path))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Fading-resistant link scheduling (Qiu & Shen, ICPP 2017 reproduction)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="enable observability and write a repro.trace.v1 JSONL trace here",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable observability and print the metric snapshot on exit",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the command under cProfile and print the hottest entries",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -384,13 +433,55 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--output", help="write markdown here instead of stdout")
     r.set_defaults(fn=cmd_report)
 
+    t = sub.add_parser("trace", help="inspect observability trace files")
+    tsub = t.add_subparsers(dest="trace_command", required=True)
+    ts = tsub.add_parser("summarize", help="aggregate a JSONL trace per span name")
+    ts.add_argument("path", help="trace file written by --trace")
+    ts.add_argument(
+        "--top", type=int, default=10, help="show the N hottest span names"
+    )
+    ts.set_defaults(fn=cmd_trace)
+
     return parser
+
+
+def _run_observed(args: argparse.Namespace) -> int:
+    """Run the selected command under the requested observability wrappers."""
+    want_obs = bool(args.trace or args.metrics)
+    if want_obs:
+        obs.enable()
+        obs.reset()
+    try:
+        if args.profile:
+            from repro.obs.profile import profile_call
+
+            code, report = profile_call(args.fn, args)
+            print(report.top(25), file=sys.stderr)
+        else:
+            with span("cli.run", command=args.command):
+                code = args.fn(args)
+        if args.trace:
+            from repro.obs.export import write_trace
+
+            write_trace(
+                args.trace,
+                obs.drain_spans(),
+                metrics_snapshot=obs_metrics.snapshot(),
+                command=args.command,
+            )
+            print(f"wrote trace to {args.trace}", file=sys.stderr)
+        if args.metrics:
+            print(obs_metrics.format_snapshot(), file=sys.stderr)
+        return code
+    finally:
+        if want_obs:
+            obs.disable()
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    return _run_observed(args)
 
 
 if __name__ == "__main__":

@@ -33,6 +33,8 @@ import numpy as np
 from repro.core.base import register_scheduler
 from repro.core.problem import FadingRLS
 from repro.core.schedule import Schedule
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.utils.rng import SeedLike, as_rng
 
 
@@ -85,39 +87,43 @@ def dls_schedule(
 
     active = (rng.uniform(size=n) < p0) & (budgets > 0.0)
     rounds = 0
-    while rounds < max_rounds:
-        rounds += 1
-        interference = active.astype(float) @ f
-        violators = active & (interference > budgets)
-        if not violators.any():
-            break
-        leave = violators & (rng.uniform(size=n) < backoff)
-        # Guarantee progress: if the coin flips spared everyone, evict
-        # the worst violator (in a real protocol, a deterministic
-        # tie-break on e.g. node id plays this role).
-        if not leave.any():
-            worst = np.flatnonzero(violators)[np.argmax(interference[violators])]
-            leave = np.zeros(n, dtype=bool)
-            leave[worst] = True
-        active &= ~leave
-    else:
-        raise RuntimeError(f"DLS failed to converge in {max_rounds} rounds")
+    with span("dls.contention", n=n):
+        while rounds < max_rounds:
+            rounds += 1
+            interference = active.astype(float) @ f
+            violators = active & (interference > budgets)
+            if not violators.any():
+                break
+            leave = violators & (rng.uniform(size=n) < backoff)
+            # Guarantee progress: if the coin flips spared everyone, evict
+            # the worst violator (in a real protocol, a deterministic
+            # tie-break on e.g. node id plays this role).
+            if not leave.any():
+                worst = np.flatnonzero(violators)[np.argmax(interference[violators])]
+                leave = np.zeros(n, dtype=bool)
+                leave[worst] = True
+            active &= ~leave
+        else:
+            raise RuntimeError(f"DLS failed to converge in {max_rounds} rounds")
+    obs_metrics.observe("dls.rounds", rounds)
 
     joined = 0
     if join:
-        accumulated = active.astype(float) @ f
-        order = rng.permutation(np.flatnonzero(~active & (budgets > 0.0)))
-        for i in order:
-            i = int(i)
-            if accumulated[i] > budgets[i]:
-                continue
-            new_acc = accumulated + f[i, :]
-            members = np.flatnonzero(active)
-            if np.any(new_acc[members] > budgets[members]):
-                continue
-            active[i] = True
-            accumulated = new_acc
-            joined += 1
+        with span("dls.join"):
+            accumulated = active.astype(float) @ f
+            order = rng.permutation(np.flatnonzero(~active & (budgets > 0.0)))
+            for i in order:
+                i = int(i)
+                if accumulated[i] > budgets[i]:
+                    continue
+                new_acc = accumulated + f[i, :]
+                members = np.flatnonzero(active)
+                if np.any(new_acc[members] > budgets[members]):
+                    continue
+                active[i] = True
+                accumulated = new_acc
+                joined += 1
+        obs_metrics.inc("dls.joined_late", joined)
 
     return Schedule(
         active=np.flatnonzero(active),

@@ -24,6 +24,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.problem import FadingRLS
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 
 
 def big_m(problem: FadingRLS) -> float:
@@ -79,15 +81,17 @@ def build_ilp(problem: FadingRLS, *, m: float | None = None) -> ILPData:
         which is why the default computes the safe bound).
     """
     n = problem.n_links
-    f = problem.interference_matrix()
-    m_val = big_m(problem) if m is None else float(m)
-    if m is not None and n > 0 and m_val < big_m(problem):
-        raise ValueError(
-            f"big-M {m_val} is smaller than the safe bound {big_m(problem)}; "
-            "this would cut feasible schedules"
-        )
-    a = f.T + m_val * np.eye(n)
-    b = problem.effective_budgets() + m_val
+    with span("ilp.build", n=n):
+        f = problem.interference_matrix()
+        m_val = big_m(problem) if m is None else float(m)
+        if m is not None and n > 0 and m_val < big_m(problem):
+            raise ValueError(
+                f"big-M {m_val} is smaller than the safe bound {big_m(problem)}; "
+                "this would cut feasible schedules"
+            )
+        a = f.T + m_val * np.eye(n)
+        b = problem.effective_budgets() + m_val
+    obs_metrics.inc("ilp.builds")
     return ILPData(
         objective=problem.links.rates.copy(),
         constraint_matrix=a,

@@ -36,6 +36,8 @@ from repro.core.problem import FadingRLS
 from repro.core.schedule import Schedule
 from repro.geometry.grid import GridPartition
 from repro.network.diversity import length_classes, length_diversity_set
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 
 N_COLORS = 4
 
@@ -152,18 +154,21 @@ def ldp_schedule(
         magnitude ``h``, colour, the square-size factor used, and the
         number of candidates examined.
     """
-    candidates = ldp_candidates(
-        problem, two_sided=two_sided, rigorous=rigorous, beta_scale=beta_scale
-    )
+    with span("ldp.partition", n=problem.n_links):
+        candidates = ldp_candidates(
+            problem, two_sided=two_sided, rigorous=rigorous, beta_scale=beta_scale
+        )
+    obs_metrics.inc("ldp.candidates", len(candidates))
     if not candidates:
         return Schedule.empty("ldp")
     best: Optional[Tuple[int, int, np.ndarray]] = None
     best_rate = -np.inf
-    for h, color, active in candidates:
-        rate = problem.scheduled_rate(active)
-        if rate > best_rate:
-            best_rate = rate
-            best = (h, color, active)
+    with span("ldp.select", candidates=len(candidates)):
+        for h, color, active in candidates:
+            rate = problem.scheduled_rate(active)
+            if rate > best_rate:
+                best_rate = rate
+                best = (h, color, active)
     assert best is not None
     h, color, active = best
     return Schedule(

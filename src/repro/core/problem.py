@@ -39,6 +39,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.network.links import LinkSet
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.utils.validation import check_positive, check_probability
 
 
@@ -169,9 +171,14 @@ class FadingRLS:
     def interference_matrix(self) -> np.ndarray:
         """Cached interference-factor matrix ``F`` (Eq. 17)."""
         if "F" not in self._cache:
-            self._cache["F"] = interference_factors(
-                self.distances(), self.alpha, self.gamma_th, self.powers
-            )
+            with span("fmatrix.build", n=self.n_links):
+                self._cache["F"] = interference_factors(
+                    self.distances(), self.alpha, self.gamma_th, self.powers
+                )
+            obs_metrics.inc("fmatrix.builds")
+            obs_metrics.inc("fmatrix.cells_computed", self.n_links * self.n_links)
+        else:
+            obs_metrics.inc("fmatrix.cache_hits")
         return self._cache["F"]
 
     def noise_factors(self) -> np.ndarray:

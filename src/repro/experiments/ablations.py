@@ -29,6 +29,7 @@ from repro.core.ldp import ldp_schedule
 from repro.core.problem import FadingRLS
 from repro.core.rle import rle_schedule
 from repro.network.topology import exponential_length_topology, paper_topology
+from repro.obs.trace import span
 from repro.sim.parallel import parallel_map
 from repro.utils.rng import stable_seed
 
@@ -90,7 +91,8 @@ def ldp_class_ablation(
         diverse_lengths=diverse_lengths,
         variants=variants,
     )
-    per_rep = parallel_map(worker, range(n_repetitions), n_jobs=n_jobs)
+    with span("experiment.ablation_a1", reps=n_repetitions):
+        per_rep = parallel_map(worker, range(n_repetitions), n_jobs=n_jobs)
     out: Dict[str, AblationResult] = {}
     for name, _ in variants:
         arr = np.array([rows[name] for rows in per_rep])
@@ -130,7 +132,8 @@ def rle_c2_ablation(
     """A2: RLE expected throughput across the ``c2`` budget split."""
     cells = [(float(c2), rep) for c2 in c2_values for rep in range(n_repetitions)]
     worker = partial(_a2_cell, n_links=n_links, alpha=alpha, root_seed=root_seed)
-    values = parallel_map(worker, cells, n_jobs=n_jobs)
+    with span("experiment.ablation_a2", cells=len(cells)):
+        values = parallel_map(worker, cells, n_jobs=n_jobs)
     means: List[float] = []
     stds: List[float] = []
     for i in range(len(c2_values)):
@@ -208,7 +211,8 @@ def approximation_quality(
         region_side=region_side,
         root_seed=root_seed,
     )
-    per_instance = parallel_map(worker, range(n_instances), n_jobs=n_jobs)
+    with span("experiment.ablation_a3", instances=n_instances):
+        per_instance = parallel_map(worker, range(n_instances), n_jobs=n_jobs)
     ratios: Dict[str, List[float]] = {"ldp": [], "rle": []}
     bounds: Dict[str, List[float]] = {"ldp": [], "rle": []}
     for rows in per_instance:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig, paper_scheduler_set
+from repro.obs.trace import span
 from repro.sim.runner import RunResult, SweepPoint, run_sweep
 from repro.utils.rng import stable_seed
 
@@ -80,7 +81,10 @@ def failed_vs_links(config: ExperimentConfig | None = None) -> SweepSeries:
         )
         for n in cfg.n_links_sweep
     ]
-    return sweep_panel(paper_scheduler_set(), points, cfg, x_label="number of links")
+    with span("experiment.fig5a", points=len(points)):
+        return sweep_panel(
+            paper_scheduler_set(), points, cfg, x_label="number of links"
+        )
 
 
 def failed_vs_alpha(config: ExperimentConfig | None = None) -> SweepSeries:
@@ -95,6 +99,7 @@ def failed_vs_alpha(config: ExperimentConfig | None = None) -> SweepSeries:
         )
         for alpha in cfg.alpha_sweep
     ]
-    return sweep_panel(
-        paper_scheduler_set(), points, cfg, x_label="path loss exponent alpha"
-    )
+    with span("experiment.fig5b", points=len(points)):
+        return sweep_panel(
+            paper_scheduler_set(), points, cfg, x_label="path loss exponent alpha"
+        )

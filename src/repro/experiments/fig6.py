@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.core.base import get_scheduler
 from repro.experiments.config import FIG6_SCHEDULERS, ExperimentConfig
 from repro.experiments.fig5 import SweepSeries, sweep_panel
+from repro.obs.trace import span
 from repro.sim.runner import SweepPoint
 from repro.utils.rng import stable_seed
 
@@ -37,7 +38,10 @@ def throughput_vs_links(config: ExperimentConfig | None = None) -> SweepSeries:
         )
         for n in cfg.n_links_sweep
     ]
-    return sweep_panel(_fig6_schedulers(), points, cfg, x_label="number of links")
+    with span("experiment.fig6a", points=len(points)):
+        return sweep_panel(
+            _fig6_schedulers(), points, cfg, x_label="number of links"
+        )
 
 
 def throughput_vs_alpha(config: ExperimentConfig | None = None) -> SweepSeries:
@@ -52,6 +56,7 @@ def throughput_vs_alpha(config: ExperimentConfig | None = None) -> SweepSeries:
         )
         for alpha in cfg.alpha_sweep
     ]
-    return sweep_panel(
-        _fig6_schedulers(), points, cfg, x_label="path loss exponent alpha"
-    )
+    with span("experiment.fig6b", points=len(points)):
+        return sweep_panel(
+            _fig6_schedulers(), points, cfg, x_label="path loss exponent alpha"
+        )

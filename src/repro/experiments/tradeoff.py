@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.problem import FadingRLS
 from repro.experiments.config import TopologyWorkload
 from repro.network.links import LinkSet
+from repro.obs.trace import span
 from repro.sim.montecarlo import simulate_schedule
 from repro.sim.parallel import parallel_map
 from repro.utils.rng import stable_seed
@@ -122,7 +123,8 @@ def eps_tradeoff(
         workload=workload,
         max_bytes=max_bytes,
     )
-    per_rep = parallel_map(worker, range(n_repetitions), n_jobs=n_jobs)
+    with span("experiment.eps_tradeoff", reps=n_repetitions, eps_values=len(eps_values)):
+        per_rep = parallel_map(worker, range(n_repetitions), n_jobs=n_jobs)
     out: List[EpsPoint] = []
     for eps in eps_values:
         for name in schedulers:

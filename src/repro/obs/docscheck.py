@@ -1,0 +1,179 @@
+"""Documentation-contract checker behind ``make docs-check``.
+
+Two gates, both cheap enough to run before every test pass:
+
+1. **Catalogue completeness** — every span name passed to ``span("…")``
+   and every metric name passed to ``obs_metrics.inc/gauge/observe``
+   anywhere under ``src/`` (outside :mod:`repro.obs` itself) must
+   appear in the corresponding catalogue section of
+   ``docs/OBSERVABILITY.md``.  Adding an instrumented call site without
+   documenting its name fails the build, which is what keeps the
+   span/metric names a *stable public contract* rather than an
+   accident of the code.
+
+2. **API snippets** — every fenced ````python```` block in
+   ``docs/API.md`` that contains doctest prompts (``>>>``) is executed
+   with the standard :mod:`doctest` machinery.  Documented signatures
+   that drift from the code fail here instead of silently rotting.
+
+The scanner is intentionally literal: instrumented call sites must
+write ``span("dotted.name", ...)`` / ``obs_metrics.inc("dotted.name",
+...)`` with a **string literal** first argument (this is also the
+style the contract mandates — dynamic span names defeat aggregation).
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Set, Tuple
+
+#: ``span("name"`` — also matches ``trace.span(``; instrumented modules
+#: import the function directly, so a bare call is the common form.
+SPAN_USE_RE = re.compile(r"""\bspan\(\s*["']([A-Za-z0-9_.]+)["']""")
+#: ``obs_metrics.inc("name"`` / ``.gauge(`` / ``.observe(`` — the import
+#: alias ``from repro.obs import metrics as obs_metrics`` is part of the
+#: instrumentation style so the scanner (and readers) can spot metric
+#: call sites unambiguously.
+METRIC_USE_RE = re.compile(
+    r"""\bobs_metrics\.(?:inc|gauge|observe)\(\s*["']([A-Za-z0-9_.]+)["']"""
+)
+
+#: A catalogued name inside an OBSERVABILITY.md section: a backticked
+#: dotted identifier like `` `mc.chunks_sampled` ``.
+_CATALOGUE_NAME_RE = re.compile(r"`([a-z0-9_]+(?:\.[a-z0-9_]+)+)`")
+
+
+def used_names(src_root: Path) -> Tuple[Dict[str, List[str]], Dict[str, List[str]]]:
+    """Scan ``src_root`` for instrumented span / metric names.
+
+    Returns ``(spans, metrics)`` mapping each name to the files using
+    it.  ``repro/obs`` itself is excluded — its docstrings and tests
+    mention names generically.
+    """
+    spans: Dict[str, List[str]] = {}
+    metrics: Dict[str, List[str]] = {}
+    for path in sorted(src_root.rglob("*.py")):
+        rel = path.relative_to(src_root).as_posix()
+        if rel.startswith("repro/obs/"):
+            continue
+        text = path.read_text()
+        for name in SPAN_USE_RE.findall(text):
+            spans.setdefault(name, []).append(rel)
+        for name in METRIC_USE_RE.findall(text):
+            metrics.setdefault(name, []).append(rel)
+    return spans, metrics
+
+
+def _section(markdown: str, heading: str) -> str:
+    """The body of one ``## heading`` section (empty if absent)."""
+    pattern = re.compile(
+        rf"^##\s+{re.escape(heading)}\s*$(.*?)(?=^##\s|\Z)",
+        re.MULTILINE | re.DOTALL,
+    )
+    m = pattern.search(markdown)
+    return m.group(1) if m else ""
+
+
+def catalogued_names(observability_md: str) -> Tuple[Set[str], Set[str]]:
+    """Span and metric catalogues from OBSERVABILITY.md text."""
+    spans = set(_CATALOGUE_NAME_RE.findall(_section(observability_md, "Span catalogue")))
+    metrics = set(
+        _CATALOGUE_NAME_RE.findall(_section(observability_md, "Metric catalogue"))
+    )
+    return spans, metrics
+
+
+def check_catalogues(
+    src_root: Path, observability_md: str
+) -> List[str]:
+    """Names used in ``src/`` but missing from the catalogues."""
+    used_spans, used_metrics = used_names(src_root)
+    doc_spans, doc_metrics = catalogued_names(observability_md)
+    problems: List[str] = []
+    if not doc_spans:
+        problems.append(
+            "docs/OBSERVABILITY.md has no '## Span catalogue' section (or it is empty)"
+        )
+    if not doc_metrics:
+        problems.append(
+            "docs/OBSERVABILITY.md has no '## Metric catalogue' section (or it is empty)"
+        )
+    for name in sorted(set(used_spans) - doc_spans):
+        problems.append(
+            f"span {name!r} (used in {', '.join(used_spans[name])}) is not in the "
+            f"Span catalogue of docs/OBSERVABILITY.md"
+        )
+    for name in sorted(set(used_metrics) - doc_metrics):
+        problems.append(
+            f"metric {name!r} (used in {', '.join(used_metrics[name])}) is not in "
+            f"the Metric catalogue of docs/OBSERVABILITY.md"
+        )
+    return problems
+
+
+_FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def doctest_blocks(markdown: str) -> List[str]:
+    """Fenced python blocks containing doctest prompts."""
+    return [block for block in _FENCE_RE.findall(markdown) if ">>>" in block]
+
+
+def run_doctest_blocks(markdown: str, *, name: str = "docs") -> List[str]:
+    """Execute every doctest block; returns failure descriptions."""
+    runner = doctest.DocTestRunner(optionflags=doctest.ELLIPSIS, verbose=False)
+    parser = doctest.DocTestParser()
+    failures: List[str] = []
+    for i, block in enumerate(doctest_blocks(markdown)):
+        test = parser.get_doctest(block, {}, f"{name}[block {i}]", name, 0)
+        out: List[str] = []
+        runner.run(test, out=out.append)
+        if runner.failures:
+            failures.append("".join(out) or f"{name}[block {i}] failed")
+            runner = doctest.DocTestRunner(
+                optionflags=doctest.ELLIPSIS, verbose=False
+            )
+    return failures
+
+
+def run_checks(root: Path) -> List[str]:
+    """All docs-contract checks for a repo rooted at ``root``."""
+    problems: List[str] = []
+    obs_md = root / "docs" / "OBSERVABILITY.md"
+    api_md = root / "docs" / "API.md"
+    if not obs_md.exists():
+        problems.append("docs/OBSERVABILITY.md does not exist")
+    else:
+        problems.extend(check_catalogues(root / "src", obs_md.read_text()))
+    if not api_md.exists():
+        problems.append("docs/API.md does not exist")
+    else:
+        problems.extend(run_doctest_blocks(api_md.read_text(), name="docs/API.md"))
+    return problems
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    """CLI entry point: ``python -m repro.obs.docscheck [--root DIR]``."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    root = Path.cwd()
+    if args[:1] == ["--root"] and len(args) >= 2:
+        root = Path(args[1])
+    problems = run_checks(root)
+    if problems:
+        print("docs-check: FAILED", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    used_spans, used_metrics = used_names(root / "src")
+    print(
+        f"docs-check: OK ({len(used_spans)} span names, "
+        f"{len(used_metrics)} metric names catalogued; API.md snippets pass)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

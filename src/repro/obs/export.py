@@ -1,0 +1,238 @@
+"""JSONL trace export, validation, and summarisation.
+
+Trace file format — ``repro.trace.v1``
+--------------------------------------
+One JSON object per line, in order:
+
+1. exactly one **meta** record first::
+
+       {"type": "meta", "schema": "repro.trace.v1", "version": 1,
+        "command": "...", "unix_time": 1234.5}
+
+2. zero or more **span** records (see
+   :meth:`repro.obs.trace.SpanRecord.to_dict`)::
+
+       {"type": "span", "id": 3, "parent": 0, "name": "mc.replay",
+        "t0": 12.125, "wall": 0.81, "cpu": 0.80, "depth": 2,
+        "proc": null, "attrs": {"trials": 500}}
+
+3. at most one **metrics** record last, embedding a
+   :func:`repro.obs.metrics.snapshot`::
+
+       {"type": "metrics", "snapshot": {"counters": {...}, ...}}
+
+The schema string is versioned; readers reject unknown versions rather
+than guess.  Fields may be *added* within v1 (readers must ignore
+unknown keys); removing or re-typing a field requires a version bump —
+that promise is the instrumentation contract in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.trace import SpanRecord
+
+SCHEMA = "repro.trace.v1"
+SCHEMA_VERSION = 1
+
+_SPAN_FIELDS = {
+    "id": int,
+    "name": str,
+    "t0": (int, float),
+    "wall": (int, float),
+    "cpu": (int, float),
+    "depth": int,
+}
+
+
+class TraceFormatError(ValueError):
+    """A trace file violates the ``repro.trace.v1`` schema."""
+
+
+def validate_record(rec: Any, *, line: int = 0) -> Dict[str, Any]:
+    """Validate one parsed JSONL record; returns it or raises.
+
+    Checks the discriminating ``type`` field and, per type, the
+    presence and types of the required fields.  Unknown extra keys are
+    allowed (additive schema evolution).
+    """
+    where = f"line {line}: " if line else ""
+    if not isinstance(rec, dict):
+        raise TraceFormatError(f"{where}record must be a JSON object, got {type(rec).__name__}")
+    kind = rec.get("type")
+    if kind == "meta":
+        if rec.get("schema") != SCHEMA:
+            raise TraceFormatError(
+                f"{where}unsupported trace schema {rec.get('schema')!r} "
+                f"(this reader understands {SCHEMA!r})"
+            )
+        return rec
+    if kind == "span":
+        for key, types in _SPAN_FIELDS.items():
+            if key not in rec:
+                raise TraceFormatError(f"{where}span record missing {key!r}")
+            if not isinstance(rec[key], types) or isinstance(rec[key], bool):
+                raise TraceFormatError(
+                    f"{where}span field {key!r} has wrong type "
+                    f"{type(rec[key]).__name__}"
+                )
+        if rec.get("parent") is not None and not isinstance(rec["parent"], int):
+            raise TraceFormatError(f"{where}span field 'parent' must be int or null")
+        if not isinstance(rec.get("attrs", {}), dict):
+            raise TraceFormatError(f"{where}span field 'attrs' must be an object")
+        return rec
+    if kind == "metrics":
+        snap = rec.get("snapshot")
+        if not isinstance(snap, dict):
+            raise TraceFormatError(f"{where}metrics record missing 'snapshot' object")
+        for section in ("counters", "gauges", "histograms"):
+            if section in snap and not isinstance(snap[section], dict):
+                raise TraceFormatError(f"{where}snapshot section {section!r} must be an object")
+        return rec
+    raise TraceFormatError(f"{where}unknown record type {kind!r}")
+
+
+@dataclass(frozen=True)
+class TraceData:
+    """A parsed, validated trace file."""
+
+    meta: Dict[str, Any]
+    spans: List[Dict[str, Any]]
+    metrics: Optional[Dict[str, Any]] = None
+
+
+def write_trace(
+    path: Union[str, Path],
+    spans: Sequence[Union[SpanRecord, Dict[str, Any]]],
+    *,
+    metrics_snapshot: Optional[Dict[str, Any]] = None,
+    command: Optional[str] = None,
+) -> None:
+    """Write a ``repro.trace.v1`` JSONL file."""
+    meta: Dict[str, Any] = {
+        "type": "meta",
+        "schema": SCHEMA,
+        "version": SCHEMA_VERSION,
+        "unix_time": time.time(),
+    }
+    if command is not None:
+        meta["command"] = command
+    with Path(path).open("w") as fh:
+        fh.write(json.dumps(meta) + "\n")
+        for s in spans:
+            rec = s.to_dict() if isinstance(s, SpanRecord) else s
+            fh.write(json.dumps(rec) + "\n")
+        if metrics_snapshot is not None:
+            fh.write(
+                json.dumps({"type": "metrics", "snapshot": metrics_snapshot}) + "\n"
+            )
+
+
+def read_trace(path: Union[str, Path]) -> TraceData:
+    """Read and validate a JSONL trace file."""
+    meta: Optional[Dict[str, Any]] = None
+    spans: List[Dict[str, Any]] = []
+    metrics: Optional[Dict[str, Any]] = None
+    with Path(path).open() as fh:
+        for i, raw in enumerate(fh, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                rec = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(f"line {i}: invalid JSON ({exc})") from exc
+            rec = validate_record(rec, line=i)
+            if rec["type"] == "meta":
+                if meta is not None:
+                    raise TraceFormatError(f"line {i}: duplicate meta record")
+                meta = rec
+            elif rec["type"] == "span":
+                if meta is None:
+                    raise TraceFormatError(f"line {i}: span before meta record")
+                spans.append(rec)
+            else:  # metrics
+                if metrics is not None:
+                    raise TraceFormatError(f"line {i}: duplicate metrics record")
+                metrics = rec["snapshot"]
+    if meta is None:
+        raise TraceFormatError("trace file has no meta record")
+    return TraceData(meta=meta, spans=spans, metrics=metrics)
+
+
+@dataclass(frozen=True)
+class SpanSummary:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    calls: int
+    total_wall: float
+    self_wall: float
+    total_cpu: float
+
+    row: tuple = field(default=(), repr=False, compare=False)
+
+
+def summarize_trace(trace: TraceData) -> List[SpanSummary]:
+    """Per-name span aggregates, sorted by total wall time (desc).
+
+    ``self_wall`` is each span's wall time minus its *direct*
+    children's wall time, summed over calls — the "where does the time
+    actually go" column (a parent that only dispatches has near-zero
+    self time however long it runs).  Ties break by name so the output
+    is stable.
+    """
+    child_wall: Dict[int, float] = {}
+    for s in trace.spans:
+        parent = s.get("parent")
+        if parent is not None:
+            child_wall[parent] = child_wall.get(parent, 0.0) + s["wall"]
+    agg: Dict[str, List[float]] = {}
+    for s in trace.spans:
+        row = agg.setdefault(s["name"], [0, 0.0, 0.0, 0.0])
+        row[0] += 1
+        row[1] += s["wall"]
+        row[2] += max(0.0, s["wall"] - child_wall.get(s["id"], 0.0))
+        row[3] += s["cpu"]
+    out = [
+        SpanSummary(
+            name=name,
+            calls=int(row[0]),
+            total_wall=row[1],
+            self_wall=row[2],
+            total_cpu=row[3],
+        )
+        for name, row in agg.items()
+    ]
+    out.sort(key=lambda r: (-r.total_wall, r.name))
+    return out
+
+
+def format_trace_summary(
+    trace: TraceData, *, top: int = 10, path: Optional[str] = None
+) -> str:
+    """Render :func:`summarize_trace` as a fixed-width table."""
+    rows = summarize_trace(trace)
+    head = (
+        f"trace{': ' + path if path else ''} "
+        f"(schema {trace.meta.get('schema')}, {len(trace.spans)} spans"
+        f"{', metrics attached' if trace.metrics is not None else ''})"
+    )
+    lines = [head]
+    lines.append(
+        f"{'span':<32} {'calls':>7} {'total_s':>10} {'self_s':>10} {'cpu_s':>10}"
+    )
+    for r in rows[: max(0, top)]:
+        lines.append(
+            f"{r.name:<32} {r.calls:>7} {r.total_wall:>10.4f} "
+            f"{r.self_wall:>10.4f} {r.total_cpu:>10.4f}"
+        )
+    if not rows:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""The observability master switch.
+
+All of :mod:`repro.obs` hangs off one module-level flag.  Every
+recording entry point (``span``, ``metrics.inc``, ...) checks it first
+and returns immediately when observability is off, so the instrumented
+call sites scattered through the hot paths cost a single attribute
+lookup and a function call when disabled — the no-op-overhead guard in
+``tests/test_obs_overhead.py`` pins that cost below 5% of a smoke
+figure run.
+
+The flag lives in its own tiny module so :mod:`repro.obs.trace` and
+:mod:`repro.obs.metrics` can share it without importing each other.
+Always read it through the module (``state.enabled``), never via
+``from ... import enabled`` — a from-import would freeze the value at
+import time.
+"""
+
+from __future__ import annotations
+
+#: Master switch.  Mutate only through :func:`enable` / :func:`disable`.
+enabled: bool = False
+
+
+def enable() -> None:
+    """Turn observability on (spans and metrics start recording)."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    """Turn observability off (recording stops; buffers are kept)."""
+    global enabled
+    enabled = False
+
+
+def is_enabled() -> bool:
+    """Current state of the master switch."""
+    return enabled

@@ -1,0 +1,255 @@
+"""Hierarchical span tracing.
+
+A **span** is one timed region of code with a stable dotted name from
+the catalogue in ``docs/OBSERVABILITY.md``::
+
+    from repro.obs.trace import span
+
+    with span("fmatrix.build", n=problem.n_links):
+        ...  # timed work
+
+Spans nest: the tracer keeps a per-thread stack, so a span opened
+inside another records that parent's id and its own depth.  Each closed
+span becomes one :class:`SpanRecord` carrying wall time
+(``time.perf_counter``) and CPU time (``time.process_time``) plus the
+caller's keyword attributes.  Records accumulate in a process-global
+buffer until :func:`drain_spans` collects them (the CLI drains into a
+JSONL trace file via :mod:`repro.obs.export`).
+
+When observability is disabled (:mod:`repro.obs.state`), :func:`span`
+returns a shared no-op context manager and records nothing — the
+disabled path allocates no record and takes no lock.
+
+Worker processes
+----------------
+Spans recorded inside :mod:`repro.sim.parallel` worker processes are
+drained in the worker and re-attached to the parent's trace by
+:func:`absorb_spans`: ids are re-based onto the parent's id counter,
+root spans are re-parented under the parent's currently open span, and
+every absorbed record is tagged with the originating work-item index
+(``proc``).  Worker timestamps (``t0``) remain process-local — only
+durations are comparable across processes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs import state as _state
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span.
+
+    Attributes
+    ----------
+    id, parent:
+        Process-local span ids (``parent is None`` for root spans;
+        rewritten by :func:`absorb_spans` when crossing processes).
+    name:
+        Dotted catalogue name (stable public contract).
+    t0:
+        Start time on the recording process's ``perf_counter`` clock.
+    wall, cpu:
+        Elapsed wall-clock and process CPU seconds.
+    depth:
+        Nesting depth at record time (0 = root).
+    proc:
+        Originating work-item index for spans absorbed from worker
+        processes; ``None`` for spans recorded in this process.
+    attrs:
+        Caller-supplied keyword attributes (JSON-serialisable values).
+    """
+
+    id: int
+    parent: Optional[int]
+    name: str
+    t0: float
+    wall: float
+    cpu: float
+    depth: int
+    proc: Optional[int] = None
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form matching the JSONL span record schema."""
+        return {
+            "type": "span",
+            "id": self.id,
+            "parent": self.parent,
+            "name": self.name,
+            "t0": self.t0,
+            "wall": self.wall,
+            "cpu": self.cpu,
+            "depth": self.depth,
+            "proc": self.proc,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        """Discard attributes (mirrors :meth:`_Span.set`)."""
+
+
+_NOOP = _NoopSpan()
+
+_lock = threading.Lock()
+_records: List[SpanRecord] = []
+_next_id = 0
+_tls = threading.local()  # per-thread open-span stack
+
+
+def _stack() -> List["_Span"]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _tls.stack = stack
+    return stack
+
+
+class _Span:
+    """An open span; closes (and records) on ``__exit__``."""
+
+    __slots__ = ("name", "attrs", "id", "parent", "depth", "_t0", "_c0")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> None:
+        """Attach or update attributes while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        global _next_id
+        stack = _stack()
+        with _lock:
+            self.id = _next_id
+            _next_id += 1
+        self.parent = stack[-1].id if stack else None
+        self.depth = len(stack)
+        stack.append(self)
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        wall = time.perf_counter() - self._t0
+        cpu = time.process_time() - self._c0
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        record = SpanRecord(
+            id=self.id,
+            parent=self.parent,
+            name=self.name,
+            t0=self._t0,
+            wall=wall,
+            cpu=cpu,
+            depth=self.depth,
+            attrs=self.attrs,
+        )
+        with _lock:
+            _records.append(record)
+        return False
+
+
+def span(name: str, **attrs: Any) -> Any:
+    """Open a named span as a context manager.
+
+    Returns the shared no-op when observability is disabled; attribute
+    values must be JSON-serialisable (they land in the trace file
+    verbatim).  Names are static dotted identifiers from the catalogue
+    — put variable parts (sizes, algorithm names) in ``attrs``, never
+    in ``name``, so traces aggregate by construct.
+    """
+    if not _state.enabled:
+        return _NOOP
+    return _Span(name, attrs)
+
+
+def current_span_id() -> Optional[int]:
+    """Id of the innermost open span on this thread (``None`` if none)."""
+    stack = _stack()
+    return stack[-1].id if stack else None
+
+
+def drain_spans() -> List[SpanRecord]:
+    """Return all buffered records and clear the buffer.
+
+    Open spans are unaffected — they will append to the (now empty)
+    buffer when they close.
+    """
+    with _lock:
+        out = list(_records)
+        _records.clear()
+    return out
+
+
+def peek_spans() -> List[SpanRecord]:
+    """Snapshot of the buffered records without clearing them."""
+    with _lock:
+        return list(_records)
+
+
+def absorb_spans(
+    records: List[SpanRecord], *, proc: Optional[int] = None
+) -> None:
+    """Merge spans drained from a worker process into this tracer.
+
+    Ids are shifted onto this process's id counter (preserving the
+    worker's internal parent/child links), root spans are re-parented
+    under the currently open span, depths are offset accordingly, and
+    ``proc`` tags every absorbed record.  No-op when observability is
+    disabled or ``records`` is empty.
+    """
+    if not _state.enabled or not records:
+        return
+    global _next_id
+    attach_to = current_span_id()
+    base_depth = len(_stack())
+    with _lock:
+        offset = _next_id - min(r.id for r in records)
+        _next_id += max(r.id for r in records) - min(r.id for r in records) + 1
+        for r in records:
+            _records.append(
+                SpanRecord(
+                    id=r.id + offset,
+                    parent=attach_to if r.parent is None else r.parent + offset,
+                    name=r.name,
+                    t0=r.t0,
+                    wall=r.wall,
+                    cpu=r.cpu,
+                    depth=r.depth + base_depth,
+                    proc=proc if r.proc is None else r.proc,
+                    attrs=r.attrs,
+                )
+            )
+
+
+def reset() -> None:
+    """Clear all buffered records and restart the id counter.
+
+    Only safe when no spans are open (tests and worker-process
+    initialisation call it between independent units of work).
+    """
+    global _next_id
+    with _lock:
+        _records.clear()
+        _next_id = 0
+    _tls.stack = []

@@ -27,6 +27,8 @@ import numpy as np
 from repro.channel.sampling import instantaneous_sinr, iter_fading_trials
 from repro.core.problem import FadingRLS
 from repro.core.schedule import Schedule
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.sim.metrics import SimulationResult, summarize_trials
 from repro.utils.rng import SeedLike
 
@@ -74,23 +76,25 @@ def simulate_trials(
     n0 = problem.noise if noise is None else noise
     success = np.empty((n_trials, idx.size), dtype=bool)
     done = 0
-    for z in iter_fading_trials(
-        problem.distances(),
-        idx,
-        problem.alpha,
-        n_trials,
-        power=problem.tx_powers(),
-        seed=seed,
-        max_bytes=max_bytes,
-    ):
-        t_c = z.shape[0]
-        sinr = instantaneous_sinr(z, noise=n0)
-        # Release the chunk before the generator draws the next one —
-        # holding it through the loop head would double peak memory.
-        del z
-        success[done : done + t_c] = sinr >= problem.gamma_th
-        del sinr
-        done += t_c
+    with span("mc.replay", trials=n_trials, k=int(idx.size)):
+        for z in iter_fading_trials(
+            problem.distances(),
+            idx,
+            problem.alpha,
+            n_trials,
+            power=problem.tx_powers(),
+            seed=seed,
+            max_bytes=max_bytes,
+        ):
+            t_c = z.shape[0]
+            sinr = instantaneous_sinr(z, noise=n0)
+            # Release the chunk before the generator draws the next one —
+            # holding it through the loop head would double peak memory.
+            del z
+            success[done : done + t_c] = sinr >= problem.gamma_th
+            del sinr
+            done += t_c
+    obs_metrics.inc("mc.trials_simulated", n_trials)
     return success
 
 

@@ -24,6 +24,19 @@ scheduler callables must be picklable: module-level functions,
 :class:`repro.experiments.config.TopologyWorkload` — not closures or
 lambdas.  :func:`execute_units` verifies this up front and raises a
 clear error instead of an opaque pool crash.
+
+Observability
+-------------
+When :mod:`repro.obs` is enabled, each work item runs inside the
+worker wrapped by :class:`_ObservedCall`: the worker's registries are
+reset, the item executes, and its metric snapshot plus drained spans
+travel back with the result.  The parent folds the snapshots into its
+own registry **in submission order** and re-attaches the spans (tagged
+with the item index) under its open span.  Because the metric
+instruments only use exact, associative aggregations (see
+:mod:`repro.obs.metrics`), the merged snapshot is *byte-identical* to
+the serial run's — ``n_jobs`` changes neither the results nor the
+metrics.
 """
 
 from __future__ import annotations
@@ -37,6 +50,10 @@ from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, T
 from repro.core.problem import FadingRLS
 from repro.core.schedule import Schedule
 from repro.network.links import LinkSet
+from repro.obs import metrics as obs_metrics
+from repro.obs import state as _obs_state
+from repro.obs import trace as _obs_trace
+from repro.obs.trace import span
 from repro.sim.metrics import SimulationResult
 from repro.sim.montecarlo import simulate_schedule
 from repro.utils.rng import stable_seed
@@ -109,22 +126,25 @@ class WorkUnit:
 
 def execute_unit(unit: WorkUnit) -> SimulationResult:
     """Run one :class:`WorkUnit` — the per-process worker function."""
-    links = unit.workload(stable_seed("workload", unit.rep, root=unit.root_seed))
-    problem = FadingRLS(
-        links=links,
-        alpha=unit.alpha,
-        gamma_th=unit.gamma_th,
-        eps=unit.eps,
-        noise=unit.noise,
-    )
-    schedule = unit.scheduler(problem, **dict(unit.scheduler_kwargs))
-    return simulate_schedule(
-        problem,
-        schedule,
-        n_trials=unit.n_trials,
-        seed=stable_seed("fading", unit.rep, unit.name, root=unit.root_seed),
-        max_bytes=unit.max_bytes,
-    )
+    with span("parallel.unit", rep=unit.rep, algorithm=unit.name):
+        links = unit.workload(stable_seed("workload", unit.rep, root=unit.root_seed))
+        problem = FadingRLS(
+            links=links,
+            alpha=unit.alpha,
+            gamma_th=unit.gamma_th,
+            eps=unit.eps,
+            noise=unit.noise,
+        )
+        with span("scheduler.run", algorithm=unit.name):
+            schedule = unit.scheduler(problem, **dict(unit.scheduler_kwargs))
+        obs_metrics.inc("scheduler.links_admitted", schedule.size)
+        return simulate_schedule(
+            problem,
+            schedule,
+            n_trials=unit.n_trials,
+            seed=stable_seed("fading", unit.rep, unit.name, root=unit.root_seed),
+            max_bytes=unit.max_bytes,
+        )
 
 
 def _check_picklable(units: Sequence[Any]) -> None:
@@ -138,6 +158,26 @@ def _check_picklable(units: Sequence[Any]) -> None:
             "repro.experiments.config.TopologyWorkload) instead of closures "
             f"or lambdas ({exc})"
         ) from exc
+
+
+class _ObservedCall:
+    """Worker-side wrapper that ships metrics and spans home.
+
+    Picklable (wraps a picklable ``func``).  Each call isolates the
+    worker's observability state: enable (workers spawned fresh start
+    disabled), reset both registries, run the item, then return the
+    result together with the item's metric snapshot and span records.
+    """
+
+    def __init__(self, func: Callable[[Any], Any]):
+        self.func = func
+
+    def __call__(self, item: Any):
+        _obs_state.enable()
+        obs_metrics.reset()
+        _obs_trace.reset()
+        result = self.func(item)
+        return result, obs_metrics.snapshot(), _obs_trace.drain_spans()
 
 
 def parallel_map(
@@ -154,11 +194,17 @@ def parallel_map(
     in-process — no pool, no pickling, bit-identical to the historical
     serial code path.  ``func`` and every item must be picklable for
     ``n_jobs > 1``.
+
+    With observability enabled, worker metrics and spans are collected
+    per item and folded back in submission order (see the module
+    docstring); the returned values are identical either way.
     """
     jobs = resolve_n_jobs(n_jobs)
     items = list(items)
+    obs_metrics.inc("parallel.items_mapped", len(items))
     if jobs == 1 or len(items) <= 1:
-        return [func(item) for item in items]
+        with span("parallel.map", items=len(items), jobs=1):
+            return [func(item) for item in items]
     _check_picklable(items)
     try:
         pickle.dumps(func)
@@ -168,8 +214,19 @@ def parallel_map(
             f"or functools.partial of one): {exc}"
         ) from exc
     workers = min(jobs, len(items))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(func, items, chunksize=max(1, chunksize)))
+    with span("parallel.map", items=len(items), jobs=workers):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            if not _obs_state.enabled:
+                return list(pool.map(func, items, chunksize=max(1, chunksize)))
+            wrapped = list(
+                pool.map(_ObservedCall(func), items, chunksize=max(1, chunksize))
+            )
+        results: List[U] = []
+        for i, (result, snap, spans) in enumerate(wrapped):
+            obs_metrics.merge_into_registry(snap)
+            _obs_trace.absorb_spans(spans, proc=i)
+            results.append(result)
+        return results
 
 
 def execute_units(

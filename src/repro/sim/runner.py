@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.core.schedule import Schedule
 from repro.network.links import LinkSet
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.sim.metrics import SimulationResult
 from repro.sim.parallel import WorkUnit, build_units, execute_units
 
@@ -128,20 +130,22 @@ def run_schedulers(
     """
     if n_repetitions < 1:
         raise ValueError("n_repetitions must be >= 1")
-    units = build_units(
-        schedulers,
-        workload,
-        n_repetitions=n_repetitions,
-        n_trials=n_trials,
-        alpha=alpha,
-        gamma_th=gamma_th,
-        eps=eps,
-        root_seed=root_seed,
-        scheduler_kwargs=scheduler_kwargs,
-        max_bytes=max_bytes,
-    )
-    results = execute_units(units, n_jobs=n_jobs)
-    return _group_by_scheduler(schedulers, units, results)
+    with span("runner.run_schedulers", schedulers=len(schedulers), reps=n_repetitions):
+        units = build_units(
+            schedulers,
+            workload,
+            n_repetitions=n_repetitions,
+            n_trials=n_trials,
+            alpha=alpha,
+            gamma_th=gamma_th,
+            eps=eps,
+            root_seed=root_seed,
+            scheduler_kwargs=scheduler_kwargs,
+            max_bytes=max_bytes,
+        )
+        obs_metrics.inc("runner.units_built", len(units))
+        results = execute_units(units, n_jobs=n_jobs)
+        return _group_by_scheduler(schedulers, units, results)
 
 
 @dataclass(frozen=True)
@@ -179,28 +183,31 @@ def run_sweep(
     ``point x rep x scheduler`` cells share a single process pool, so
     small per-point grids still saturate the workers.
     """
-    all_units: List[WorkUnit] = []
-    for i, point in enumerate(points):
-        all_units.extend(
-            build_units(
-                schedulers,
-                point.workload,
-                tag=i,
-                n_repetitions=n_repetitions,
-                n_trials=n_trials,
-                alpha=point.alpha,
-                gamma_th=gamma_th,
-                eps=eps,
-                root_seed=point.root_seed,
-                scheduler_kwargs=scheduler_kwargs,
-                max_bytes=max_bytes,
+    with span("runner.run_sweep", points=len(points), schedulers=len(schedulers)):
+        all_units: List[WorkUnit] = []
+        for i, point in enumerate(points):
+            all_units.extend(
+                build_units(
+                    schedulers,
+                    point.workload,
+                    tag=i,
+                    n_repetitions=n_repetitions,
+                    n_trials=n_trials,
+                    alpha=point.alpha,
+                    gamma_th=gamma_th,
+                    eps=eps,
+                    root_seed=point.root_seed,
+                    scheduler_kwargs=scheduler_kwargs,
+                    max_bytes=max_bytes,
+                )
             )
-        )
-    results = execute_units(all_units, n_jobs=n_jobs)
-    per_point = len(all_units) // len(points) if points else 0
-    out: List[Dict[str, RunResult]] = []
-    for i in range(len(points)):
-        chunk_units = all_units[i * per_point : (i + 1) * per_point]
-        chunk_results = results[i * per_point : (i + 1) * per_point]
-        out.append(_group_by_scheduler(schedulers, chunk_units, chunk_results))
-    return out
+        obs_metrics.inc("runner.units_built", len(all_units))
+        obs_metrics.inc("runner.sweep_points", len(points))
+        results = execute_units(all_units, n_jobs=n_jobs)
+        per_point = len(all_units) // len(points) if points else 0
+        out: List[Dict[str, RunResult]] = []
+        for i in range(len(points)):
+            chunk_units = all_units[i * per_point : (i + 1) * per_point]
+            chunk_results = results[i * per_point : (i + 1) * per_point]
+            out.append(_group_by_scheduler(schedulers, chunk_units, chunk_results))
+        return out

@@ -20,6 +20,8 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Optional
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.verify.differential import CheckFn, DIFFERENTIAL_CHECKS
 from repro.verify.fuzz import FAMILIES, Scenario, make_scenario
 from repro.verify.metamorphic import METAMORPHIC_RELATIONS
@@ -67,7 +69,10 @@ def verify_scenario(
     outcomes: List[CheckOutcome] = []
     for name, fn in resolve_checks(checks).items():
         t0 = time.perf_counter()
-        mismatches = tuple(fn(scenario))
+        with span("verify.cell", check=name, scenario=scenario.name):
+            mismatches = tuple(fn(scenario))
+        obs_metrics.inc("verify.checks_run")
+        obs_metrics.inc("verify.mismatches", len(mismatches))
         outcomes.append(
             CheckOutcome(
                 check=name,
@@ -122,29 +127,36 @@ def run_verification(
     outcomes: List[CheckOutcome] = []
     cells = 0
     scenario_index = 0
-    while cells < budget:
-        family = families[scenario_index % len(families)]
-        scenario = make_scenario(
-            family, scenario_index // len(families), root_seed=seed
-        )
-        scenario_index += 1
-        for name, fn in selected.items():
-            if cells >= budget:
-                break
-            if time_budget is not None and time.perf_counter() - t_start > time_budget:
-                cells = budget  # stop the outer loop too
-                break
-            t0 = time.perf_counter()
-            mismatches = tuple(fn(scenario))
-            outcomes.append(
-                CheckOutcome(
-                    check=name,
-                    scenario=scenario.name,
-                    mismatches=mismatches,
-                    wall_seconds=time.perf_counter() - t0,
-                )
+    with span("verify.run", budget=budget, seed=seed):
+        while cells < budget:
+            family = families[scenario_index % len(families)]
+            scenario = make_scenario(
+                family, scenario_index // len(families), root_seed=seed
             )
-            cells += 1
+            scenario_index += 1
+            for name, fn in selected.items():
+                if cells >= budget:
+                    break
+                if (
+                    time_budget is not None
+                    and time.perf_counter() - t_start > time_budget
+                ):
+                    cells = budget  # stop the outer loop too
+                    break
+                t0 = time.perf_counter()
+                with span("verify.cell", check=name, scenario=scenario.name):
+                    mismatches = tuple(fn(scenario))
+                obs_metrics.inc("verify.checks_run")
+                obs_metrics.inc("verify.mismatches", len(mismatches))
+                outcomes.append(
+                    CheckOutcome(
+                        check=name,
+                        scenario=scenario.name,
+                        mismatches=mismatches,
+                        wall_seconds=time.perf_counter() - t0,
+                    )
+                )
+                cells += 1
     return VerificationReport(
         outcomes=tuple(outcomes),
         budget=budget,

@@ -16,6 +16,18 @@ def rng():
 
 
 @pytest.fixture
+def obs_enabled():
+    """Observability switched on for one test, fully cleared afterwards."""
+    from repro import obs
+
+    obs.enable()
+    obs.reset()
+    yield obs
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture
 def tiny_links() -> LinkSet:
     """Three well-separated short links: feasible all together."""
     senders = np.array([[0.0, 0.0], [1000.0, 0.0], [0.0, 1000.0]])

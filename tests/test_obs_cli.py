@@ -1,0 +1,104 @@
+"""CLI observability: --trace / --metrics / --profile / trace summarize."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.export import SCHEMA, read_trace, summarize_trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """The CLI toggles the global switch; leave no residue between tests."""
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _fig5_smoke_argv(extra):
+    return [*extra, "figures", "--panel", "fig5a"]
+
+
+class TestTraceFlag:
+    def test_writes_schema_valid_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        assert main(_fig5_smoke_argv(["--trace", str(path)])) == 0
+        # read_trace validates every record against repro.trace.v1
+        trace = read_trace(path)
+        assert trace.meta["schema"] == SCHEMA
+        assert trace.meta["command"] == "figures"
+        assert trace.metrics is not None
+        names = {s["name"] for s in trace.spans}
+        assert {"cli.run", "experiment.fig5a", "runner.run_sweep"} <= names
+        assert "wrote trace" in capsys.readouterr().err
+
+    def test_root_span_is_cli_run(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        main(_fig5_smoke_argv(["--trace", str(path)]))
+        trace = read_trace(path)
+        roots = [s for s in trace.spans if s["parent"] is None]
+        assert [r["name"] for r in roots] == ["cli.run"]
+
+    def test_switch_restored_after_run(self, tmp_path):
+        main(_fig5_smoke_argv(["--trace", str(tmp_path / "t.jsonl")]))
+        assert not obs.is_enabled()
+
+
+class TestTraceSummarize:
+    def test_names_top_spans_of_fig5_smoke(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        main(_fig5_smoke_argv(["--trace", str(path)]))
+        capsys.readouterr()
+
+        assert main(["trace", "summarize", str(path), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        # golden check: the three hottest spans by total wall are the
+        # enclosing stages, in order
+        expected = [s.name for s in summarize_trace(read_trace(path))[:3]]
+        assert expected[0] == "cli.run"
+        for name in expected:
+            assert name in out
+        # --top 3 cuts the table after three data rows
+        assert len([l for l in out.splitlines() if l and "." in l.split()[0]]) == 3
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_file_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "wat"}\n')
+        assert main(["trace", "summarize", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMetricsFlag:
+    def test_prints_snapshot_table(self, capsys):
+        assert main(_fig5_smoke_argv(["--metrics"])) == 0
+        err = capsys.readouterr().err
+        assert "counter" in err
+        assert "mc.trials_simulated" in err
+        assert "scheduler.links_admitted" in err
+
+    def test_schedule_command_counts_admitted_links(self, capsys):
+        assert main(["--metrics", "schedule", "--n-links", "20", "--algorithm",
+                     "rle", "--seed", "3"]) == 0
+        err = capsys.readouterr().err
+        assert "scheduler.links_admitted" in err
+
+
+class TestProfileFlag:
+    def test_prints_cprofile_table(self, capsys):
+        assert main(["--profile", "list"]) == 0
+        captured = capsys.readouterr()
+        assert "ncalls" in captured.err
+        assert "ldp" in captured.out  # the command itself still ran
+
+
+class TestObservabilityOffByDefault:
+    def test_plain_command_leaves_no_trace(self, capsys):
+        assert main(["list"]) == 0
+        assert not obs.is_enabled()
+        assert obs.drain_spans() == []

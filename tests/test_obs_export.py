@@ -1,0 +1,132 @@
+"""JSONL trace export: round-trip, schema validation, summarisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics as obs_metrics
+from repro.obs.export import (
+    SCHEMA,
+    TraceFormatError,
+    format_trace_summary,
+    read_trace,
+    summarize_trace,
+    validate_record,
+    write_trace,
+)
+from repro.obs.trace import span
+
+
+def _sample_spans(obs_enabled):
+    with span("runner.run_sweep", points=2):
+        with span("mc.replay", trials=10):
+            pass
+        with span("mc.replay", trials=10):
+            pass
+    return obs.drain_spans()
+
+
+class TestRoundTrip:
+    def test_spans_and_metrics_round_trip(self, obs_enabled, tmp_path):
+        spans = _sample_spans(obs_enabled)
+        obs_metrics.inc("mc.trials_simulated", 20)
+        snap = obs_metrics.snapshot()
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, spans, metrics_snapshot=snap, command="test")
+
+        trace = read_trace(path)
+        assert trace.meta["schema"] == SCHEMA
+        assert trace.meta["command"] == "test"
+        assert trace.metrics == snap
+        assert [s["name"] for s in trace.spans] == [s.name for s in spans]
+        assert trace.spans[0]["attrs"] == {"trials": 10}
+        # every line of the file is valid standalone JSON
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 + len(spans) + 1
+        for line in lines:
+            json.loads(line)
+
+    def test_trace_without_metrics(self, obs_enabled, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace(path, _sample_spans(obs_enabled))
+        assert read_trace(path).metrics is None
+
+
+class TestValidation:
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "meta", "schema": "repro.trace.v99", "version": 99}\n')
+        with pytest.raises(TraceFormatError, match="unsupported trace schema"):
+            read_trace(path)
+
+    def test_rejects_span_before_meta(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"type": "span", "id": 0, "parent": null, "name": "a.b", '
+            '"t0": 0.0, "wall": 0.1, "cpu": 0.1, "depth": 0}\n'
+        )
+        with pytest.raises(TraceFormatError, match="span before meta"):
+            read_trace(path)
+
+    def test_rejects_missing_span_field(self):
+        rec = {"type": "span", "id": 0, "name": "a.b", "t0": 0.0, "wall": 0.1, "cpu": 0.1}
+        with pytest.raises(TraceFormatError, match="missing 'depth'"):
+            validate_record(rec)
+
+    def test_rejects_invalid_json_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            f'{{"type": "meta", "schema": "{SCHEMA}", "version": 1}}\n'
+            "not json\n"
+        )
+        with pytest.raises(TraceFormatError, match="line 2"):
+            read_trace(path)
+
+    def test_rejects_no_meta(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceFormatError, match="no meta record"):
+            read_trace(path)
+
+    def test_unknown_extra_fields_allowed(self):
+        rec = {
+            "type": "span", "id": 0, "parent": None, "name": "a.b",
+            "t0": 0.0, "wall": 0.1, "cpu": 0.1, "depth": 0,
+            "future_field": "ignored",
+        }
+        assert validate_record(rec) is rec
+
+
+class TestSummarize:
+    def test_self_time_subtracts_direct_children(self, obs_enabled, tmp_path):
+        spans = _sample_spans(obs_enabled)
+        path = tmp_path / "t.jsonl"
+        write_trace(path, spans)
+        rows = summarize_trace(read_trace(path))
+        by_name = {r.name: r for r in rows}
+        sweep, replay = by_name["runner.run_sweep"], by_name["mc.replay"]
+        assert sweep.calls == 1 and replay.calls == 2
+        # parent self time excludes the two replay children
+        assert sweep.self_wall == pytest.approx(
+            sweep.total_wall - replay.total_wall, abs=1e-9
+        )
+        # sorted by total wall descending: the enclosing span leads
+        assert rows[0].name == "runner.run_sweep"
+
+    def test_format_names_top_spans(self, obs_enabled, tmp_path):
+        spans = _sample_spans(obs_enabled)
+        path = tmp_path / "t.jsonl"
+        write_trace(path, spans, metrics_snapshot=obs_metrics.snapshot())
+        text = format_trace_summary(read_trace(path), top=10, path=str(path))
+        assert "runner.run_sweep" in text and "mc.replay" in text
+        assert SCHEMA in text and "metrics attached" in text
+
+    def test_top_limits_rows(self, obs_enabled, tmp_path):
+        spans = _sample_spans(obs_enabled)
+        path = tmp_path / "t.jsonl"
+        write_trace(path, spans)
+        text = format_trace_summary(read_trace(path), top=1)
+        assert "runner.run_sweep" in text and "mc.replay" not in text

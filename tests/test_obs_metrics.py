@@ -1,0 +1,140 @@
+"""Metrics registry: instrument semantics and the determinism contract."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import metrics as obs_metrics
+
+
+class TestDisabledPath:
+    def test_all_instruments_noop_when_disabled(self):
+        obs_metrics.inc("a.b", 5)
+        obs_metrics.gauge("c.d", 1.5)
+        obs_metrics.observe("e.f", 2.0)
+        snap = obs_metrics.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestCounters:
+    def test_accumulates_ints(self, obs_enabled):
+        obs_metrics.inc("a.b")
+        obs_metrics.inc("a.b", 4)
+        assert obs_metrics.snapshot()["counters"] == {"a.b": 5}
+
+    def test_accepts_numpy_integers(self, obs_enabled):
+        obs_metrics.inc("a.b", np.int64(3))
+        value = obs_metrics.snapshot()["counters"]["a.b"]
+        assert value == 3 and type(value) is int
+
+    def test_rejects_floats(self, obs_enabled):
+        with pytest.raises(TypeError):
+            obs_metrics.inc("a.b", 1.5)
+
+    def test_rejects_negative(self, obs_enabled):
+        with pytest.raises(ValueError):
+            obs_metrics.inc("a.b", -1)
+
+
+class TestGauges:
+    def test_last_write_wins(self, obs_enabled):
+        obs_metrics.gauge("g.x", 1.0)
+        obs_metrics.gauge("g.x", 7.5)
+        assert obs_metrics.snapshot()["gauges"]["g.x"] == {
+            "value": 7.5,
+            "updates": 2,
+        }
+
+
+class TestHistograms:
+    def test_power_of_two_buckets(self, obs_enabled):
+        for v in (0.0, 0.75, 1.0, 1.5, 3.0, 4.0):
+            obs_metrics.observe("h.x", v)
+        h = obs_metrics.snapshot()["histograms"]["h.x"]
+        # buckets: (2^(e-1), 2^e]; exact powers land in their own exponent
+        assert h["buckets"] == {"zero": 1, "0": 2, "1": 1, "2": 2}
+        assert h["count"] == 6
+        assert h["min"] == 0.0 and h["max"] == 4.0
+
+    def test_rejects_negative_and_nan(self, obs_enabled):
+        with pytest.raises(ValueError):
+            obs_metrics.observe("h.x", -0.5)
+        with pytest.raises(ValueError):
+            obs_metrics.observe("h.x", float("nan"))
+
+
+class TestSnapshotCanonicalBytes:
+    def test_snapshot_json_is_canonical(self, obs_enabled):
+        obs_metrics.inc("b.two", 2)
+        obs_metrics.inc("a.one", 1)
+        s = obs_metrics.snapshot_json()
+        # sorted keys, no whitespace: byte-stable regardless of insert order
+        assert s.index('"a.one"') < s.index('"b.two"')
+        assert " " not in s
+        assert json.loads(s)["counters"] == {"a.one": 1, "b.two": 2}
+
+    def test_snapshot_is_deep_copy(self, obs_enabled):
+        obs_metrics.observe("h.x", 1.0)
+        snap = obs_metrics.snapshot()
+        snap["histograms"]["h.x"]["buckets"]["0"] = 999
+        assert obs_metrics.snapshot()["histograms"]["h.x"]["buckets"]["0"] == 1
+
+
+def _events_snapshot(events):
+    """Apply (kind, name, value) events to a clean registry; snapshot."""
+    obs_metrics.reset()
+    for kind, name, value in events:
+        getattr(obs_metrics, kind)(name, value)
+    snap = obs_metrics.snapshot()
+    obs_metrics.reset()
+    return snap
+
+
+class TestMergeSemantics:
+    EVENTS = [
+        ("inc", "c.x", 1),
+        ("observe", "h.x", 3.0),
+        ("inc", "c.x", 4),
+        ("gauge", "g.x", 2.0),
+        ("observe", "h.x", 0.5),
+        ("inc", "c.y", 2),
+        ("gauge", "g.x", 9.0),
+        ("observe", "h.y", 4.0),
+    ]
+
+    def test_merge_invariant_under_grouping(self, obs_enabled):
+        whole = _events_snapshot(self.EVENTS)
+        for cut in range(len(self.EVENTS) + 1):
+            parts = [
+                _events_snapshot(self.EVENTS[:cut]),
+                _events_snapshot(self.EVENTS[cut:]),
+            ]
+            merged = obs_metrics.merge(parts)
+            assert obs_metrics.snapshot_json(merged) == obs_metrics.snapshot_json(
+                whole
+            ), f"split at {cut} changed the merged snapshot"
+
+    def test_merge_into_registry_matches_direct_writes(self, obs_enabled):
+        part_a = _events_snapshot(self.EVENTS[:3])
+        part_b = _events_snapshot(self.EVENTS[3:])
+        whole = _events_snapshot(self.EVENTS)
+        obs_metrics.merge_into_registry(part_a)
+        obs_metrics.merge_into_registry(part_b)
+        assert obs_metrics.snapshot_json() == obs_metrics.snapshot_json(whole)
+
+    def test_gauge_last_write_follows_merge_order(self, obs_enabled):
+        a = _events_snapshot([("gauge", "g.x", 1.0)])
+        b = _events_snapshot([("gauge", "g.x", 2.0)])
+        assert obs_metrics.merge([a, b])["gauges"]["g.x"]["value"] == 2.0
+        assert obs_metrics.merge([b, a])["gauges"]["g.x"]["value"] == 1.0
+
+    def test_merge_empty_iterable(self, obs_enabled):
+        assert obs_metrics.merge([]) == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

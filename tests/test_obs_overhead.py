@@ -1,0 +1,89 @@
+"""The disabled path must be ~free: a budget on instrumentation cost.
+
+Comparing two full experiment runs is hopelessly noisy on shared CI, so
+the guard is built the other way around: measure the *per-call* cost of
+the disabled instruments directly (tight loop, best of several repeats),
+count how many instrumented calls one fig5 smoke run actually executes
+(from an enabled run's records), and assert that the product — the
+total disabled-path cost hiding inside the run — stays under 5% of the
+run's measured wall time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig5 import failed_vs_links
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
+
+_LOOP = 20_000
+
+
+def _best_of(fn, repeats=3):
+    return min(fn() for _ in range(repeats))
+
+
+def _time_disabled_span() -> float:
+    def once():
+        t0 = time.perf_counter()
+        for _ in range(_LOOP):
+            with span("overhead.probe", n=1):
+                pass
+        return (time.perf_counter() - t0) / _LOOP
+
+    return _best_of(once)
+
+
+def _time_disabled_inc() -> float:
+    def once():
+        t0 = time.perf_counter()
+        for _ in range(_LOOP):
+            obs_metrics.inc("overhead.probe", 1)
+        return (time.perf_counter() - t0) / _LOOP
+
+    return _best_of(once)
+
+
+class TestDisabledOverheadBudget:
+    def test_noop_path_within_5_percent_of_fig5_smoke(self):
+        assert not obs.is_enabled()
+        cfg = ExperimentConfig().small()
+        failed_vs_links(cfg)  # warm imports and matrix caches
+        t0 = time.perf_counter()
+        failed_vs_links(cfg)
+        run_wall = time.perf_counter() - t0
+
+        # count the instrumented calls that run actually makes
+        obs.enable()
+        obs.reset()
+        try:
+            failed_vs_links(cfg)
+            n_spans = len(obs.drain_spans())
+            snap = obs_metrics.snapshot()
+        finally:
+            obs.disable()
+            obs.reset()
+        assert n_spans > 0
+        # metric *calls* <= one per span plus a small fixed number of
+        # registry-level counters per unit; bound generously
+        n_metric_calls = 4 * n_spans + 100
+
+        per_span = _time_disabled_span()
+        per_inc = _time_disabled_inc()
+        overhead = n_spans * per_span + n_metric_calls * per_inc
+        assert overhead < 0.05 * run_wall, (
+            f"disabled obs path costs {overhead * 1e3:.3f} ms against a "
+            f"{run_wall * 1e3:.1f} ms fig5 smoke run "
+            f"({n_spans} spans @ {per_span * 1e9:.0f} ns, "
+            f"{n_metric_calls} metric calls @ {per_inc * 1e9:.0f} ns)"
+        )
+        # sanity: the enabled run did record the expected counters
+        assert snap["counters"].get("runner.sweep_points", 0) > 0
+
+    def test_disabled_span_is_allocation_free_fastpath(self):
+        # the disabled call returns the shared singleton: sub-microsecond
+        assert _time_disabled_span() < 5e-6
+        assert _time_disabled_inc() < 5e-6

@@ -1,0 +1,145 @@
+"""Span tracer: gating, nesting, draining, cross-process absorption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import trace as obs_trace
+from repro.obs.trace import SpanRecord, _NOOP, span
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert not obs.is_enabled()
+
+    def test_disabled_span_is_shared_noop(self):
+        assert span("fmatrix.build") is _NOOP
+        assert span("mc.replay", trials=5) is span("dls.contention")
+
+    def test_disabled_span_records_nothing(self):
+        with span("never.recorded"):
+            pass
+        assert obs.drain_spans() == []
+
+    def test_noop_supports_set(self):
+        with span("x.y") as s:
+            s.set(k=1)  # must not raise
+
+
+class TestNesting:
+    def test_parent_child_links_and_depth(self, obs_enabled):
+        with span("outer", n=2):
+            with span("inner.first"):
+                pass
+            with span("inner.second"):
+                pass
+        records = obs.drain_spans()
+        # children close before the parent
+        assert [r.name for r in records] == ["inner.first", "inner.second", "outer"]
+        by_name = {r.name: r for r in records}
+        outer = by_name["outer"]
+        assert outer.parent is None and outer.depth == 0
+        for child in ("inner.first", "inner.second"):
+            assert by_name[child].parent == outer.id
+            assert by_name[child].depth == 1
+        assert outer.attrs == {"n": 2}
+
+    def test_ids_unique(self, obs_enabled):
+        for _ in range(5):
+            with span("a.b"):
+                pass
+        ids = [r.id for r in obs.drain_spans()]
+        assert len(set(ids)) == 5
+
+    def test_timings_nonnegative_and_ordered(self, obs_enabled):
+        with span("outer"):
+            with span("inner"):
+                sum(range(1000))
+        by_name = {r.name: r for r in obs.drain_spans()}
+        assert by_name["inner"].wall >= 0.0
+        assert by_name["outer"].wall >= by_name["inner"].wall
+        assert by_name["outer"].cpu >= 0.0
+
+    def test_set_updates_open_span_attrs(self, obs_enabled):
+        with span("a.b", n=1) as s:
+            s.set(extra="v")
+        (rec,) = obs.drain_spans()
+        assert rec.attrs == {"n": 1, "extra": "v"}
+
+    def test_exception_still_records_span(self, obs_enabled):
+        with pytest.raises(RuntimeError):
+            with span("a.b"):
+                raise RuntimeError("boom")
+        assert [r.name for r in obs.drain_spans()] == ["a.b"]
+
+    def test_current_span_id(self, obs_enabled):
+        assert obs_trace.current_span_id() is None
+        with span("outer") as s:
+            assert obs_trace.current_span_id() == s.id
+        assert obs_trace.current_span_id() is None
+
+
+class TestDrainPeekReset:
+    def test_drain_clears(self, obs_enabled):
+        with span("a.b"):
+            pass
+        assert len(obs.drain_spans()) == 1
+        assert obs.drain_spans() == []
+
+    def test_peek_preserves(self, obs_enabled):
+        with span("a.b"):
+            pass
+        assert len(obs.peek_spans()) == 1
+        assert len(obs.peek_spans()) == 1
+        assert len(obs.drain_spans()) == 1
+
+    def test_reset_restarts_ids(self, obs_enabled):
+        with span("a.b"):
+            pass
+        obs.reset()
+        with span("c.d"):
+            pass
+        (rec,) = obs.drain_spans()
+        assert rec.id == 0
+
+
+class TestAbsorbSpans:
+    def _worker_records(self):
+        """Spans as a worker process would produce them (ids from 0)."""
+        return [
+            SpanRecord(id=0, parent=None, name="parallel.unit", t0=0.0,
+                       wall=2.0, cpu=1.9, depth=0),
+            SpanRecord(id=1, parent=0, name="mc.replay", t0=0.5,
+                       wall=1.0, cpu=1.0, depth=1),
+        ]
+
+    def test_absorb_rebases_and_reparents(self, obs_enabled):
+        with span("parallel.map") as parent:
+            obs.absorb_spans(self._worker_records(), proc=3)
+        records = obs.drain_spans()
+        by_name = {r.name: r for r in records}
+        unit, replay = by_name["parallel.unit"], by_name["mc.replay"]
+        # worker root hangs off the open parent span
+        assert unit.parent == parent.id
+        # internal link preserved under the id shift
+        assert replay.parent == unit.id
+        assert unit.depth == 1 and replay.depth == 2
+        assert unit.proc == 3 and replay.proc == 3
+        # ids distinct from the parent's
+        assert len({r.id for r in records}) == 3
+
+    def test_absorbed_ids_do_not_collide_with_later_spans(self, obs_enabled):
+        obs.absorb_spans(self._worker_records(), proc=0)
+        with span("later"):
+            pass
+        ids = [r.id for r in obs.drain_spans()]
+        assert len(set(ids)) == len(ids)
+
+    def test_absorb_noop_when_disabled(self):
+        obs.absorb_spans(self._worker_records(), proc=0)
+        assert obs.drain_spans() == []
+
+    def test_absorb_empty_is_noop(self, obs_enabled):
+        obs.absorb_spans([], proc=0)
+        assert obs.drain_spans() == []

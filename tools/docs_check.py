@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Repo-root entry point for the documentation-contract checker.
+
+Thin wrapper so ``make docs-check`` (and CI) work without an installed
+package: puts ``src/`` on ``sys.path`` and delegates to
+:mod:`repro.obs.docscheck`.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs.docscheck import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["--root", str(ROOT), *sys.argv[1:]]))
