@@ -4,10 +4,14 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke figures verify-fuzz coverage docs-check
+.PHONY: test bench bench-smoke chaos figures verify-fuzz coverage docs-check
 
 test: docs-check ## tier-1 test suite (docs contract first — it is cheap)
 	$(PYTHON) -m pytest -x -q
+
+chaos:           ## fault-injection/resilience suite + recovery-overhead smoke bench
+	$(PYTHON) -m pytest -q -m chaos
+	$(PYTHON) -m pytest -q -m chaos benchmarks
 
 docs-check:      ## span/metric catalogues complete + API.md snippets run
 	$(PYTHON) tools/docs_check.py

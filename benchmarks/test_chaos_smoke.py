@@ -1,0 +1,96 @@
+"""Chaos smoke benchmark: recovery overhead of the resilient executor.
+
+Runs the small Fig. 5(a) sweep twice through the fault-tolerant
+executor — once clean, once under a seed-derived fault plan that
+crashes/poisons a fixed subset of work units — asserts the recovered
+results are identical, and records the overhead ratio to
+``BENCH_RESULTS.json`` as ``chaos_smoke``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks import bench_export
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig5 import failed_vs_links
+from repro.faults import FaultPlan, injected
+from repro.sim.parallel import build_units, unit_key
+
+pytestmark = [pytest.mark.smoke, pytest.mark.chaos]
+
+FAULT_SEED = 42
+FAULT_RATE = 0.3
+
+
+def _sweep_unit_keys(cfg):
+    """The unit keys the fig5a sweep will derive (tag = point index)."""
+    keys = []
+    for i, n in enumerate(cfg.n_links_sweep):
+        from repro.experiments.config import paper_scheduler_set
+
+        units = build_units(
+            paper_scheduler_set(),
+            cfg.workload(n),
+            tag=i,
+            n_repetitions=cfg.n_repetitions,
+            n_trials=cfg.n_trials,
+            alpha=cfg.alpha_default,
+            gamma_th=cfg.gamma_th,
+            eps=cfg.eps,
+            root_seed=0,  # unit_key ignores the seed fields
+        )
+        keys.extend(unit_key(u) for u in units)
+    return keys
+
+
+@pytest.mark.smoke
+def test_smoke_chaos_recovery_overhead():
+    cfg = ExperimentConfig().small().with_resilience(unit_timeout=60.0, max_retries=2)
+
+    t0 = time.perf_counter()
+    clean = failed_vs_links(cfg)
+    clean_wall = time.perf_counter() - t0
+
+    plan = FaultPlan.from_seed(
+        FAULT_SEED,
+        _sweep_unit_keys(cfg),
+        rate=FAULT_RATE,
+        kinds=("crash", "poison", "oom"),
+    )
+    assert not plan.is_empty, "the seeded plan must actually inject something"
+
+    t0 = time.perf_counter()
+    with injected(plan):
+        chaotic = failed_vs_links(cfg)
+    faulted_wall = time.perf_counter() - t0
+
+    # Recovery must be invisible in the results.
+    assert chaotic.x_values == clean.x_values
+    for alg in clean.series:
+        assert chaotic.metric(alg, "mean_failed") == clean.metric(alg, "mean_failed")
+        assert chaotic.metric(alg, "mean_throughput") == clean.metric(
+            alg, "mean_throughput"
+        )
+
+    overhead = faulted_wall / clean_wall if clean_wall > 0 else float("inf")
+    bench_export.record(
+        "chaos_smoke",
+        faulted_wall,
+        {
+            "clean_wall_seconds": clean_wall,
+            "recovery_overhead_ratio": overhead,
+            "faulted_units": len(plan),
+            "fault_rate": FAULT_RATE,
+            "fault_seed": FAULT_SEED,
+            "max_retries": cfg.max_retries,
+            "unit_timeout": cfg.unit_timeout,
+            "n_jobs": cfg.n_jobs,
+        },
+    )
+    print(
+        f"\nchaos smoke: clean {clean_wall:.2f}s, faulted {faulted_wall:.2f}s "
+        f"({len(plan)} injected faults, overhead x{overhead:.2f})"
+    )

@@ -113,6 +113,19 @@ def _mc_max_bytes(args: argparse.Namespace) -> int | None:
     return int(mb * 2**20)
 
 
+def _resilience(args: argparse.Namespace) -> dict:
+    """Validated resilience knobs (``--unit-timeout``/``--max-retries``/
+    ``--resume``) as ``with_resilience`` keyword arguments."""
+    timeout = getattr(args, "unit_timeout", None)
+    retries = getattr(args, "max_retries", None)
+    resume = getattr(args, "resume", None)
+    if timeout is not None and timeout <= 0:
+        raise SystemExit(f"--unit-timeout must be positive seconds, got {timeout}")
+    if retries is not None and retries < 0:
+        raise SystemExit(f"--max-retries must be >= 0, got {retries}")
+    return {"unit_timeout": timeout, "max_retries": retries, "resume_dir": resume}
+
+
 def cmd_schedule(args: argparse.Namespace) -> int:
     """``repro schedule``: run a scheduler, verify, optionally simulate."""
     if args.input:
@@ -171,6 +184,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
     cfg = ExperimentConfig() if args.full else ExperimentConfig().small()
     cfg = cfg.with_execution(n_jobs=_n_jobs(args), mc_max_bytes=_mc_max_bytes(args))
+    cfg = cfg.with_resilience(**_resilience(args))
     drivers = {
         "fig5a": (failed_vs_links, "mean_failed", "Fig. 5(a): failed transmissions vs #links"),
         "fig5b": (failed_vs_alpha, "mean_failed", "Fig. 5(b): failed transmissions vs alpha"),
@@ -266,6 +280,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     cfg = ExperimentConfig() if args.full else ExperimentConfig().small()
     cfg = cfg.with_execution(n_jobs=_n_jobs(args), mc_max_bytes=_mc_max_bytes(args))
+    cfg = cfg.with_resilience(**_resilience(args))
     text = generate_report(cfg)
     if args.output:
         Path(args.output).write_text(text)
@@ -290,6 +305,33 @@ def cmd_trace(args: argparse.Namespace) -> int:
         return 1
     print(format_trace_summary(trace, top=args.top, path=args.path))
     return 0
+
+
+def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
+    """Attach the fault-tolerance flags shared by sweep-running commands."""
+    p.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-work-unit timeout; enables the fault-tolerant executor "
+        "(hung units are retried on a fresh worker)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pool retries per failed unit before serial fallback; "
+        "enables the fault-tolerant executor (default 2 once enabled)",
+    )
+    p.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="checkpoint each completed work unit under DIR and, on rerun, "
+        "recompute only the units missing from it",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -359,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="memory budget (MiB) per Monte-Carlo replay chunk (default 128)",
     )
+    _add_resilience_flags(f)
     f.add_argument("--output", help="write all series as JSON here")
     f.set_defaults(fn=cmd_figures)
 
@@ -430,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="memory budget (MiB) per Monte-Carlo replay chunk (default 128)",
     )
+    _add_resilience_flags(r)
     r.add_argument("--output", help="write markdown here instead of stdout")
     r.set_defaults(fn=cmd_report)
 

@@ -10,12 +10,16 @@ default 3.0) cover the ranges its Figs. 5-6 discuss.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.core.base import get_scheduler
 from repro.core.schedule import Schedule
 from repro.network.links import LinkSet
 from repro.network.topology import paper_topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.store import UnitCheckpoint
+    from repro.sim.resilient import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -74,6 +78,12 @@ class ExperimentConfig:
     are bit-identical either way) and ``mc_max_bytes`` bounds each
     Monte-Carlo replay's peak memory (``None`` = the sampler's default
     128 MiB chunk budget).
+
+    Resilience knobs (``docs/ROBUSTNESS.md``): ``unit_timeout`` and
+    ``max_retries`` configure the fault-tolerant executor (both unset =
+    the legacy non-resilient path), and ``resume_dir`` checkpoints each
+    completed work unit so an interrupted sweep resumes from where it
+    stopped.
     """
 
     region_side: float = 500.0
@@ -91,6 +101,9 @@ class ExperimentConfig:
     root_seed: int = 2017
     n_jobs: int = 1
     mc_max_bytes: Optional[int] = None
+    unit_timeout: Optional[float] = None
+    max_retries: Optional[int] = None
+    resume_dir: Optional[str] = None
 
     def workload(self, n_links: int) -> TopologyWorkload:
         """Per-repetition workload factory for ``n_links`` links.
@@ -127,3 +140,45 @@ class ExperimentConfig:
         if mc_max_bytes is not None:
             out = replace(out, mc_max_bytes=mc_max_bytes)
         return out
+
+    def with_resilience(
+        self,
+        *,
+        unit_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        resume_dir: Optional[str] = None,
+    ) -> "ExperimentConfig":
+        """Copy with resilience knobs replaced (unspecified ones kept)."""
+        out = self
+        if unit_timeout is not None:
+            out = replace(out, unit_timeout=unit_timeout)
+        if max_retries is not None:
+            out = replace(out, max_retries=max_retries)
+        if resume_dir is not None:
+            out = replace(out, resume_dir=str(resume_dir))
+        return out
+
+    def retry_policy(self) -> Optional["RetryPolicy"]:
+        """The configured :class:`~repro.sim.resilient.RetryPolicy`.
+
+        ``None`` when neither resilience knob is set — the drivers then
+        take the legacy non-resilient execution path unchanged.
+        """
+        if self.unit_timeout is None and self.max_retries is None:
+            return None
+        from repro.sim.resilient import RetryPolicy
+
+        kwargs = {}
+        if self.unit_timeout is not None:
+            kwargs["unit_timeout"] = self.unit_timeout
+        if self.max_retries is not None:
+            kwargs["max_retries"] = self.max_retries
+        return RetryPolicy(**kwargs)
+
+    def unit_checkpoint(self) -> Optional["UnitCheckpoint"]:
+        """The configured per-unit checkpoint store, or ``None``."""
+        if self.resume_dir is None:
+            return None
+        from repro.experiments.store import UnitCheckpoint
+
+        return UnitCheckpoint(self.resume_dir)

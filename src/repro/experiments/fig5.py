@@ -12,7 +12,10 @@ Both sweeps execute through :func:`repro.sim.runner.run_sweep`, so the
 whole ``point x repetition x scheduler`` grid fans out over
 ``config.n_jobs`` worker processes (1 = serial; results are
 bit-identical for every value) under the ``config.mc_max_bytes`` replay
-memory budget.
+memory budget.  The config's resilience knobs (``unit_timeout``,
+``max_retries``, ``resume_dir``) flow through as well, so a sweep can
+survive worker crashes and resume after an interruption — see
+``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
@@ -57,6 +60,8 @@ def sweep_panel(
         eps=cfg.eps,
         n_jobs=cfg.n_jobs,
         max_bytes=cfg.mc_max_bytes,
+        policy=cfg.retry_policy(),
+        checkpoint=cfg.unit_checkpoint(),
     )
     series: Dict[str, List[RunResult]] = {name: [] for name in schedulers}
     for results in per_point:

@@ -7,14 +7,32 @@ configuration hit the cache, and any parameter change re-runs.
 
 The store is deliberately dumb: one JSON file per key under a
 directory, safe to delete wholesale, no invalidation beyond the key.
+Durability is not dumb, though: every write goes through a unique temp
+file, ``fsync``, and ``os.replace``, so a crash mid-write can never
+leave a torn ``<key>.json`` — readers see the old payload or the new
+one, nothing in between — and a payload that *is* damaged (truncated
+by an external force, hand-edited) reads as a miss and re-runs instead
+of crashing the sweep.
+
+:class:`UnitCheckpoint` builds per-work-unit persistence on top: one
+:class:`~repro.sim.metrics.SimulationResult` per key, serialised
+losslessly (floats survive the JSON round-trip bit-exactly), which is
+what lets an interrupted sweep resume from its completed cells (see
+``docs/ROBUSTNESS.md``).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Any, Callable, Dict, Mapping, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.sim.metrics import SimulationResult
 
 PathLike = Union[str, Path]
 
@@ -56,22 +74,43 @@ class ResultStore:
         return self.root / f"{key}.json"
 
     def get(self, key: str) -> Dict[str, Any] | None:
-        """Stored payload, or None on miss/corruption (corrupt entries
-        are treated as misses so a crashed write self-heals)."""
+        """Stored payload, or None on miss/corruption (truncated or
+        otherwise damaged entries are treated as misses so the caller
+        re-runs instead of crashing)."""
         path = self.path_for(key)
         if not path.exists():
             return None
         try:
-            return json.loads(path.read_text())
-        except (json.JSONDecodeError, OSError):
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
             return None
+        if not isinstance(payload, dict):
+            return None
+        return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
-        """Atomically store a payload (write temp, rename)."""
+        """Atomically store a payload (unique temp file + fsync + rename).
+
+        Serialisation happens before the store is touched, so an
+        unserialisable payload raises without disturbing an existing
+        entry; a crash mid-write leaves only a stray temp file (ignored
+        by every reader), never a torn ``<key>.json``.
+        """
         path = self.path_for(key)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        tmp.replace(path)
+        data = json.dumps(payload, indent=2, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, prefix=f".{key}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     def load_or_run(
         self,
@@ -102,3 +141,103 @@ class ResultStore:
             p.unlink()
             n += 1
         return n
+
+
+#: Version tag of the per-unit checkpoint payload shape.
+UNIT_PAYLOAD_SCHEMA = 1
+
+_RESULT_FIELDS = (
+    "algorithm",
+    "n_scheduled",
+    "n_trials",
+    "mean_failed",
+    "failed_stderr",
+    "mean_throughput",
+    "throughput_stderr",
+    "scheduled_rate",
+    "per_link_success",
+    "active_indices",
+)
+
+
+def result_to_payload(result: SimulationResult) -> Dict[str, Any]:
+    """Lossless JSON payload for one :class:`SimulationResult`.
+
+    Floats are emitted as Python floats — JSON's shortest-round-trip
+    repr reproduces the exact IEEE-754 value on load, so a checkpointed
+    unit is *bit-identical* to a recomputed one.
+    """
+    return {
+        "schema": UNIT_PAYLOAD_SCHEMA,
+        "algorithm": result.algorithm,
+        "n_scheduled": int(result.n_scheduled),
+        "n_trials": int(result.n_trials),
+        "mean_failed": float(result.mean_failed),
+        "failed_stderr": float(result.failed_stderr),
+        "mean_throughput": float(result.mean_throughput),
+        "throughput_stderr": float(result.throughput_stderr),
+        "scheduled_rate": float(result.scheduled_rate),
+        "per_link_success": [float(x) for x in result.per_link_success],
+        "active_indices": [int(x) for x in result.active_indices],
+    }
+
+
+def result_from_payload(payload: Mapping[str, Any]) -> SimulationResult:
+    """Inverse of :func:`result_to_payload`; raises ``ValueError`` on junk."""
+    if payload.get("schema") != UNIT_PAYLOAD_SCHEMA:
+        raise ValueError(f"unknown unit payload schema: {payload.get('schema')!r}")
+    missing = [f for f in _RESULT_FIELDS if f not in payload]
+    if missing:
+        raise ValueError(f"unit payload missing fields: {missing}")
+    return SimulationResult(
+        algorithm=str(payload["algorithm"]),
+        n_scheduled=int(payload["n_scheduled"]),
+        n_trials=int(payload["n_trials"]),
+        mean_failed=float(payload["mean_failed"]),
+        failed_stderr=float(payload["failed_stderr"]),
+        mean_throughput=float(payload["mean_throughput"]),
+        throughput_stderr=float(payload["throughput_stderr"]),
+        scheduled_rate=float(payload["scheduled_rate"]),
+        per_link_success=np.asarray(payload["per_link_success"], dtype=float),
+        active_indices=np.asarray(payload["active_indices"], dtype=np.int64),
+    )
+
+
+class UnitCheckpoint:
+    """Per-work-unit result persistence for resumable sweeps.
+
+    One :class:`SimulationResult` per key (the executor's content
+    hash of the unit's full configuration — see
+    :func:`repro.sim.parallel.checkpoint_key`), written through on each
+    unit's first success.  Damaged or schema-mismatched entries read as
+    misses, so a resumed sweep recomputes exactly the units it cannot
+    trust.
+    """
+
+    def __init__(self, root: PathLike):
+        self.store = ResultStore(root)
+
+    @property
+    def root(self) -> Path:
+        return self.store.root
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The checkpointed result for ``key``, or ``None``."""
+        payload = self.store.get(key)
+        if payload is None:
+            return None
+        try:
+            return result_from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Persist one unit's result (atomic; safe to interrupt)."""
+        self.store.put(key, result_to_payload(result))
+
+    def keys(self) -> List[str]:
+        """Sorted keys of every checkpointed unit."""
+        return self.store.keys()
+
+    def __len__(self) -> int:
+        return len(self.store.keys())

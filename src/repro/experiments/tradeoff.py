@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,8 +37,11 @@ from repro.experiments.config import TopologyWorkload
 from repro.network.links import LinkSet
 from repro.obs.trace import span
 from repro.sim.montecarlo import simulate_schedule
-from repro.sim.parallel import parallel_map
+from repro.sim.parallel import fan_out
 from repro.utils.rng import stable_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.resilient import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -104,12 +107,14 @@ def eps_tradeoff(
     workload: Callable[[int], LinkSet] | None = None,
     n_jobs: Optional[int] = 1,
     max_bytes: Optional[int] = None,
+    policy: Optional["RetryPolicy"] = None,
 ) -> List[EpsPoint]:
     """Run the eps sweep; returns one :class:`EpsPoint` per cell.
 
     ``n_jobs`` fans repetitions out over worker processes (the workload
     and schedulers must then be picklable); ``max_bytes`` bounds each
-    Monte-Carlo replay's memory.
+    Monte-Carlo replay's memory; ``policy`` upgrades the fan-out to the
+    fault-tolerant executor (``docs/ROBUSTNESS.md``).
     """
     if workload is None:
         workload = TopologyWorkload(n_links=n_links)
@@ -124,7 +129,9 @@ def eps_tradeoff(
         max_bytes=max_bytes,
     )
     with span("experiment.eps_tradeoff", reps=n_repetitions, eps_values=len(eps_values)):
-        per_rep = parallel_map(worker, range(n_repetitions), n_jobs=n_jobs)
+        per_rep = fan_out(
+            worker, range(n_repetitions), n_jobs=n_jobs, policy=policy, key_prefix="eps"
+        )
     out: List[EpsPoint] = []
     for eps in eps_values:
         for name in schedulers:

@@ -1,0 +1,48 @@
+"""``repro.faults`` — deterministic fault injection for chaos testing.
+
+Long Monte-Carlo sweeps fan out over worker processes
+(:mod:`repro.sim.parallel`); this package makes their failure modes
+*reproducible* so the resilient executor can be tested instead of
+trusted.  A :class:`FaultPlan` maps work-unit keys to
+:class:`FaultSpec`\\ s — *crash*, *die* (kill the worker process),
+*hang*, *poison* (return a corrupt result), or *oom* — each armed for
+the unit's first ``attempts`` tries and inert afterwards, so a bounded
+retry always reaches the real computation.
+
+Plans are seed-derived (:meth:`FaultPlan.from_seed`) or hand-built, and
+activate through an environment variable (:func:`inject.injected`), so
+worker processes spawned by a pool inherit the plan with no extra
+plumbing.  The injection point itself lives in the executor
+(:mod:`repro.sim.resilient`), *before* the unit body runs — a faulted
+attempt therefore records no metrics and touches no RNG stream, which
+is what keeps recovered sweeps bit-identical to fault-free ones (see
+``docs/ROBUSTNESS.md``).
+"""
+
+from repro.faults.inject import (
+    ENV_PARENT,
+    ENV_PLAN,
+    InjectedFault,
+    PoisonResult,
+    activate,
+    active_plan,
+    deactivate,
+    injected,
+    maybe_inject,
+)
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "ENV_PLAN",
+    "ENV_PARENT",
+    "InjectedFault",
+    "PoisonResult",
+    "activate",
+    "deactivate",
+    "injected",
+    "active_plan",
+    "maybe_inject",
+]

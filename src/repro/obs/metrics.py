@@ -141,6 +141,36 @@ def snapshot() -> Dict[str, Any]:
         }
 
 
+#: Metric-name prefixes excluded from :func:`stable_snapshot`.  The
+#: resilience layer's counters (retries, timeouts, pool rebuilds —
+#: see ``docs/ROBUSTNESS.md``) describe *execution accidents*, not the
+#: computation: a run that hit two worker crashes recovers bit-identical
+#: results but legitimately different retry counts, so byte-identity
+#: assertions must compare snapshots with these names stripped.
+VOLATILE_PREFIXES = ("resilience.",)
+
+
+def stable_snapshot(snap: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """A snapshot with volatile (execution-dependent) metrics removed.
+
+    Drops every instrument whose name starts with one of
+    :data:`VOLATILE_PREFIXES` from all three kinds.  This is the view
+    the determinism contract applies to: ``stable_snapshot`` bytes are
+    identical across ``n_jobs`` values *and* across fault/retry
+    histories, while the raw :func:`snapshot` additionally carries the
+    volatile resilience counters.
+    """
+    s = snapshot() if snap is None else snap
+
+    def keep(name: str) -> bool:
+        return not any(name.startswith(p) for p in VOLATILE_PREFIXES)
+
+    return {
+        kind: {name: value for name, value in s.get(kind, {}).items() if keep(name)}
+        for kind in ("counters", "gauges", "histograms")
+    }
+
+
 def snapshot_json(snap: Optional[Dict[str, Any]] = None) -> str:
     """Canonical JSON bytes of a snapshot (sorted keys, no whitespace).
 

@@ -8,7 +8,10 @@ the paper's Section V measures: failed transmissions and throughput.
 - :mod:`repro.sim.metrics` — the evaluation metrics,
 - :mod:`repro.sim.runner` — batched multi-repetition experiment runner,
 - :mod:`repro.sim.parallel` — process-parallel work-unit engine behind
-  the runner (deterministic fan-out, ``n_jobs`` control).
+  the runner (deterministic fan-out, ``n_jobs`` control),
+- :mod:`repro.sim.resilient` — fault-tolerant executor layered on the
+  same work units (timeouts, deterministic-backoff retry, pool
+  replacement, serial degradation).
 """
 
 from repro.sim.adaptive import AdaptiveResult, simulate_until
@@ -18,9 +21,19 @@ from repro.sim.network_sim import QueueSimResult, simulate_queues, stability_swe
 from repro.sim.parallel import (
     WorkUnit,
     available_cpus,
+    checkpoint_key,
     execute_units,
+    fan_out,
     parallel_map,
     resolve_n_jobs,
+    unit_key,
+)
+from repro.sim.resilient import (
+    RetryPolicy,
+    UnitExecutionError,
+    UnitFailure,
+    backoff_delay,
+    resilient_map,
 )
 from repro.sim.runner import RunResult, SweepPoint, run_schedulers, run_sweep
 
@@ -34,9 +47,17 @@ __all__ = [
     "RunResult",
     "WorkUnit",
     "execute_units",
+    "fan_out",
     "parallel_map",
     "resolve_n_jobs",
     "available_cpus",
+    "unit_key",
+    "checkpoint_key",
+    "RetryPolicy",
+    "UnitExecutionError",
+    "UnitFailure",
+    "backoff_delay",
+    "resilient_map",
     "simulate_queues",
     "stability_sweep",
     "QueueSimResult",

@@ -41,11 +41,17 @@ metrics.
 
 from __future__ import annotations
 
+import functools
+import math
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, TypeVar
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Mapping, Optional, Sequence, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.experiments.store import UnitCheckpoint
+    from repro.sim.resilient import RetryPolicy
 
 from repro.core.problem import FadingRLS
 from repro.core.schedule import Schedule
@@ -122,6 +128,79 @@ class WorkUnit:
     scheduler_kwargs: Mapping[str, Any] = field(default_factory=dict)
     noise: float = 0.0
     max_bytes: Optional[int] = None
+
+
+def unit_key(unit: WorkUnit) -> str:
+    """Human-readable stable identity of a unit: ``tag/rep/name``.
+
+    This is the address fault plans and backoff derivation use; it
+    stays stable across runs, processes, and retries because it is
+    built purely from the unit's grid coordinates.
+    """
+    return f"{unit.tag}/{unit.rep}/{unit.name}"
+
+
+def _describe_callable(fn: Any) -> str:
+    """A stable (address-free) description of a workload/scheduler.
+
+    ``repr`` of a plain function embeds its memory address, which would
+    change every run and defeat checkpoint reuse; dataclass factories
+    like :class:`~repro.experiments.config.TopologyWorkload` have
+    stable field-based reprs and pass through unchanged.
+    """
+    if isinstance(fn, functools.partial):
+        inner = _describe_callable(fn.func)
+        kwargs = sorted((k, repr(v)) for k, v in (fn.keywords or {}).items())
+        return f"partial({inner}, args={fn.args!r}, kwargs={kwargs!r})"
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if module and qualname:
+        return f"{module}.{qualname}"
+    return repr(fn)
+
+
+def checkpoint_key(unit: WorkUnit) -> str:
+    """Content hash of everything that determines a unit's result.
+
+    Any change to the unit's workload, scheduler, channel parameters or
+    seeds produces a different key, so a checkpoint directory can never
+    serve a stale result to a reconfigured sweep.
+    """
+    from repro.experiments.store import config_key
+
+    return config_key(
+        "workunit",
+        {
+            "tag": repr(unit.tag),
+            "rep": unit.rep,
+            "name": unit.name,
+            "scheduler": _describe_callable(unit.scheduler),
+            "workload": _describe_callable(unit.workload),
+            "n_trials": unit.n_trials,
+            "alpha": unit.alpha,
+            "gamma_th": unit.gamma_th,
+            "eps": unit.eps,
+            "noise": unit.noise,
+            "root_seed": unit.root_seed,
+            "scheduler_kwargs": sorted(
+                (k, repr(v)) for k, v in dict(unit.scheduler_kwargs).items()
+            ),
+        },
+    )
+
+
+def valid_simulation_result(value: Any) -> bool:
+    """Poison detector for unit results: right type, finite summaries."""
+    if not isinstance(value, SimulationResult):
+        return False
+    summaries = (
+        value.mean_failed,
+        value.failed_stderr,
+        value.mean_throughput,
+        value.throughput_stderr,
+        value.scheduled_rate,
+    )
+    return all(math.isfinite(float(x)) for x in summaries) and value.n_scheduled >= 0
 
 
 def execute_unit(unit: WorkUnit) -> SimulationResult:
@@ -233,6 +312,8 @@ def execute_units(
     units: Sequence[WorkUnit],
     *,
     n_jobs: Optional[int] = 1,
+    policy: Optional["RetryPolicy"] = None,
+    checkpoint: Optional["UnitCheckpoint"] = None,
 ) -> List[SimulationResult]:
     """Execute work units, preserving input order.
 
@@ -240,8 +321,81 @@ def execute_units(
     order as the historical runner); ``n_jobs=0``/``None`` uses all
     CPUs.  Results land at the same index as their unit regardless of
     completion order, so aggregation downstream is order-stable.
+
+    With a ``policy``, execution routes through the fault-tolerant
+    executor (:func:`repro.sim.resilient.resilient_map`): per-unit
+    timeout, bounded deterministic-backoff retry, dead-worker pool
+    replacement, and serial degradation — results stay bit-identical
+    because retried units re-derive the same identity seeds.  With a
+    ``checkpoint``, each unit's result persists on first success and
+    already-checkpointed units are served from disk, so an interrupted
+    sweep resumes from its completed cells.
     """
-    return parallel_map(execute_unit, units, n_jobs=n_jobs)
+    if policy is None and checkpoint is None:
+        return parallel_map(execute_unit, units, n_jobs=n_jobs)
+    from repro.sim.resilient import RetryPolicy, resilient_map
+
+    units = list(units)
+    keys = [unit_key(u) for u in units]
+    results: List[Optional[SimulationResult]] = [None] * len(units)
+    pending = list(range(len(units)))
+    ck_keys: List[str] = []
+    if checkpoint is not None:
+        ck_keys = [checkpoint_key(u) for u in units]
+        pending = []
+        for i, ck in enumerate(ck_keys):
+            cached = checkpoint.get(ck)
+            if cached is not None:
+                results[i] = cached
+                obs_metrics.inc("resilience.units_from_checkpoint")
+            else:
+                pending.append(i)
+    if pending:
+
+        def _persist(sub_idx: int, value: SimulationResult) -> None:
+            if checkpoint is not None:
+                checkpoint.put(ck_keys[pending[sub_idx]], value)
+
+        computed = resilient_map(
+            execute_unit,
+            [units[i] for i in pending],
+            keys=[keys[i] for i in pending],
+            n_jobs=n_jobs,
+            policy=policy or RetryPolicy(),
+            validate=valid_simulation_result,
+            on_result=_persist,
+        )
+        for i, value in zip(pending, computed):
+            results[i] = value
+    return results  # type: ignore[return-value]
+
+
+def fan_out(
+    func: Callable[[T], U],
+    items: Sequence[T],
+    *,
+    n_jobs: Optional[int] = 1,
+    policy: Optional["RetryPolicy"] = None,
+    key_prefix: str = "item",
+) -> List[U]:
+    """Route a generic map through the plain or resilient executor.
+
+    The ablation and trade-off drivers use this so one ``policy`` knob
+    upgrades their repetition fan-out to fault-tolerant execution; with
+    ``policy=None`` it is exactly :func:`parallel_map`.
+    """
+    items = list(items)
+    if policy is None:
+        return parallel_map(func, items, n_jobs=n_jobs)
+    from repro.sim.resilient import resilient_map
+
+    return resilient_map(
+        func,
+        items,
+        keys=[f"{key_prefix}/{i}" for i in range(len(items))],
+        n_jobs=n_jobs,
+        policy=policy,
+    )
 
 
 def build_units(

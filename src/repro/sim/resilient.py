@@ -1,0 +1,462 @@
+"""Fault-tolerant process-pool execution.
+
+:func:`resilient_map` is the hardened sibling of
+:func:`repro.sim.parallel.parallel_map`: same order-preserving map over
+a process pool, but a worker crash, hang, dead process, or poisoned
+result costs one retry instead of the whole sweep.
+
+Supervision model
+-----------------
+Every item gets ``max_retries + 2`` total tries: the initial attempt,
+``max_retries`` pool retries with deterministic exponential backoff,
+and — once pool retries are exhausted — one final **serial** attempt in
+the coordinating process (graceful degradation: a sick pool can no
+longer lose the unit).  Only when that last try fails does the map
+raise, and then it raises :class:`UnitExecutionError` naming the unit
+and carrying every recorded :class:`UnitFailure`.
+
+Failure detection, per kind:
+
+- **exception** — the future completes with an error; that unit retries.
+- **timeout** — ``unit_timeout`` seconds elapse after submission.  A
+  hung task holds its worker hostage, so the pool is abandoned
+  (processes killed) and rebuilt; the timed-out unit is charged a
+  retry, in-flight innocents are resubmitted at their current attempt.
+- **dead worker** — the pool turns ``BrokenProcessPool``.  The executor
+  cannot attribute the death, so every in-flight unit is charged one
+  retry (bounded blast radius) and the pool is rebuilt.
+- **poison** — the future returns, but the value fails validation
+  (``validate`` or an injected :class:`~repro.faults.inject.PoisonResult`);
+  charged like an exception.
+
+Determinism under retry
+-----------------------
+A retry re-submits the *same item* to the *same function*; per-unit
+seeds derive from unit identity (see :mod:`repro.sim.parallel`), never
+from the attempt number or worker, so a recovered run is bit-identical
+to a fault-free run.  Backoff delays derive from
+``stable_seed(unit key, attempt)`` — deterministic, monotone
+non-decreasing per attempt, and capped — so even retry *timing* is
+reproducible.  Results fold in submission order regardless of
+completion order, and worker observability payloads fold the same way,
+so metric snapshots match the serial run byte-for-byte (execution-plan
+events land in volatile ``resilience.*`` counters, excluded from the
+byte-identity contract — see ``docs/OBSERVABILITY.md``).
+
+Serial mode (``n_jobs=1``) applies the same retry budget in-process;
+``unit_timeout`` is not enforceable without preemption there, but hang
+faults still terminate because injected hangs sleep-then-raise.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.faults import inject
+from repro.obs import metrics as obs_metrics
+from repro.obs import state as _obs_state
+from repro.obs import trace as _obs_trace
+from repro.obs.trace import span
+from repro.utils.rng import stable_seed
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the resilient executor.
+
+    Attributes
+    ----------
+    max_retries:
+        Pool retries per unit after the initial attempt.  Every unit
+        additionally gets one last serial attempt in the parent, so the
+        total try budget is ``max_retries + 2``.
+    unit_timeout:
+        Wall-clock seconds a unit may run in a worker before it is
+        declared hung (``None`` disables timeout supervision; serial
+        mode never preempts).
+    backoff_base, backoff_cap:
+        Deterministic exponential backoff before retry ``a`` (1-based):
+        ``min(cap, base * 2^(a-1) * (1 + u))`` with ``u`` in ``[0, 1)``
+        derived from ``stable_seed(unit key, a)``.  Total sleep per unit
+        is strictly bounded by ``(max_retries + 1) * backoff_cap``.
+    poll_interval:
+        Seconds between supervision sweeps (future completion polls and
+        deadline checks).
+    """
+
+    max_retries: int = 2
+    unit_timeout: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    poll_interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.unit_timeout is not None and not self.unit_timeout > 0:
+            raise ValueError(f"unit_timeout must be > 0, got {self.unit_timeout}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_cap < 0:
+            raise ValueError(f"backoff_cap must be >= 0, got {self.backoff_cap}")
+        if not self.poll_interval > 0:
+            raise ValueError(f"poll_interval must be > 0, got {self.poll_interval}")
+
+    @property
+    def total_tries(self) -> int:
+        """Initial attempt + pool retries + final serial fallback."""
+        return self.max_retries + 2
+
+
+def backoff_delay(key: str, attempt: int, policy: RetryPolicy) -> float:
+    """Deterministic backoff (seconds) before 1-based retry ``attempt``.
+
+    Pure in ``(key, attempt, policy)``: the jitter term is a hash of the
+    unit key and attempt, not a random draw, so schedules are
+    reproducible and testable.  Monotone non-decreasing in ``attempt``
+    (the doubling dominates the jitter) and capped at
+    ``policy.backoff_cap``.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    if policy.backoff_base == 0.0:
+        return 0.0
+    u = stable_seed("backoff", key, attempt) / float(1 << 63)
+    raw = policy.backoff_base * (2.0 ** (attempt - 1)) * (1.0 + u)
+    return min(policy.backoff_cap, raw)
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """One failed try of one unit (kept for the structured error)."""
+
+    key: str
+    attempt: int
+    kind: str  # "error" | "timeout" | "poison" | "pool-broken"
+    detail: str
+
+
+class UnitExecutionError(RuntimeError):
+    """A unit failed every try in its budget; names the unit."""
+
+    def __init__(self, key: str, index: int, failures: Sequence[UnitFailure]):
+        self.key = key
+        self.index = index
+        self.failures: Tuple[UnitFailure, ...] = tuple(failures)
+        kinds = ", ".join(f.kind for f in self.failures)
+        last = self.failures[-1].detail if self.failures else "no failure recorded"
+        super().__init__(
+            f"work unit {key!r} (index {index}) failed permanently after "
+            f"{len(self.failures)} failed tries ({kinds}); last: {last}"
+        )
+
+
+def _invoke(func: Callable[[Any], Any], item: Any, key: str, attempt: int) -> Any:
+    """Run one try: fault-injection gate first, then the real unit."""
+    poisoned = inject.maybe_inject(key, attempt)
+    if poisoned is not None:
+        return poisoned
+    return func(item)
+
+
+def _run_task(
+    func: Callable[[Any], Any], item: Any, key: str, attempt: int, observed: bool
+) -> Tuple[Any, Any, Any]:
+    """Worker-process entry point (module-level, hence picklable).
+
+    With observability on, mirrors ``parallel._ObservedCall``: fresh
+    registries per try, and the try's metric snapshot plus drained
+    spans ride home with the value.
+    """
+    if not observed:
+        return _invoke(func, item, key, attempt), None, None
+    _obs_state.enable()
+    obs_metrics.reset()
+    _obs_trace.reset()
+    value = _invoke(func, item, key, attempt)
+    return value, obs_metrics.snapshot(), _obs_trace.drain_spans()
+
+
+def _poison_reason(value: Any, validate: Optional[Callable[[Any], bool]]) -> Optional[str]:
+    """Why ``value`` is unusable, or ``None`` if it is a real result."""
+    if isinstance(value, inject.PoisonResult):
+        return f"injected poison result (attempt {value.attempt})"
+    if validate is not None and not validate(value):
+        return f"result failed validation: {type(value).__name__}"
+    return None
+
+
+def _backoff_sleep(key: str, attempt: int, policy: RetryPolicy) -> None:
+    delay = backoff_delay(key, attempt, policy)
+    if delay <= 0.0:
+        return
+    with span("resilience.backoff", attempt=attempt):
+        time.sleep(delay)
+
+
+def _abandon(pool: ProcessPoolExecutor) -> None:
+    """Discard a pool without waiting on it: hung workers are killed.
+
+    ``shutdown(wait=True)`` would block on a sleeping worker; instead
+    the queues are torn down and the processes killed outright (their
+    tasks are already accounted for by the supervision loop).
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.kill()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+
+
+def _serial_unit(
+    func: Callable[[Any], Any],
+    item: Any,
+    key: str,
+    index: int,
+    policy: RetryPolicy,
+    validate: Optional[Callable[[Any], bool]],
+    on_result: Optional[Callable[[int, Any], None]],
+) -> Any:
+    """The in-process retry loop (``n_jobs=1`` path)."""
+    failures: List[UnitFailure] = []
+    for attempt in range(policy.total_tries):
+        if attempt:
+            obs_metrics.inc("resilience.retries")
+            _backoff_sleep(key, attempt, policy)
+        try:
+            value = _invoke(func, item, key, attempt)
+        except Exception as exc:
+            failures.append(
+                UnitFailure(key, attempt, "error", f"{type(exc).__name__}: {exc}")
+            )
+            obs_metrics.inc("resilience.failures")
+            continue
+        reason = _poison_reason(value, validate)
+        if reason is not None:
+            failures.append(UnitFailure(key, attempt, "poison", reason))
+            obs_metrics.inc("resilience.failures")
+            continue
+        if failures:
+            obs_metrics.inc("resilience.units_recovered")
+        if on_result is not None:
+            on_result(index, value)
+        return value
+    raise UnitExecutionError(key, index, failures)
+
+
+def resilient_map(
+    func: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    keys: Optional[Sequence[str]] = None,
+    n_jobs: Optional[int] = 1,
+    policy: Optional[RetryPolicy] = None,
+    validate: Optional[Callable[[Any], bool]] = None,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+) -> List[Any]:
+    """Order-preserving, fault-tolerant map (see the module docstring).
+
+    Parameters
+    ----------
+    func, items, n_jobs:
+        As :func:`repro.sim.parallel.parallel_map`; both ``func`` and
+        the items must be picklable for ``n_jobs > 1``.
+    keys:
+        Stable per-item identity strings (fault-plan addressing,
+        backoff derivation, error messages).  Defaults to
+        ``"item-<index>"``.
+    policy:
+        Retry/timeout knobs; default :class:`RetryPolicy`.
+    validate:
+        Optional result predicate; a falsy verdict counts as a poison
+        failure and triggers a retry.
+    on_result:
+        Parent-side hook ``(index, value)`` invoked once per item on
+        its first success, in *completion* order — the checkpoint
+        write-through.
+    """
+    from repro.sim.parallel import _check_picklable, resolve_n_jobs
+
+    policy = policy or RetryPolicy()
+    items = list(items)
+    if keys is None:
+        keys = [f"item-{i}" for i in range(len(items))]
+    keys = [str(k) for k in keys]
+    if len(keys) != len(items):
+        raise ValueError(f"got {len(keys)} keys for {len(items)} items")
+    jobs = resolve_n_jobs(n_jobs)
+    workers = max(1, min(jobs, len(items)))
+    with span("parallel.resilient", items=len(items), jobs=workers):
+        if jobs == 1 or len(items) <= 1:
+            return [
+                _serial_unit(func, item, key, i, policy, validate, on_result)
+                for i, (item, key) in enumerate(zip(items, keys))
+            ]
+        _check_picklable(items)
+        try:
+            pickle.dumps(func)
+        except Exception as exc:
+            raise ValueError(
+                f"func must be picklable for n_jobs > 1 (module-level function "
+                f"or functools.partial of one): {exc}"
+            ) from exc
+        return _pool_map(func, items, keys, workers, policy, validate, on_result)
+
+
+def _pool_map(
+    func: Callable[[Any], Any],
+    items: List[Any],
+    keys: List[str],
+    workers: int,
+    policy: RetryPolicy,
+    validate: Optional[Callable[[Any], bool]],
+    on_result: Optional[Callable[[int, Any], None]],
+) -> List[Any]:
+    """Supervised pool execution with retry, timeout, and pool rebuild."""
+    n = len(items)
+    observed = _obs_state.enabled
+    results: Dict[int, Any] = {}
+    payloads: Dict[int, Tuple[Any, Any]] = {}
+    attempts: List[int] = [0] * n
+    failures: List[List[UnitFailure]] = [[] for _ in range(n)]
+    needs_submit: Set[int] = set(range(n))
+    futures: Dict[Future, int] = {}
+    deadlines: Dict[Future, Optional[float]] = {}
+    pool = ProcessPoolExecutor(max_workers=workers)
+
+    def succeed(idx: int, value: Any, payload: Optional[Tuple[Any, Any]]) -> None:
+        results[idx] = value
+        if payload is not None:
+            payloads[idx] = payload
+        if failures[idx]:
+            obs_metrics.inc("resilience.units_recovered")
+        if on_result is not None:
+            on_result(idx, value)
+
+    def fail(idx: int, kind: str, detail: str) -> None:
+        """Charge one failed try; retry in-pool or degrade to serial."""
+        failures[idx].append(UnitFailure(keys[idx], attempts[idx], kind, detail))
+        obs_metrics.inc("resilience.failures")
+        attempts[idx] += 1
+        if attempts[idx] <= policy.max_retries:
+            obs_metrics.inc("resilience.retries")
+            needs_submit.add(idx)
+            return
+        # Pool retries exhausted: last-resort serial attempt in-parent.
+        # Metrics/spans it records land in the live registry directly;
+        # counters and histograms are order-free, so the fold stays
+        # byte-identical (gauges are not used on the unit path).
+        obs_metrics.inc("resilience.serial_fallbacks")
+        attempt = attempts[idx]
+        try:
+            value = _invoke(func, items[idx], keys[idx], attempt)
+        except Exception as exc:
+            failures[idx].append(
+                UnitFailure(keys[idx], attempt, "error", f"{type(exc).__name__}: {exc}")
+            )
+            obs_metrics.inc("resilience.failures")
+            raise UnitExecutionError(keys[idx], idx, failures[idx])
+        reason = _poison_reason(value, validate)
+        if reason is not None:
+            failures[idx].append(UnitFailure(keys[idx], attempt, "poison", reason))
+            obs_metrics.inc("resilience.failures")
+            raise UnitExecutionError(keys[idx], idx, failures[idx])
+        succeed(idx, value, None)
+
+    def rebuild() -> None:
+        nonlocal pool
+        _abandon(pool)
+        obs_metrics.inc("resilience.pool_rebuilds")
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+    try:
+        while len(results) < n:
+            for idx in sorted(needs_submit):
+                attempt = attempts[idx]
+                if attempt:
+                    _backoff_sleep(keys[idx], attempt, policy)
+                fut = pool.submit(_run_task, func, items[idx], keys[idx], attempt, observed)
+                futures[fut] = idx
+                deadlines[fut] = (
+                    time.monotonic() + policy.unit_timeout
+                    if policy.unit_timeout is not None
+                    else None
+                )
+            needs_submit.clear()
+            if not futures:
+                if len(results) < n:  # pragma: no cover - supervision invariant
+                    raise RuntimeError("resilient pool lost track of unfinished units")
+                break
+            done, _ = wait(
+                set(futures), timeout=policy.poll_interval, return_when=FIRST_COMPLETED
+            )
+            broken = False
+            for fut in done:
+                idx = futures.pop(fut)
+                deadlines.pop(fut, None)
+                try:
+                    value, snap, spans = fut.result()
+                except BrokenExecutor as exc:
+                    broken = True
+                    fail(idx, "pool-broken", f"{type(exc).__name__}: {exc}")
+                except Exception as exc:
+                    fail(idx, "error", f"{type(exc).__name__}: {exc}")
+                else:
+                    reason = _poison_reason(value, validate)
+                    if reason is not None:
+                        fail(idx, "poison", reason)
+                    else:
+                        succeed(idx, value, (snap, spans) if observed else None)
+            if broken:
+                # The pool is unusable and the death is unattributable:
+                # charge every in-flight unit one try (bounded blast
+                # radius) and start a fresh pool.
+                for fut, idx in list(futures.items()):
+                    fail(idx, "pool-broken", "worker process died; pool became unusable")
+                futures.clear()
+                deadlines.clear()
+                rebuild()
+                continue
+            if policy.unit_timeout is not None and futures:
+                now = time.monotonic()
+                hung = [f for f, dl in deadlines.items() if dl is not None and now >= dl]
+                if hung:
+                    for fut in hung:
+                        idx = futures.pop(fut)
+                        deadlines.pop(fut, None)
+                        obs_metrics.inc("resilience.timeouts")
+                        fail(
+                            idx,
+                            "timeout",
+                            f"unit exceeded unit_timeout={policy.unit_timeout}s",
+                        )
+                    # Hung tasks hold their workers hostage — abandon the
+                    # pool; in-flight innocents resubmit at their current
+                    # attempt (no retry charged).
+                    for fut, idx in list(futures.items()):
+                        needs_submit.add(idx)
+                    futures.clear()
+                    deadlines.clear()
+                    rebuild()
+    finally:
+        _abandon(pool)
+
+    if observed:
+        # Fold worker payloads in submission (index) order — the same
+        # order the serial path produces, hence byte-identical snapshots.
+        for idx in range(n):
+            payload = payloads.get(idx)
+            if payload is None:
+                continue
+            snap, spans = payload
+            if snap:
+                obs_metrics.merge_into_registry(snap)
+            if spans:
+                _obs_trace.absorb_spans(spans, proc=idx)
+    return [results[i] for i in range(n)]

@@ -12,12 +12,18 @@ serially (``n_jobs=1``, the bit-identical default) or fan out over a
 process pool.  :func:`run_sweep` extends the same fan-out across *all*
 points of a figure sweep, so a whole panel parallelises as one flat
 unit list instead of point-by-point.
+
+Both entry points accept a :class:`~repro.sim.resilient.RetryPolicy`
+(fault-tolerant execution: per-unit timeouts, bounded retry, worker
+replacement) and a :class:`~repro.experiments.store.UnitCheckpoint`
+(per-unit persistence so interrupted runs resume); see
+``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -27,6 +33,10 @@ from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
 from repro.sim.metrics import SimulationResult
 from repro.sim.parallel import WorkUnit, build_units, execute_units
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.store import UnitCheckpoint
+    from repro.sim.resilient import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -94,6 +104,8 @@ def run_schedulers(
     scheduler_kwargs: Mapping[str, dict] | None = None,
     n_jobs: Optional[int] = 1,
     max_bytes: Optional[int] = None,
+    policy: Optional["RetryPolicy"] = None,
+    checkpoint: Optional["UnitCheckpoint"] = None,
 ) -> Dict[str, RunResult]:
     """Run every scheduler on ``n_repetitions`` random workloads.
 
@@ -123,6 +135,14 @@ def run_schedulers(
     max_bytes:
         Memory budget per Monte-Carlo replay chunk (see
         :func:`repro.sim.montecarlo.simulate_schedule`).
+    policy:
+        Optional retry policy — routes execution through the
+        fault-tolerant executor (timeouts, bounded deterministic-backoff
+        retry, pool replacement) with results still bit-identical.
+    checkpoint:
+        Optional per-unit result store — completed units persist and an
+        interrupted run resumed with the same checkpoint recomputes only
+        the missing ones.
 
     Returns
     -------
@@ -144,7 +164,7 @@ def run_schedulers(
             max_bytes=max_bytes,
         )
         obs_metrics.inc("runner.units_built", len(units))
-        results = execute_units(units, n_jobs=n_jobs)
+        results = execute_units(units, n_jobs=n_jobs, policy=policy, checkpoint=checkpoint)
         return _group_by_scheduler(schedulers, units, results)
 
 
@@ -175,13 +195,16 @@ def run_sweep(
     scheduler_kwargs: Mapping[str, dict] | None = None,
     n_jobs: Optional[int] = 1,
     max_bytes: Optional[int] = None,
+    policy: Optional["RetryPolicy"] = None,
+    checkpoint: Optional["UnitCheckpoint"] = None,
 ) -> List[Dict[str, RunResult]]:
     """Run a whole sweep as one flat parallel unit list.
 
     Equivalent to calling :func:`run_schedulers` once per
     :class:`SweepPoint` (same seeds, same results, in order) — but all
     ``point x rep x scheduler`` cells share a single process pool, so
-    small per-point grids still saturate the workers.
+    small per-point grids still saturate the workers.  ``policy`` and
+    ``checkpoint`` behave as in :func:`run_schedulers`.
     """
     with span("runner.run_sweep", points=len(points), schedulers=len(schedulers)):
         all_units: List[WorkUnit] = []
@@ -203,7 +226,7 @@ def run_sweep(
             )
         obs_metrics.inc("runner.units_built", len(all_units))
         obs_metrics.inc("runner.sweep_points", len(points))
-        results = execute_units(all_units, n_jobs=n_jobs)
+        results = execute_units(all_units, n_jobs=n_jobs, policy=policy, checkpoint=checkpoint)
         per_point = len(all_units) // len(points) if points else 0
         out: List[Dict[str, RunResult]] = []
         for i in range(len(points)):

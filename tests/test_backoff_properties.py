@@ -1,0 +1,91 @@
+"""Property tests for the deterministic retry backoff.
+
+`backoff_delay` must be a *pure function* of (unit key, attempt,
+policy): deterministic, monotone non-decreasing per attempt (the
+exponential doubling dominates the hash jitter), and strictly bounded —
+per delay by `backoff_cap`, hence in total by
+`(tries - 1) * backoff_cap`.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.resilient import RetryPolicy, backoff_delay
+
+pytestmark = pytest.mark.chaos
+
+keys = st.text(min_size=1, max_size=40)
+attempts = st.integers(min_value=1, max_value=30)
+policies = st.builds(
+    RetryPolicy,
+    max_retries=st.integers(min_value=0, max_value=10),
+    backoff_base=st.floats(
+        min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+    ),
+    backoff_cap=st.floats(
+        min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+@settings(max_examples=200)
+@given(key=keys, attempt=attempts, policy=policies)
+def test_deterministic_in_key_and_attempt(key, attempt, policy):
+    assert backoff_delay(key, attempt, policy) == backoff_delay(key, attempt, policy)
+
+
+@settings(max_examples=200)
+@given(key=keys, attempt=attempts, policy=policies)
+def test_nonnegative_and_capped(key, attempt, policy):
+    delay = backoff_delay(key, attempt, policy)
+    assert 0.0 <= delay <= policy.backoff_cap
+
+
+@settings(max_examples=200)
+@given(key=keys, policy=policies)
+def test_monotone_nondecreasing_per_attempt(key, policy):
+    delays = [backoff_delay(key, a, policy) for a in range(1, 12)]
+    assert all(b >= a for a, b in zip(delays, delays[1:])), delays
+
+
+@settings(max_examples=100)
+@given(key=keys, policy=policies)
+def test_total_delay_strictly_bounded(key, policy):
+    # Every retry sleeps at most backoff_cap, so a unit's whole retry
+    # schedule (pool retries + serial fallback) is bounded.  The bound
+    # is summed the same way as the delays (float addition is monotone,
+    # so termwise domination survives the accumulation exactly).
+    n_sleeps = policy.total_tries - 1
+    total = sum(backoff_delay(key, a, policy) for a in range(1, policy.total_tries))
+    assert total <= sum([policy.backoff_cap] * n_sleeps)
+
+
+@settings(max_examples=100)
+@given(key=keys, attempt=attempts)
+def test_zero_base_means_zero_delay(key, attempt):
+    policy = RetryPolicy(backoff_base=0.0)
+    assert backoff_delay(key, attempt, policy) == 0.0
+
+
+def test_attempt_must_be_positive():
+    with pytest.raises(ValueError, match="attempt"):
+        backoff_delay("k", 0, RetryPolicy())
+
+
+def test_first_delay_near_base():
+    # attempt 1: base * (1 + u), u in [0, 1) -> within [base, 2*base)
+    policy = RetryPolicy(backoff_base=0.05, backoff_cap=10.0)
+    d = backoff_delay("some-unit", 1, policy)
+    assert 0.05 <= d < 0.10
+
+
+def test_doubling_dominates_jitter():
+    # Exact witness of the monotonicity argument: even maximal jitter at
+    # attempt a is below minimal jitter at attempt a+1, because
+    # 2^(a-1) * 2 <= 2^a * 1.
+    policy = RetryPolicy(backoff_base=0.01, backoff_cap=1e9)
+    for a in range(1, 10):
+        hi_a = policy.backoff_base * 2.0 ** (a - 1) * 2.0
+        lo_next = policy.backoff_base * 2.0**a * 1.0
+        assert hi_a <= lo_next

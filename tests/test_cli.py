@@ -183,3 +183,81 @@ class TestFigures:
         assert "Fig. 6(a)" in out
         payload = json.loads(out_path.read_text())
         assert "fig6a" in payload
+
+
+class TestResilienceFlags:
+    @pytest.fixture
+    def tiny_cfg(self, monkeypatch):
+        from repro.experiments.config import ExperimentConfig
+
+        tiny = ExperimentConfig(
+            n_links_sweep=(20,),
+            alpha_sweep=(3.0,),
+            n_links_fixed=20,
+            n_repetitions=1,
+            n_trials=20,
+        )
+        monkeypatch.setattr(ExperimentConfig, "small", lambda self: tiny)
+        return tiny
+
+    def test_bad_unit_timeout_rejected(self):
+        with pytest.raises(SystemExit, match="--unit-timeout"):
+            main(["figures", "--panel", "fig5a", "--unit-timeout", "0"])
+
+    def test_bad_max_retries_rejected(self):
+        with pytest.raises(SystemExit, match="--max-retries"):
+            main(["figures", "--panel", "fig5a", "--max-retries", "-1"])
+
+    def test_resilient_run_matches_plain_run(self, tiny_cfg, tmp_path, capsys):
+        out_a = tmp_path / "plain.json"
+        out_b = tmp_path / "resilient.json"
+        assert main(["figures", "--panel", "fig5a", "--output", str(out_a)]) == 0
+        assert (
+            main(
+                [
+                    "figures",
+                    "--panel",
+                    "fig5a",
+                    "--unit-timeout",
+                    "30",
+                    "--max-retries",
+                    "1",
+                    "--output",
+                    str(out_b),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert json.loads(out_a.read_text()) == json.loads(out_b.read_text())
+
+    def test_resume_checkpoints_units(self, tiny_cfg, tmp_path, capsys):
+        ck_dir = tmp_path / "ck"
+        args = ["figures", "--panel", "fig5a", "--resume", str(ck_dir)]
+        assert main(args) == 0
+        files = sorted(ck_dir.glob("*.json"))
+        assert files  # one checkpoint file per work unit
+        mtimes = [f.stat().st_mtime_ns for f in files]
+        # second run resumes: same panel output, no checkpoint rewritten
+        assert main(args) == 0
+        capsys.readouterr()
+        assert [f.stat().st_mtime_ns for f in sorted(ck_dir.glob("*.json"))] == mtimes
+
+    def test_report_accepts_resilience_flags(self, tiny_cfg, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert (
+            main(
+                [
+                    "report",
+                    "--max-retries",
+                    "1",
+                    "--resume",
+                    str(tmp_path / "ck"),
+                    "--output",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert out.read_text().strip()

@@ -83,3 +83,43 @@ class TestResultStore:
         nested = tmp_path / "a" / "b"
         ResultStore(nested)
         assert nested.is_dir()
+
+
+class TestTornWriteRegression:
+    """A damaged `<key>.json` must read as a miss and re-run, never crash."""
+
+    def test_truncated_entry_is_detected_and_rerun(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.load_or_run("exp", {"n": 1}, lambda: {"value": 42})
+        key = config_key("exp", {"n": 1})
+        # simulate a torn write: the file is cut mid-payload
+        full = store.path_for(key).read_text()
+        store.path_for(key).write_text(full[: len(full) // 2])
+        assert store.get(key) is None
+        payload, cached = store.load_or_run("exp", {"n": 1}, lambda: {"value": 42})
+        assert payload == {"value": 42} and not cached
+        # the re-run repaired the entry on disk
+        assert store.get(key) == {"value": 42}
+
+    def test_empty_file_is_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.path_for("k").write_text("")
+        assert store.get("k") is None
+
+    def test_binary_garbage_is_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.path_for("k").write_bytes(b"\x80\x81\xfe\xff")
+        assert store.get("k") is None
+
+    def test_non_dict_payload_is_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.path_for("k").write_text("[1, 2, 3]")
+        assert store.get("k") is None
+
+    def test_failed_put_leaves_existing_entry_untouched(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"good": 1})
+        with pytest.raises(TypeError):
+            store.put("k", {"bad": object()})
+        assert store.get("k") == {"good": 1}
+        assert not list(tmp_path.glob("*.tmp"))

@@ -1,0 +1,111 @@
+"""Tests for fault plans (`repro.faults.plan`).
+
+Plans are pure, deterministic data: the same seed and key set must
+produce the same adversity every time, and the JSON wire format must
+round-trip exactly (it rides in an environment variable).
+"""
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec
+
+pytestmark = pytest.mark.chaos
+
+
+class TestFaultSpec:
+    def test_valid_kinds_accepted(self):
+        for kind in FAULT_KINDS:
+            assert FaultSpec(kind=kind).kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meltdown")
+
+    def test_nonpositive_attempts_rejected(self):
+        with pytest.raises(ValueError, match="attempts"):
+            FaultSpec(kind="crash", attempts=0)
+
+    def test_nonpositive_seconds_rejected(self):
+        with pytest.raises(ValueError, match="seconds"):
+            FaultSpec(kind="hang", seconds=0.0)
+
+    def test_fires_is_attempt_window(self):
+        spec = FaultSpec(kind="crash", attempts=2)
+        assert spec.fires(0) and spec.fires(1)
+        assert not spec.fires(2)
+        assert not spec.fires(99)
+
+
+class TestFaultPlan:
+    def test_non_spec_entries_rejected(self):
+        with pytest.raises(TypeError, match="not a FaultSpec"):
+            FaultPlan({"0/0/ldp": "crash"})
+
+    def test_len_and_lookup(self):
+        plan = FaultPlan({"a": FaultSpec("crash"), "b": FaultSpec("poison")})
+        assert len(plan) == 2
+        assert not plan.is_empty
+        assert plan.spec_for("a").kind == "crash"
+        assert plan.spec_for("missing") is None
+
+    def test_empty_plan(self):
+        assert FaultPlan({}).is_empty
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            {
+                "0/1/rle": FaultSpec("hang", attempts=2, seconds=0.25),
+                "1/0/ldp": FaultSpec("die"),
+            }
+        )
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        # the wire format is canonical: re-encoding is byte-stable
+        assert again.to_json() == plan.to_json()
+
+    def test_from_json_rejects_junk(self):
+        with pytest.raises(ValueError, match="malformed fault plan JSON"):
+            FaultPlan.from_json("{not json")
+        with pytest.raises(ValueError, match="JSON object"):
+            FaultPlan.from_json("[1, 2]")
+        with pytest.raises(ValueError, match="malformed"):
+            FaultPlan.from_json('{"k": {"attempts": 1}}')
+
+
+class TestFromSeed:
+    KEYS = [f"{t}/{r}/{n}" for t in range(3) for r in range(4) for n in ("ldp", "rle")]
+
+    def test_deterministic_in_seed_and_keys(self):
+        a = FaultPlan.from_seed(7, self.KEYS, rate=0.5)
+        b = FaultPlan.from_seed(7, self.KEYS, rate=0.5)
+        assert a == b and a.to_json() == b.to_json()
+
+    def test_independent_of_key_order(self):
+        a = FaultPlan.from_seed(7, self.KEYS, rate=0.5)
+        b = FaultPlan.from_seed(7, list(reversed(self.KEYS)), rate=0.5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.from_seed(7, self.KEYS, rate=0.5)
+        b = FaultPlan.from_seed(8, self.KEYS, rate=0.5)
+        assert a != b
+
+    def test_rate_extremes(self):
+        assert FaultPlan.from_seed(7, self.KEYS, rate=0.0).is_empty
+        full = FaultPlan.from_seed(7, self.KEYS, rate=1.0)
+        assert set(full.faults) == set(self.KEYS)
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultPlan.from_seed(7, self.KEYS, rate=1.5)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.from_seed(7, self.KEYS, kinds=("crash", "meltdown"))
+
+    def test_only_requested_kinds_drawn(self):
+        plan = FaultPlan.from_seed(3, self.KEYS, rate=1.0, kinds=("poison", "oom"))
+        kinds = {spec.kind for spec in plan.faults.values()}
+        assert kinds <= {"poison", "oom"}
+        # with 24 keys both kinds should actually appear
+        assert kinds == {"poison", "oom"}
