@@ -4,10 +4,19 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke chaos figures verify-fuzz coverage docs-check
+.PHONY: test lint bench bench-smoke bench-gate chaos figures verify-fuzz coverage docs-check ci-local
 
-test: docs-check ## tier-1 test suite (docs contract first — it is cheap)
+test: lint docs-check ## tier-1 test suite (cheap static gates first)
 	$(PYTHON) -m pytest -x -q
+
+lint:            ## ruff check + format check (skips with a warning when ruff is absent, unless CI)
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
+		ruff check . && ruff format --check .; \
+	elif [ -n "$$CI" ]; then \
+		echo "lint: ruff is required in CI (pip install -e .[dev])"; exit 1; \
+	else \
+		echo "lint: ruff not installed, skipping (install with pip install -e .[dev])"; \
+	fi
 
 chaos:           ## fault-injection/resilience suite + recovery-overhead smoke bench
 	$(PYTHON) -m pytest -q -m chaos
@@ -19,8 +28,13 @@ docs-check:      ## span/metric catalogues complete + API.md snippets run
 bench:           ## full benchmark suite (writes BENCH_RESULTS.json)
 	$(PYTHON) -m pytest benchmarks -q
 
-bench-smoke:     ## one small figure end-to-end + BENCH_RESULTS.json entry
+bench-smoke:     ## small end-to-end benches + BENCH_RESULTS.json entries
 	$(PYTHON) -m pytest benchmarks -q -m smoke
+
+bench-gate:      ## bench-smoke against the committed baseline (fails on >50% regression)
+	@cp BENCH_RESULTS.json /tmp/bench_baseline.json
+	$(MAKE) bench-smoke
+	$(PYTHON) tools/bench_gate.py --baseline /tmp/bench_baseline.json --current BENCH_RESULTS.json
 
 figures:         ## regenerate the paper panels (small config)
 	$(PYTHON) -m repro figures
@@ -28,10 +42,19 @@ figures:         ## regenerate the paper panels (small config)
 verify-fuzz:     ## differential + metamorphic oracle over fuzzed scenarios
 	$(PYTHON) -m repro verify --budget 300 --seed 0 --time-budget 120
 
-coverage:        ## tier-1 suite under coverage with a floor (needs pytest-cov)
+coverage:        ## tier-1 suite under coverage with a floor (needs pytest-cov; required in CI)
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
 		$(PYTHON) -m pytest -q --cov=src/repro --cov-report=term-missing --cov-fail-under=85; \
+	elif [ -n "$$CI" ]; then \
+		echo "coverage: pytest-cov is required in CI (pip install -e .[dev])"; exit 1; \
 	else \
 		echo "pytest-cov not installed; running plain test suite instead"; \
 		$(PYTHON) -m pytest -q; \
 	fi
+
+ci-local:        ## everything the CI pipeline runs, locally
+	$(MAKE) lint
+	$(MAKE) docs-check
+	$(PYTHON) -m pytest -x -q
+	$(MAKE) verify-fuzz
+	$(MAKE) bench-gate

@@ -8,7 +8,6 @@ diversity g(L) is large enough for the policy to matter.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.ldp import ldp_schedule
 from repro.core.problem import FadingRLS

@@ -6,7 +6,6 @@ metric a deployment pays that no centralised algorithm shows.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.problem import FadingRLS
 from repro.distributed import run_dls_protocol

@@ -9,7 +9,6 @@ paper's workload.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.base import get_scheduler
 from repro.experiments.reporting import format_table

@@ -7,7 +7,6 @@ a 300-link instance and replay each schedule through the fading channel.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import print_series
 from repro.core.problem import FadingRLS

@@ -6,7 +6,6 @@ the pipeline (interference matrix + baseline schedule + fading replay).
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import print_series
 from repro.core.baselines.approx_diversity import approx_diversity_schedule

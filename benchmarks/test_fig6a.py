@@ -6,7 +6,6 @@ schedulers on a 300-link instance.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import print_series
 from repro.core.ldp import ldp_schedule

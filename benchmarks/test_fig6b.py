@@ -5,7 +5,6 @@ Regenerates the panel's series and times the throughput estimation.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import print_series
 from repro.core.problem import FadingRLS

@@ -9,7 +9,6 @@ the paper's 300-link workload:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.base import get_scheduler
 from repro.core.problem import FadingRLS

@@ -6,7 +6,6 @@ Compares the covering heuristics this library provides and times them.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.ldp import ldp_schedule
 from repro.core.multislot import first_fit_multislot, multislot_lower_bound, multislot_schedule

@@ -13,7 +13,6 @@ from __future__ import annotations
 import time
 from dataclasses import replace
 
-import pytest
 
 from benchmarks import bench_export
 from benchmarks.conftest import BENCH_CONFIG

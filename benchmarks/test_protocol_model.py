@@ -7,7 +7,6 @@ even harder than the deterministic-SINR baselines under fading.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.baselines.protocol import protocol_model_schedule
 from repro.core.problem import FadingRLS

@@ -8,7 +8,6 @@ packets burn slots, so a dense fading-susceptible schedule can deliver
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.baselines.approx_diversity import approx_diversity_schedule
 from repro.core.problem import FadingRLS

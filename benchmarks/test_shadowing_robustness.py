@@ -10,8 +10,6 @@ symmetrically), continued heavy failures for the baselines.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.channel.shadowing import success_probability_shadowed
 from repro.core.base import get_scheduler

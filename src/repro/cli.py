@@ -14,6 +14,9 @@ Commands
 ``verify``
     Run the differential + metamorphic verification oracle over fuzzed
     adversarial scenarios (exit status 1 on any mismatch).
+``mobility``
+    Run the mobility study (schedule quality/stability under movement),
+    from scratch per step or with ``--incremental`` warm-start repair.
 ``trace``
     Inspect observability traces (``trace summarize out.jsonl``).
 
@@ -273,6 +276,62 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_mobility(args: argparse.Namespace) -> int:
+    """``repro mobility``: schedule quality/stability under movement."""
+    from repro.experiments.mobility_study import mobility_sweep
+
+    if args.move_threshold < 0:
+        raise SystemExit(f"--move-threshold must be >= 0, got {args.move_threshold}")
+    if not 0.0 <= args.quality_bound <= 1.0:
+        raise SystemExit(f"--quality-bound must be in [0, 1], got {args.quality_bound}")
+    schedulers = {name: name for name in (args.algorithm or ["ldp", "rle"])}
+    points = mobility_sweep(
+        schedulers,
+        speeds=tuple(args.speed),
+        n_links=args.n_links,
+        n_steps=args.steps,
+        n_repetitions=args.reps,
+        alpha=args.alpha,
+        root_seed=args.seed,
+        incremental=args.incremental,
+        move_threshold=args.move_threshold,
+        quality_bound=args.quality_bound,
+    )
+    mode = "incremental" if args.incremental else "from-scratch"
+    print(f"mobility study ({mode}, {args.n_links} links, {args.steps} steps):")
+    header = (
+        f"{'speed':>8} {'algorithm':<18} {'throughput':>11} "
+        f"{'churn':>7} {'max':>6} {'feas':>5} {'fallback':>9}"
+    )
+    print(header)
+    for p in points:
+        print(
+            f"{p.speed:>8.1f} {p.algorithm:<18} {p.mean_throughput:>11.3f} "
+            f"{p.mean_churn:>7.3f} {p.max_churn:>6.3f} "
+            f"{'yes' if p.all_feasible else 'NO':>5} {p.fallback_rate:>9.3f}"
+        )
+    if args.output:
+        payload = {
+            "mode": mode,
+            "points": [
+                {
+                    "speed": p.speed,
+                    "algorithm": p.algorithm,
+                    "mean_throughput": p.mean_throughput,
+                    "mean_churn": p.mean_churn,
+                    "max_churn": p.max_churn,
+                    "all_feasible": p.all_feasible,
+                    "incremental": p.incremental,
+                    "fallback_rate": p.fallback_rate,
+                }
+                for p in points
+            ],
+        }
+        write_json(payload, args.output)
+        print(f"wrote mobility series to {args.output}")
+    return 0 if all(p.all_feasible for p in points) else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """``repro report``: render the full markdown evaluation report."""
     from repro.experiments.config import ExperimentConfig
@@ -458,6 +517,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     v.add_argument("--output", help="write the JSON report here")
     v.set_defaults(fn=cmd_verify)
+
+    m = sub.add_parser("mobility", help="run the mobility study")
+    m.add_argument(
+        "--algorithm",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="scheduler to include (repeatable; default: ldp and rle)",
+    )
+    m.add_argument(
+        "--speed",
+        type=float,
+        nargs="+",
+        default=[1.0, 5.0, 20.0],
+        help="mobility speeds to sweep (region units per step)",
+    )
+    m.add_argument("--n-links", type=int, default=150)
+    m.add_argument("--steps", type=int, default=10, help="trace steps per repetition")
+    m.add_argument("--reps", type=int, default=3, help="trace repetitions per speed")
+    m.add_argument("--alpha", type=float, default=3.0)
+    m.add_argument("--seed", type=int, default=2017)
+    m.add_argument(
+        "--incremental",
+        action="store_true",
+        help="schedule with the incremental engine (O(kN) matrix "
+        "maintenance + warm-start repair) instead of per-step "
+        "from-scratch runs",
+    )
+    m.add_argument(
+        "--move-threshold",
+        type=float,
+        default=0.0,
+        help="minimum sender drift before a move delta is emitted "
+        "(incremental mode; 0 = exact geometry every step)",
+    )
+    m.add_argument(
+        "--quality-bound",
+        type=float,
+        default=0.8,
+        help="fall back to a full reschedule when repaired rate drops "
+        "below this fraction of the reference rate",
+    )
+    m.add_argument("--output", help="write the JSON series here")
+    m.set_defaults(fn=cmd_mobility)
 
     r = sub.add_parser("report", help="render the markdown evaluation report")
     r.add_argument("--full", action="store_true", help="paper-scale configuration")

@@ -26,6 +26,7 @@ from repro.core.certify import certify
 from repro.core.dls import dls_schedule
 from repro.core.exact import branch_and_bound_schedule, brute_force_schedule, milp_schedule
 from repro.core.frames import build_demand_frame, frame_length_lower_bound
+from repro.core.incremental import IncrementalScheduler
 from repro.core.ldp import ldp_schedule
 from repro.core.localsearch import improve_schedule, local_search_schedule
 from repro.core.multislot import exact_min_slots, first_fit_multislot, multislot_schedule
@@ -37,6 +38,7 @@ from repro.core.schedule import Schedule
 __all__ = [
     "FadingRLS",
     "Schedule",
+    "IncrementalScheduler",
     "ldp_schedule",
     "rle_schedule",
     "dls_schedule",

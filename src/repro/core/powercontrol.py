@@ -26,7 +26,7 @@ noise factors), so results remain machine-checkable via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 

@@ -38,7 +38,7 @@ Together these make the reduction machine-checkable:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

@@ -9,7 +9,7 @@ default 3.0) cover the ranges its Figs. 5-6 discuss.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.core.base import get_scheduler
@@ -84,6 +84,12 @@ class ExperimentConfig:
     the legacy non-resilient path), and ``resume_dir`` checkpoints each
     completed work unit so an interrupted sweep resumes from where it
     stopped.
+
+    Dynamic-network knobs: ``incremental`` routes mobility traces
+    through :class:`~repro.core.incremental.IncrementalScheduler`
+    instead of per-step from-scratch runs; ``move_threshold``
+    sparsifies the emitted deltas (0 = exact geometry) and
+    ``quality_bound`` is the engine's from-scratch fallback trigger.
     """
 
     region_side: float = 500.0
@@ -104,6 +110,9 @@ class ExperimentConfig:
     unit_timeout: Optional[float] = None
     max_retries: Optional[int] = None
     resume_dir: Optional[str] = None
+    incremental: bool = False
+    move_threshold: float = 0.0
+    quality_bound: float = 0.8
 
     def workload(self, n_links: int) -> TopologyWorkload:
         """Per-repetition workload factory for ``n_links`` links.
@@ -139,6 +148,27 @@ class ExperimentConfig:
             out = replace(out, n_jobs=n_jobs)
         if mc_max_bytes is not None:
             out = replace(out, mc_max_bytes=mc_max_bytes)
+        return out
+
+    def with_dynamics(
+        self,
+        *,
+        incremental: Optional[bool] = None,
+        move_threshold: Optional[float] = None,
+        quality_bound: Optional[float] = None,
+    ) -> "ExperimentConfig":
+        """Copy with dynamic-network knobs replaced (unspecified kept)."""
+        out = self
+        if incremental is not None:
+            out = replace(out, incremental=incremental)
+        if move_threshold is not None:
+            if move_threshold < 0:
+                raise ValueError("move_threshold must be >= 0")
+            out = replace(out, move_threshold=move_threshold)
+        if quality_bound is not None:
+            if not 0.0 <= quality_bound <= 1.0:
+                raise ValueError("quality_bound must be in [0, 1]")
+            out = replace(out, quality_bound=quality_bound)
         return out
 
     def with_resilience(

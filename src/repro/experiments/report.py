@@ -11,7 +11,7 @@ reproduced the paper's qualitative claims.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.fig5 import SweepSeries, failed_vs_alpha, failed_vs_links

@@ -8,9 +8,15 @@
   (Definition 4.1) and the length-class partition used by LDP.
 """
 
+from repro.network.delta import LinkDelta, apply_delta
 from repro.network.diversity import length_classes, length_diversity, length_diversity_set
 from repro.network.links import Link, LinkSet
-from repro.network.mobility import random_waypoint_trace, schedule_churn
+from repro.network.mobility import (
+    DeltaTrace,
+    random_waypoint_delta_trace,
+    random_waypoint_trace,
+    schedule_churn,
+)
 from repro.network.topology import (
     chain_topology,
     clustered_topology,
@@ -32,6 +38,10 @@ __all__ = [
     "ppp_topology",
     "random_rates_topology",
     "random_waypoint_trace",
+    "random_waypoint_delta_trace",
+    "DeltaTrace",
+    "LinkDelta",
+    "apply_delta",
     "schedule_churn",
     "length_diversity_set",
     "length_diversity",

@@ -10,7 +10,7 @@ over [14], whose classes are bounded on both sides).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

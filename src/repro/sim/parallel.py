@@ -47,7 +47,7 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Mapping, Optional, Sequence, TypeVar
+from typing import TYPE_CHECKING, Any, Callable, List, Mapping, Optional, Sequence, TypeVar
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.experiments.store import UnitCheckpoint

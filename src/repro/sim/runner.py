@@ -23,12 +23,14 @@ replacement) and a :class:`~repro.experiments.store.UnitCheckpoint`
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.problem import FadingRLS
 from repro.core.schedule import Schedule
 from repro.network.links import LinkSet
+from repro.network.mobility import DeltaTrace
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
 from repro.sim.metrics import SimulationResult
@@ -166,6 +168,112 @@ def run_schedulers(
         obs_metrics.inc("runner.units_built", len(units))
         results = execute_units(units, n_jobs=n_jobs, policy=policy, checkpoint=checkpoint)
         return _group_by_scheduler(schedulers, units, results)
+
+
+@dataclass(frozen=True)
+class TraceStepResult:
+    """One time step of a dynamic-network run.
+
+    All quantities are evaluated against that step's *effective*
+    geometry, so the from-scratch and incremental execution modes
+    report directly comparable numbers.
+    """
+
+    schedule: Schedule
+    feasible: bool
+    expected_throughput: float
+    scheduled_rate: float
+
+
+def run_trace(
+    scheduler: Union[str, Callable[..., Schedule]],
+    trace: Union[DeltaTrace, Sequence[LinkSet], Iterable[LinkSet]],
+    *,
+    incremental: bool = False,
+    alpha: float = 3.0,
+    gamma_th: float = 1.0,
+    eps: float = 0.01,
+    noise: float = 0.0,
+    scheduler_kwargs: Optional[Mapping] = None,
+    quality_bound: float = 0.8,
+) -> List[TraceStepResult]:
+    """Schedule every step of a dynamic-network trace.
+
+    Parameters
+    ----------
+    scheduler:
+        Registry name or scheduler callable.
+    trace:
+        A :class:`~repro.network.mobility.DeltaTrace` (required for the
+        incremental mode) or a plain sequence of per-step ``LinkSet``\\ s.
+    incremental:
+        ``False`` (default) rebuilds a fresh
+        :class:`~repro.core.problem.FadingRLS` and reruns the scheduler
+        from scratch at every step; ``True`` routes the trace through
+        :class:`~repro.core.incremental.IncrementalScheduler` — O(kN)
+        interference-matrix maintenance plus warm-start schedule repair,
+        falling back to a full run when repair quality degrades below
+        ``quality_bound``.
+    alpha, gamma_th, eps, noise:
+        Channel parameters of each step's problem.
+    scheduler_kwargs:
+        Extra keyword arguments for the scheduler.
+    quality_bound:
+        Fallback trigger of the incremental engine (ignored otherwise).
+
+    Returns
+    -------
+    list of :class:`TraceStepResult`, one per trace step.
+    """
+    from repro.core.base import get_scheduler
+
+    kwargs = dict(scheduler_kwargs or {})
+    out: List[TraceStepResult] = []
+
+    def _evaluate(problem: FadingRLS, schedule: Schedule) -> TraceStepResult:
+        return TraceStepResult(
+            schedule=schedule,
+            feasible=problem.is_feasible(schedule.active),
+            expected_throughput=problem.expected_throughput(schedule.active),
+            scheduled_rate=problem.scheduled_rate(schedule.active),
+        )
+
+    with span("runner.run_trace", incremental=incremental):
+        if incremental:
+            if not isinstance(trace, DeltaTrace):
+                raise TypeError(
+                    "incremental=True requires a DeltaTrace (per-step link "
+                    "churn); got a materialised LinkSet sequence — build the "
+                    "workload with random_waypoint_delta_trace or wrap it in "
+                    "a DeltaTrace"
+                )
+            from repro.core.incremental import IncrementalScheduler
+
+            engine = IncrementalScheduler(
+                trace.initial,
+                scheduler=scheduler,
+                scheduler_kwargs=kwargs,
+                alpha=alpha,
+                gamma_th=gamma_th,
+                eps=eps,
+                noise=noise,
+                quality_bound=quality_bound,
+            )
+            schedule = engine.schedule()
+            out.append(_evaluate(engine.problem, schedule))
+            for delta in trace.deltas:
+                schedule = engine.step(delta)
+                out.append(_evaluate(engine.problem, schedule))
+        else:
+            fn = get_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
+            linksets = trace.linksets() if isinstance(trace, DeltaTrace) else trace
+            for links in linksets:
+                problem = FadingRLS(
+                    links=links, alpha=alpha, gamma_th=gamma_th, eps=eps, noise=noise
+                )
+                out.append(_evaluate(problem, fn(problem, **kwargs)))
+    obs_metrics.inc("runner.trace_steps", len(out))
+    return out
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,11 @@ reports structured :class:`~repro.verify.report.Mismatch` records:
   contract);
 - ``with-params-cache-carry`` — a ``with_params`` copy that carries
   the cached ``F`` forward against a from-scratch instance with the
-  same parameters.
+  same parameters;
+- ``incremental-vs-scratch`` — the incremental engine's O(kN)-updated
+  interference matrix against a from-scratch rebuild after a fuzzed
+  delta sequence (bit-identical), plus feasibility and quality of its
+  warm-start-repaired schedules.
 
 Checks are callables ``(Scenario) -> list[Mismatch]`` registered in
 :data:`DIFFERENTIAL_CHECKS`; the harness composes them with the
@@ -61,6 +65,9 @@ CODE_CACHE = "cache-divergence"
 CODE_FEASIBILITY = "feasibility-divergence"
 CODE_STREAM = "stream-divergence"
 CODE_CACHE_CARRY = "cache-carry-divergence"
+CODE_INCREMENTAL_F = "incremental-f-divergence"
+CODE_INCREMENTAL_INFEASIBLE = "incremental-infeasible-repair"
+CODE_INCREMENTAL_QUALITY = "incremental-quality-divergence"
 
 #: Exact solvers are exponential; differential scenarios restrict to
 #: this many links before enumerating.
@@ -320,6 +327,131 @@ def check_batched_vs_streaming(scenario: Scenario) -> List[Mismatch]:
             )
         ]
     return []
+
+
+def _fuzz_delta(links, rng: np.random.Generator) -> "LinkDelta":
+    """One random churn step: rigid moves, maybe a removal/insertion.
+
+    Moves translate whole links rigidly so lengths stay positive on
+    arbitrary (including degenerate) fuzz geometry.
+    """
+    from repro.network.delta import LinkDelta
+    from repro.network.links import LinkSet
+
+    n = len(links)
+    k = max(1, n // 4)
+    moves = np.sort(rng.choice(n, size=min(k, n), replace=False))
+    offsets = rng.uniform(-5.0, 5.0, size=(moves.size, 2))
+    removes = None
+    if n > 4 and rng.random() < 0.5:
+        candidates = np.setdiff1d(np.arange(n), moves)
+        if candidates.size:
+            removes = candidates[[int(rng.integers(candidates.size))]]
+    inserts = None
+    if rng.random() < 0.5:
+        sender = rng.uniform(0.0, 200.0, size=(1, 2))
+        theta = rng.uniform(0.0, 2.0 * np.pi)
+        length = rng.uniform(5.0, 20.0)
+        receiver = sender + length * np.array([[np.cos(theta), np.sin(theta)]])
+        inserts = LinkSet(senders=sender, receivers=receiver, rates=np.ones(1))
+    return LinkDelta(
+        moves=moves,
+        new_senders=links.senders[moves] + offsets,
+        new_receivers=links.receivers[moves] + offsets,
+        removes=removes,
+        inserts=inserts,
+    )
+
+
+@register_differential("incremental-vs-scratch")
+def check_incremental_vs_scratch(scenario: Scenario) -> List[Mismatch]:
+    """Incremental O(kN) updates vs from-scratch rebuilds after churn.
+
+    Drives an :class:`~repro.core.incremental.IncrementalScheduler`
+    through a fuzzed delta sequence derived from the scenario seed and,
+    after every step, asserts (1) its maintained interference matrix is
+    *bit-identical* to a fresh :class:`FadingRLS` built on the replayed
+    link set, (2) the warm-start-repaired schedule passes the fresh
+    instance's feasibility check, and (3) the repaired rate does not
+    fall below ``quality_bound`` of a from-scratch run of the same
+    scheduler on the same geometry.
+    """
+    from repro.core.incremental import IncrementalScheduler
+    from repro.core.rle import rle_schedule
+    from repro.network.delta import apply_delta
+
+    p = scenario.problem
+    quality_bound = 0.8
+    engine = IncrementalScheduler(
+        p.links,
+        scheduler=rle_schedule,
+        alpha=p.alpha,
+        gamma_th=p.gamma_th,
+        eps=p.eps,
+        noise=p.noise,
+        quality_bound=quality_bound,
+    )
+    engine.schedule()
+    rng = np.random.default_rng(stable_seed("incremental", root=scenario.seed))
+    links = p.links
+    out: List[Mismatch] = []
+    for step in range(3):
+        delta = _fuzz_delta(links, rng)
+        links = apply_delta(links, delta)
+        schedule = engine.step(delta)
+        fresh = FadingRLS(
+            links=links, alpha=p.alpha, gamma_th=p.gamma_th, eps=p.eps, noise=p.noise
+        )
+        if not np.array_equal(
+            engine.problem.interference_matrix(), fresh.interference_matrix()
+        ):
+            delta_max = float(
+                np.abs(
+                    engine.problem.interference_matrix() - fresh.interference_matrix()
+                ).max()
+            )
+            out.append(
+                _mismatch(
+                    "incremental-vs-scratch",
+                    scenario,
+                    CODE_INCREMENTAL_F,
+                    f"step {step}: incrementally maintained F is not "
+                    f"bit-identical to a fresh rebuild "
+                    f"(max |delta| = {delta_max:.3e})",
+                    step=step,
+                    max_abs_delta=delta_max,
+                )
+            )
+        if not fresh.is_feasible(schedule.active):
+            out.append(
+                _mismatch(
+                    "incremental-vs-scratch",
+                    scenario,
+                    CODE_INCREMENTAL_INFEASIBLE,
+                    f"step {step}: repaired schedule fails the fresh "
+                    f"instance's feasibility check",
+                    step=step,
+                    active=[int(i) for i in schedule.active],
+                )
+            )
+        scratch_rate = fresh.scheduled_rate(rle_schedule(fresh).active)
+        repaired_rate = fresh.scheduled_rate(schedule.active)
+        if repaired_rate < quality_bound * scratch_rate - 1e-9:
+            out.append(
+                _mismatch(
+                    "incremental-vs-scratch",
+                    scenario,
+                    CODE_INCREMENTAL_QUALITY,
+                    f"step {step}: repaired rate {repaired_rate:.6f} fell "
+                    f"below {quality_bound} x from-scratch rate "
+                    f"{scratch_rate:.6f}",
+                    step=step,
+                    repaired_rate=repaired_rate,
+                    scratch_rate=scratch_rate,
+                    quality_bound=quality_bound,
+                )
+            )
+    return out
 
 
 @register_differential("with-params-cache-carry")

@@ -1,7 +1,6 @@
 """Tests for the deterministic-SINR machinery shared by the baselines."""
 
 import numpy as np
-import pytest
 
 from repro.core.baselines.deterministic import (
     affectance_matrix,

@@ -1,7 +1,6 @@
 """Tests for the naive baselines."""
 
 import numpy as np
-import pytest
 
 from repro.core.baselines.naive import (
     all_active_schedule,

@@ -1,0 +1,128 @@
+"""The benchmark regression gate must catch injected regressions."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from bench_gate import compare, load_results, main  # noqa: E402
+
+
+def _results_file(tmp_path: Path, name: str, results: dict) -> Path:
+    path = tmp_path / name
+    path.write_text(json.dumps({"schema": 1, "results": results}))
+    return path
+
+
+def _entry(wall: float, **config) -> dict:
+    return {"wall_seconds": wall, "recorded_unix": 0.0, "config": config}
+
+
+BASELINE = {
+    "smoke_fig5a": _entry(1.0),
+    "incremental_speedup": _entry(0.05, speedup=9.0),
+}
+
+
+def test_gate_passes_on_identical_results(tmp_path):
+    base = _results_file(tmp_path, "base.json", BASELINE)
+    cur = _results_file(tmp_path, "cur.json", BASELINE)
+    assert main(["--baseline", str(base), "--current", str(cur)]) == 0
+
+
+def test_gate_passes_within_allowance(tmp_path):
+    current = {
+        "smoke_fig5a": _entry(1.4),  # +40% < 50% allowance
+        "incremental_speedup": _entry(0.06, speedup=6.0),  # -33% < 50%
+    }
+    base = _results_file(tmp_path, "base.json", BASELINE)
+    cur = _results_file(tmp_path, "cur.json", current)
+    assert main(["--baseline", str(base), "--current", str(cur)]) == 0
+
+
+def test_gate_fails_on_injected_wall_time_regression(tmp_path, capsys):
+    current = {
+        "smoke_fig5a": _entry(2.0),  # +100% > 50% allowance
+        "incremental_speedup": _entry(0.05, speedup=9.0),
+    }
+    base = _results_file(tmp_path, "base.json", BASELINE)
+    cur = _results_file(tmp_path, "cur.json", current)
+    assert main(["--baseline", str(base), "--current", str(cur)]) == 1
+    assert "REGRESSION smoke_fig5a" in capsys.readouterr().err
+
+
+def test_gate_fails_on_injected_speedup_regression(tmp_path, capsys):
+    current = {
+        "smoke_fig5a": _entry(1.0),
+        "incremental_speedup": _entry(0.05, speedup=2.0),  # 9x -> 2x
+    }
+    base = _results_file(tmp_path, "base.json", BASELINE)
+    cur = _results_file(tmp_path, "cur.json", current)
+    assert main(["--baseline", str(base), "--current", str(cur)]) == 1
+    assert "REGRESSION incremental_speedup" in capsys.readouterr().err
+
+
+def test_gate_respects_custom_allowance(tmp_path):
+    current = {"smoke_fig5a": _entry(1.4), "incremental_speedup": _entry(0.05, speedup=9.0)}
+    base = _results_file(tmp_path, "base.json", BASELINE)
+    cur = _results_file(tmp_path, "cur.json", current)
+    # 40% over: passes at 50% allowance, fails at 20%.
+    assert main(["--baseline", str(base), "--current", str(cur)]) == 0
+    assert (
+        main(
+            ["--baseline", str(base), "--current", str(cur), "--max-regress", "0.2"]
+        )
+        == 1
+    )
+
+
+def test_unshared_benchmarks_are_reported_not_gated(tmp_path, capsys):
+    base = _results_file(tmp_path, "base.json", {"gone": _entry(1.0)})
+    cur = _results_file(tmp_path, "cur.json", {"fresh": _entry(99.0)})
+    assert main(["--baseline", str(base), "--current", str(cur)]) == 0
+    out = capsys.readouterr().out
+    assert "gone is in the baseline only" in out
+    assert "fresh is new" in out
+
+
+def test_tiny_wall_jitter_is_not_a_regression(tmp_path, capsys):
+    """+53% on a 19ms bench is timer noise, not a regression."""
+    base = _results_file(tmp_path, "base.json", {"tiny": _entry(0.019)})
+    cur = _results_file(tmp_path, "cur.json", {"tiny": _entry(0.029)})
+    assert main(["--baseline", str(base), "--current", str(cur)]) == 0
+    # With the jitter floor disabled the same delta fails.
+    assert (
+        main(
+            ["--baseline", str(base), "--current", str(cur), "--abs-slack", "0"]
+        )
+        == 1
+    )
+    assert "REGRESSION tiny" in capsys.readouterr().err
+
+
+def test_compare_ignores_zero_baseline_wall():
+    failures = compare({"x": _entry(0.0)}, {"x": _entry(100.0)}, 0.5)
+    assert failures == []
+
+
+def test_load_results_rejects_malformed_file(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(SystemExit):
+        load_results(bad)
+    noresults = tmp_path / "noresults.json"
+    noresults.write_text(json.dumps({"schema": 1}))
+    with pytest.raises(SystemExit):
+        load_results(noresults)
+
+
+def test_gate_against_committed_results_self_compare():
+    """The committed BENCH_RESULTS.json always passes against itself."""
+    committed = Path(__file__).resolve().parent.parent / "BENCH_RESULTS.json"
+    results = load_results(committed)
+    assert compare(results, results, 0.5) == []

@@ -261,3 +261,41 @@ class TestResilienceFlags:
         )
         capsys.readouterr()
         assert out.read_text().strip()
+
+
+class TestMobility:
+    ARGS = ["mobility", "--n-links", "25", "--steps", "3", "--reps", "1",
+            "--speed", "4", "--algorithm", "rle"]
+
+    def test_from_scratch_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "from-scratch" in out
+        assert "rle" in out
+
+    def test_incremental_with_output(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "mobility.json"
+        assert main(self.ARGS + ["--incremental", "--move-threshold", "8",
+                                 "--output", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "incremental" in out
+        payload = json.loads(path.read_text())
+        assert payload["mode"] == "incremental"
+        assert payload["points"][0]["algorithm"] == "rle"
+        assert payload["points"][0]["all_feasible"] is True
+
+    def test_default_algorithms(self, capsys):
+        assert main(["mobility", "--n-links", "20", "--steps", "2",
+                     "--reps", "1", "--speed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ldp" in out and "rle" in out
+
+    def test_bad_move_threshold_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--move-threshold", "-2"])
+
+    def test_bad_quality_bound_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--quality-bound", "1.5"])

@@ -1,6 +1,5 @@
 """Tests for the exact solvers."""
 
-import numpy as np
 import pytest
 
 from repro.core.exact import (

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.ilp import ILPData, big_m, build_ilp, check_ilp_solution
+from repro.core.ilp import big_m, build_ilp, check_ilp_solution
 from repro.core.problem import FadingRLS
 from repro.network.links import LinkSet
 from repro.network.topology import paper_topology

@@ -1,7 +1,6 @@
 """White-box tests for LDP's internals (per-square pick, sizing)."""
 
 import numpy as np
-import pytest
 
 from repro.core.ldp import _pick_per_square
 

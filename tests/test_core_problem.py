@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.problem import FadingRLS, gamma_epsilon, interference_factors
-from repro.network.links import LinkSet
 from repro.network.topology import paper_topology
 
 

@@ -1,6 +1,5 @@
 """Tests for the experiment drivers (small configurations)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.ablations import (

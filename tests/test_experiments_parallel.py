@@ -6,7 +6,6 @@ require exact equality, not statistical closeness.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.ldp import ldp_schedule
 from repro.core.rle import rle_schedule

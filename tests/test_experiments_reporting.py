@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.reporting import format_run_summary, format_series, format_table
+from repro.experiments.reporting import format_run_summary, format_table
 
 
 class TestFormatTable:

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core.schedule import Schedule
-from repro.network.mobility import random_waypoint_trace, schedule_churn
+from repro.network.delta import LinkDelta, apply_delta
+from repro.network.links import LinkSet
+from repro.network.mobility import (
+    random_waypoint_delta_trace,
+    random_waypoint_trace,
+    schedule_churn,
+)
 
 
 class TestRandomWaypointTrace:
@@ -43,6 +49,129 @@ class TestRandomWaypointTrace:
             random_waypoint_trace(10, 5, speed_range=(5.0, 1.0))
         with pytest.raises(ValueError):
             random_waypoint_trace(10, 5, speed_range=(0.0, 1.0))
+
+
+class TestDeltaTrace:
+    def test_zero_threshold_matches_dense_trace_exactly(self):
+        """threshold=0 replays to the same geometry as the dense trace."""
+        dense = random_waypoint_trace(25, 6, speed_range=(2.0, 5.0), seed=11)
+        sparse = random_waypoint_delta_trace(
+            25, 6, speed_range=(2.0, 5.0), move_threshold=0.0, seed=11
+        )
+        assert len(sparse) == len(dense)
+        for replayed, reference in zip(sparse.linksets(), dense):
+            np.testing.assert_array_equal(replayed.senders, reference.senders)
+            np.testing.assert_array_equal(replayed.receivers, reference.receivers)
+
+    def test_threshold_bounds_position_staleness(self):
+        """Replayed positions never lag true positions by >= threshold+step."""
+        threshold, top_speed = 20.0, 4.0
+        dense = random_waypoint_trace(30, 12, speed_range=(2.0, top_speed), seed=12)
+        sparse = random_waypoint_delta_trace(
+            30, 12, speed_range=(2.0, top_speed), move_threshold=threshold, seed=12
+        )
+        for replayed, reference in zip(sparse.linksets(), dense):
+            lag = np.linalg.norm(replayed.senders - reference.senders, axis=1)
+            assert (lag < threshold + top_speed + 1e-9).all()
+
+    def test_threshold_sparsifies_deltas(self):
+        dense = random_waypoint_delta_trace(
+            40, 10, speed_range=(1.0, 3.0), move_threshold=0.0, seed=13
+        )
+        sparse = random_waypoint_delta_trace(
+            40, 10, speed_range=(1.0, 3.0), move_threshold=15.0, seed=13
+        )
+        assert sum(sparse.delta_sizes()) < sum(dense.delta_sizes())
+        assert all(size == 40 for size in dense.delta_sizes())
+
+    def test_n_steps_and_len(self):
+        trace = random_waypoint_delta_trace(10, 7, seed=0)
+        assert trace.n_steps == 7
+        assert len(trace) == 7
+        assert len(trace.deltas) == 6
+
+    def test_reproducible(self):
+        a = random_waypoint_delta_trace(12, 5, move_threshold=10.0, seed=9)
+        b = random_waypoint_delta_trace(12, 5, move_threshold=10.0, seed=9)
+        for da, db in zip(a.deltas, b.deltas):
+            np.testing.assert_array_equal(da.moves, db.moves)
+            np.testing.assert_array_equal(da.new_senders, db.new_senders)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_waypoint_delta_trace(10, 0)
+        with pytest.raises(ValueError):
+            random_waypoint_delta_trace(10, 5, move_threshold=-1.0)
+
+
+class TestLinkDelta:
+    def _links(self, n=6):
+        senders = np.column_stack([np.arange(n, dtype=float) * 50.0, np.zeros(n)])
+        receivers = senders + np.array([10.0, 0.0])
+        return LinkSet(senders=senders, receivers=receivers, rates=np.ones(n))
+
+    def test_apply_order_moves_removes_inserts(self):
+        links = self._links()
+        extra = self._links(1)
+        delta = LinkDelta(
+            moves=np.array([0]),
+            new_senders=np.array([[1.0, 1.0]]),
+            new_receivers=np.array([[11.0, 1.0]]),
+            removes=np.array([2]),
+            inserts=extra,
+        )
+        out = apply_delta(links, delta)
+        assert len(out) == 6  # 6 - 1 removed + 1 inserted
+        np.testing.assert_array_equal(out.senders[0], [1.0, 1.0])
+        # Link 3 shifted down into slot 2 after the removal.
+        np.testing.assert_array_equal(out.senders[2], links.senders[3])
+        np.testing.assert_array_equal(out.senders[-1], extra.senders[0])
+
+    def test_touched_accounts_for_removals(self):
+        delta = LinkDelta(
+            moves=np.array([4]),
+            new_senders=np.array([[0.0, 0.0]]),
+            new_receivers=np.array([[10.0, 0.0]]),
+            removes=np.array([1]),
+            inserts=self._links(2),
+        )
+        # Pre-delta index 4 lands at post-delta 3; inserts land at 5, 6.
+        np.testing.assert_array_equal(delta.touched(6), [3, 5, 6])
+
+    def test_move_and_remove_same_link_rejected(self):
+        with pytest.raises(ValueError):
+            LinkDelta(
+                moves=np.array([1]),
+                new_senders=np.zeros((1, 2)),
+                new_receivers=np.ones((1, 2)),
+                removes=np.array([1]),
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LinkDelta(moves=np.array([0, 1]), new_senders=np.zeros((1, 2)),
+                      new_receivers=np.zeros((1, 2)))
+
+    def test_empty_delta_is_noop(self):
+        links = self._links()
+        delta = LinkDelta.empty()
+        assert delta.is_empty
+        out = apply_delta(links, delta)
+        np.testing.assert_array_equal(out.senders, links.senders)
+
+    def test_out_of_range_indices_rejected(self):
+        links = self._links(3)
+        with pytest.raises(IndexError):
+            apply_delta(
+                links,
+                LinkDelta(
+                    moves=np.array([5]),
+                    new_senders=np.zeros((1, 2)),
+                    new_receivers=np.ones((1, 2)),
+                ),
+            )
+        with pytest.raises(IndexError):
+            apply_delta(links, LinkDelta(removes=np.array([7])))
 
 
 class TestScheduleChurn:

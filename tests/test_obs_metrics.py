@@ -7,7 +7,6 @@ import json
 import numpy as np
 import pytest
 
-from repro import obs
 from repro.obs import metrics as obs_metrics
 
 

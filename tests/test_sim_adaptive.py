@@ -1,6 +1,5 @@
 """Tests for adaptive Monte-Carlo sampling."""
 
-import numpy as np
 import pytest
 
 from repro.core.problem import FadingRLS

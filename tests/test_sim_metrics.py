@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.sim.metrics import SimulationResult, summarize_trials
+from repro.sim.metrics import summarize_trials
 
 
 def make_success(pattern):

@@ -157,7 +157,6 @@ class TestWeightAwareScheduling:
         """RLE ignores rates, so weight_aware must not change anything
         ... except RLE's strict_uniform guard: weighted rates are
         non-uniform, so RLE raises — document via wrapper."""
-        from repro.core.base import SchedulerError
 
         def tolerant_rle(problem, **kw):
             return rle_schedule(problem, strict_uniform=False, **kw)

@@ -11,7 +11,6 @@ import pytest
 from repro.core.base import get_scheduler
 from repro.experiments.config import TopologyWorkload
 from repro.sim.parallel import (
-    WorkUnit,
     available_cpus,
     build_units,
     execute_unit,

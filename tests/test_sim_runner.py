@@ -74,3 +74,66 @@ class TestRunSchedulers:
         lo = run_schedulers(schedulers, small_workload(120), n_repetitions=3, n_trials=20, alpha=2.5)
         hi = run_schedulers(schedulers, small_workload(120), n_repetitions=3, n_trials=20, alpha=4.5)
         assert hi["rle"].mean_scheduled > lo["rle"].mean_scheduled
+
+
+class TestRunTrace:
+    def _trace(self, threshold=0.0, n=30, steps=4, seed=21):
+        from repro.network.mobility import random_waypoint_delta_trace
+
+        return random_waypoint_delta_trace(
+            n, steps, speed_range=(2.0, 5.0), move_threshold=threshold, seed=seed
+        )
+
+    def test_from_scratch_over_delta_trace(self):
+        from repro.sim.runner import run_trace
+
+        steps = run_trace("rle", self._trace())
+        assert len(steps) == 4
+        assert all(s.feasible for s in steps)
+        assert all(s.expected_throughput > 0 for s in steps)
+
+    def test_from_scratch_over_plain_linkset_sequence(self):
+        from repro.network.mobility import random_waypoint_trace
+        from repro.sim.runner import run_trace
+
+        trace = random_waypoint_trace(25, 3, seed=5)
+        steps = run_trace("rle", trace)
+        assert len(steps) == 3
+        assert all(s.feasible for s in steps)
+
+    def test_incremental_matches_scratch_on_first_step(self):
+        from repro.sim.runner import run_trace
+
+        trace = self._trace()
+        inc = run_trace("rle", trace, incremental=True)
+        scr = run_trace("rle", trace, incremental=False)
+        assert len(inc) == len(scr) == 4
+        # Step 0 is a full run in both modes: identical schedule.
+        np.testing.assert_array_equal(
+            np.sort(inc[0].schedule.active), np.sort(scr[0].schedule.active)
+        )
+        assert inc[0].scheduled_rate == scr[0].scheduled_rate
+        assert all(s.feasible for s in inc)
+
+    def test_incremental_requires_delta_trace(self):
+        from repro.network.mobility import random_waypoint_trace
+        from repro.sim.runner import run_trace
+
+        trace = random_waypoint_trace(20, 3, seed=1)
+        with pytest.raises(TypeError):
+            run_trace("rle", trace, incremental=True)
+
+    def test_incremental_repairs_after_first_step(self):
+        from repro.sim.runner import run_trace
+
+        steps = run_trace("rle", self._trace(threshold=10.0), incremental=True)
+        modes = [s.schedule.diagnostics["mode"] for s in steps]
+        assert modes[0] == "full"
+        assert "repair" in modes[1:]
+
+    def test_scheduler_callable_accepted(self):
+        from repro.core.rle import rle_schedule
+        from repro.sim.runner import run_trace
+
+        steps = run_trace(rle_schedule, self._trace(), incremental=True)
+        assert all(s.feasible for s in steps)

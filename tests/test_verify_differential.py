@@ -1,12 +1,10 @@
 """Tests for the differential checks (repro.verify.differential)."""
 
-import numpy as np
 import pytest
 
 from repro.verify.differential import (
     CODE_ANALYTIC_MC,
     CODE_CACHE,
-    CODE_STREAM,
     DIFFERENTIAL_CHECKS,
     check_analytic_vs_montecarlo,
     check_batched_vs_streaming,
@@ -28,6 +26,7 @@ class TestRegistry:
             "cached-vs-certificate",
             "batched-vs-streaming",
             "with-params-cache-carry",
+            "incremental-vs-scratch",
         }
 
     def test_duplicate_registration_rejected(self):

@@ -18,7 +18,7 @@ class TestCheckResolution:
         names = set(all_checks())
         assert "exact-vs-ilp" in names  # differential
         assert "eps-monotonicity" in names  # metamorphic
-        assert len(names) == 11
+        assert len(names) == 12
 
     def test_subset_selection(self):
         selected = resolve_checks(["eps-monotonicity", "cached-vs-certificate"])

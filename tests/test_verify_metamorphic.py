@@ -1,6 +1,5 @@
 """Tests for the metamorphic-relation registry (repro.verify.metamorphic)."""
 
-import numpy as np
 import pytest
 
 from repro.verify.fuzz import FAMILIES, make_scenario

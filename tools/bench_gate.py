@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Benchmark regression gate.
+
+Compares a freshly generated ``BENCH_RESULTS.json`` against a committed
+baseline and fails (exit 1) when any shared benchmark regressed beyond
+the allowed fraction:
+
+- ``wall_seconds`` (lower is better) may not exceed
+  ``baseline * (1 + max-regress)`` *and* ``baseline + abs-slack``
+  (both must be breached — sub-100ms benches jitter by tens of
+  milliseconds, which is a huge relative but meaningless absolute
+  change);
+- ``config.speedup`` entries (higher is better) may not fall below
+  ``baseline * (1 - max-regress)``.
+
+Benchmarks present in only one file are reported but never fail the
+gate — new benchmarks must be able to land, and retired ones must be
+able to leave.  Intended CI use::
+
+    cp BENCH_RESULTS.json /tmp/baseline.json   # the committed numbers
+    make bench-smoke                           # merges fresh numbers
+    python tools/bench_gate.py --baseline /tmp/baseline.json \
+        --current BENCH_RESULTS.json
+
+Wall times on shared CI runners are noisy, so the default allowance is
+a deliberately loose 50% — the gate catches algorithmic regressions
+(complexity changes, lost caching), not micro-noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+DEFAULT_MAX_REGRESS = 0.5
+DEFAULT_ABS_SLACK = 0.05  # seconds; wall jitter floor for tiny benches
+
+
+def load_results(path: Path) -> Dict[str, Dict[str, Any]]:
+    """The ``results`` table of one BENCH_RESULTS.json file."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"bench-gate: cannot read {path}: {exc}")
+    results = payload.get("results")
+    if not isinstance(results, dict):
+        raise SystemExit(f"bench-gate: {path} has no 'results' table")
+    return results
+
+
+def compare(
+    baseline: Dict[str, Dict[str, Any]],
+    current: Dict[str, Dict[str, Any]],
+    max_regress: float,
+    abs_slack: float = DEFAULT_ABS_SLACK,
+) -> List[str]:
+    """Regression messages for every shared benchmark that got worse."""
+    failures: List[str] = []
+    for name in sorted(set(baseline) & set(current)):
+        base, cur = baseline[name], current[name]
+        base_wall = float(base.get("wall_seconds", 0.0))
+        cur_wall = float(cur.get("wall_seconds", 0.0))
+        if (
+            base_wall > 0.0
+            and cur_wall > base_wall * (1.0 + max_regress)
+            and cur_wall > base_wall + abs_slack
+        ):
+            failures.append(
+                f"{name}: wall time {cur_wall:.3f}s exceeds baseline "
+                f"{base_wall:.3f}s by more than {max_regress:.0%}"
+            )
+        base_speedup = base.get("config", {}).get("speedup")
+        cur_speedup = cur.get("config", {}).get("speedup")
+        if base_speedup is not None and cur_speedup is not None:
+            if float(cur_speedup) < float(base_speedup) * (1.0 - max_regress):
+                failures.append(
+                    f"{name}: speedup {float(cur_speedup):.2f}x fell below "
+                    f"baseline {float(base_speedup):.2f}x by more than "
+                    f"{max_regress:.0%}"
+                )
+    return failures
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", required=True, type=Path, help="committed BENCH_RESULTS.json"
+    )
+    parser.add_argument(
+        "--current", required=True, type=Path, help="freshly generated results"
+    )
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=DEFAULT_MAX_REGRESS,
+        help="allowed fractional regression (default %(default)s = 50%%)",
+    )
+    parser.add_argument(
+        "--abs-slack",
+        type=float,
+        default=DEFAULT_ABS_SLACK,
+        help="absolute wall-time jitter floor in seconds; a wall regression "
+        "only fails when it also exceeds baseline + this (default %(default)ss)",
+    )
+    args = parser.parse_args(argv)
+    if args.max_regress < 0:
+        parser.error("--max-regress must be >= 0")
+    if args.abs_slack < 0:
+        parser.error("--abs-slack must be >= 0")
+
+    baseline = load_results(args.baseline)
+    current = load_results(args.current)
+    shared = sorted(set(baseline) & set(current))
+    only_base = sorted(set(baseline) - set(current))
+    only_cur = sorted(set(current) - set(baseline))
+    print(
+        f"bench-gate: {len(shared)} shared benchmark(s), "
+        f"allowance {args.max_regress:.0%}"
+    )
+    for name in only_base:
+        print(f"  note: {name} is in the baseline only (not gated)")
+    for name in only_cur:
+        print(f"  note: {name} is new (not gated)")
+
+    failures = compare(baseline, current, args.max_regress, args.abs_slack)
+    for name in shared:
+        if not any(msg.startswith(f"{name}:") for msg in failures):
+            print(f"  ok: {name}")
+    for msg in failures:
+        print(f"  REGRESSION {msg}", file=sys.stderr)
+    if failures:
+        print(f"bench-gate: FAILED ({len(failures)} regression(s))", file=sys.stderr)
+        return 1
+    print("bench-gate: passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
