@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-smoke bench-gate chaos figures verify-fuzz coverage docs-check ci-local
+.PHONY: test lint bench bench-smoke bench-kernels bench-gate chaos figures verify-fuzz coverage docs-check ci-local
 
 test: lint docs-check ## tier-1 test suite (cheap static gates first)
 	$(PYTHON) -m pytest -x -q
@@ -31,9 +31,13 @@ bench:           ## full benchmark suite (writes BENCH_RESULTS.json)
 bench-smoke:     ## small end-to-end benches + BENCH_RESULTS.json entries
 	$(PYTHON) -m pytest benchmarks -q -m smoke
 
-bench-gate:      ## bench-smoke against the committed baseline (fails on >50% regression)
+bench-kernels:   ## compute-kernel micro-benchmarks (feasibility/F-build/MC/submit path)
+	$(PYTHON) -m pytest benchmarks/test_kernel_micro.py -q -s
+
+bench-gate:      ## bench-smoke + kernel benches against the committed baseline (fails on >50% regression)
 	@cp BENCH_RESULTS.json /tmp/bench_baseline.json
 	$(MAKE) bench-smoke
+	$(MAKE) bench-kernels
 	$(PYTHON) tools/bench_gate.py --baseline /tmp/bench_baseline.json --current BENCH_RESULTS.json
 
 figures:         ## regenerate the paper panels (small config)

@@ -14,10 +14,17 @@ Schema::
       "machine": {"cpus": int, "python": str, "numpy": str},
       "results": {
          "<name>": {"wall_seconds": float, "recorded_unix": float,
-                    "config": {...}},
+                    "machine_cpus": int, "config": {...}},
          ...
       }
     }
+
+``machine_cpus`` is stamped per result at record time (the top-level
+``machine`` block describes only the *last* session that wrote the
+file, and results merge across sessions).  ``tools/bench_gate.py``
+skips speedup comparisons when a result's core count differs from the
+baseline's — a 4-core speedup target is meaningless on a 1-core
+runner.
 """
 
 from __future__ import annotations
@@ -49,10 +56,18 @@ def machine_info() -> Dict[str, Any]:
 
 
 def record(name: str, wall_seconds: float, config: Optional[Dict[str, Any]] = None) -> None:
-    """Queue one benchmark measurement for export at session end."""
+    """Queue one benchmark measurement for export at session end.
+
+    Each entry is stamped with the recording machine's core count so
+    the regression gate can refuse to compare speedups across machines
+    with different parallel capacity.
+    """
+    from repro.sim.parallel import available_cpus
+
     _pending[name] = {
         "wall_seconds": float(wall_seconds),
         "recorded_unix": time.time(),
+        "machine_cpus": available_cpus(),
         "config": dict(config or {}),
     }
 

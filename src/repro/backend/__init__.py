@@ -1,0 +1,28 @@
+"""Pluggable compute backends (numpy / sharedmem / numba).
+
+See :mod:`repro.backend.base` for the selection model and
+:mod:`repro.backend.kernels` for the reference kernels.  The
+shared-memory fan-out plane lives in :mod:`repro.backend.sharedmem`;
+it is imported lazily (it depends on the core problem types) — import
+it directly rather than through this package root.
+"""
+
+from repro.backend.base import (  # noqa: F401
+    BACKEND_NAMES,
+    ComputeBackend,
+    available_backends,
+    get_active,
+    resolve,
+    set_active,
+    use,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ComputeBackend",
+    "available_backends",
+    "get_active",
+    "resolve",
+    "set_active",
+    "use",
+]

@@ -116,6 +116,20 @@ def _mc_max_bytes(args: argparse.Namespace) -> int | None:
     return int(mb * 2**20)
 
 
+def _backend(args: argparse.Namespace) -> str | None:
+    """``--backend`` validated (None = keep config default)."""
+    backend = getattr(args, "backend", None)
+    if backend is None:
+        return None
+    from repro.backend.base import BACKEND_NAMES
+
+    if backend not in BACKEND_NAMES:
+        raise SystemExit(
+            f"--backend must be one of {', '.join(BACKEND_NAMES)}, got {backend!r}"
+        )
+    return backend
+
+
 def _resilience(args: argparse.Namespace) -> dict:
     """Validated resilience knobs (``--unit-timeout``/``--max-retries``/
     ``--resume``) as ``with_resilience`` keyword arguments."""
@@ -186,7 +200,11 @@ def cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments.reporting import format_series
 
     cfg = ExperimentConfig() if args.full else ExperimentConfig().small()
-    cfg = cfg.with_execution(n_jobs=_n_jobs(args), mc_max_bytes=_mc_max_bytes(args))
+    cfg = cfg.with_execution(
+        n_jobs=_n_jobs(args),
+        mc_max_bytes=_mc_max_bytes(args),
+        backend=_backend(args),
+    )
     cfg = cfg.with_resilience(**_resilience(args))
     drivers = {
         "fig5a": (failed_vs_links, "mean_failed", "Fig. 5(a): failed transmissions vs #links"),
@@ -338,7 +356,11 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
     cfg = ExperimentConfig() if args.full else ExperimentConfig().small()
-    cfg = cfg.with_execution(n_jobs=_n_jobs(args), mc_max_bytes=_mc_max_bytes(args))
+    cfg = cfg.with_execution(
+        n_jobs=_n_jobs(args),
+        mc_max_bytes=_mc_max_bytes(args),
+        backend=_backend(args),
+    )
     cfg = cfg.with_resilience(**_resilience(args))
     text = generate_report(cfg)
     if args.output:
@@ -364,6 +386,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
         return 1
     print(format_trace_summary(trace, top=args.top, path=args.path))
     return 0
+
+
+def _add_backend_flag(p: argparse.ArgumentParser) -> None:
+    """Attach the compute-backend selector shared by sweep commands."""
+    p.add_argument(
+        "--backend",
+        choices=("numpy", "sharedmem", "numba"),
+        default=None,
+        help="compute backend: numpy (reference), sharedmem (zero-copy "
+        "worker fan-out), numba (native kernels); results are "
+        "bit-identical, unavailable backends fall back to numpy",
+    )
 
 
 def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
@@ -460,6 +494,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="memory budget (MiB) per Monte-Carlo replay chunk (default 128)",
     )
+    _add_backend_flag(f)
     _add_resilience_flags(f)
     f.add_argument("--output", help="write all series as JSON here")
     f.set_defaults(fn=cmd_figures)
@@ -576,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="memory budget (MiB) per Monte-Carlo replay chunk (default 128)",
     )
+    _add_backend_flag(r)
     _add_resilience_flags(r)
     r.add_argument("--output", help="write markdown here instead of stdout")
     r.set_defaults(fn=cmd_report)

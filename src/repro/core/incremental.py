@@ -39,6 +39,7 @@ from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
+from repro.backend.kernels import gathered_interference
 from repro.core.base import get_scheduler
 from repro.core.problem import FadingRLS
 from repro.core.schedule import Schedule
@@ -238,10 +239,16 @@ class IncrementalScheduler:
         return self.schedule()
 
     def _refresh_ledger_cols(self, cols: np.ndarray) -> None:
-        """Exact ledger recomputation at the given receivers (O(|A| k))."""
+        """Exact ledger recomputation at the given receivers (O(|A| k)).
+
+        Shares :func:`repro.backend.kernels.gathered_interference` with
+        the backend feasibility kernels — the same gathered reduction,
+        so the ledger stays bit-identical to what this expression has
+        always produced.
+        """
         act = np.flatnonzero(self._active)
         if act.size:
-            self._ledger[cols] = self._f[np.ix_(act, cols)].sum(axis=0)
+            self._ledger[cols] = gathered_interference(self._f, act, cols)
         else:
             self._ledger[cols] = 0.0
         self.stats["ledger_updates"] += int(cols.size)

@@ -75,9 +75,13 @@ class ExperimentConfig:
 
     Execution knobs: ``n_jobs`` fans the ``point x rep x scheduler``
     grid out over worker processes (1 = serial, 0 = all CPUs; results
-    are bit-identical either way) and ``mc_max_bytes`` bounds each
+    are bit-identical either way), ``mc_max_bytes`` bounds each
     Monte-Carlo replay's peak memory (``None`` = the sampler's default
-    128 MiB chunk budget).
+    128 MiB chunk budget), and ``backend`` selects the compute backend
+    (``numpy`` | ``sharedmem`` | ``numba``, see
+    :mod:`repro.backend` and ``docs/PERFORMANCE.md``; every backend is
+    bit-identical, unavailable ones fall back to ``numpy`` with a
+    warning).
 
     Resilience knobs (``docs/ROBUSTNESS.md``): ``unit_timeout`` and
     ``max_retries`` configure the fault-tolerant executor (both unset =
@@ -107,6 +111,7 @@ class ExperimentConfig:
     root_seed: int = 2017
     n_jobs: int = 1
     mc_max_bytes: Optional[int] = None
+    backend: str = "numpy"
     unit_timeout: Optional[float] = None
     max_retries: Optional[int] = None
     resume_dir: Optional[str] = None
@@ -140,7 +145,11 @@ class ExperimentConfig:
         )
 
     def with_execution(
-        self, *, n_jobs: Optional[int] = None, mc_max_bytes: Optional[int] = None
+        self,
+        *,
+        n_jobs: Optional[int] = None,
+        mc_max_bytes: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> "ExperimentConfig":
         """Copy with execution knobs replaced (unspecified ones kept)."""
         out = self
@@ -148,6 +157,14 @@ class ExperimentConfig:
             out = replace(out, n_jobs=n_jobs)
         if mc_max_bytes is not None:
             out = replace(out, mc_max_bytes=mc_max_bytes)
+        if backend is not None:
+            from repro.backend.base import BACKEND_NAMES
+
+            if backend not in BACKEND_NAMES:
+                raise ValueError(
+                    f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}"
+                )
+            out = replace(out, backend=backend)
         return out
 
     def with_dynamics(

@@ -24,13 +24,37 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.channel.sampling import instantaneous_sinr, iter_fading_trials
+from repro.backend import base as backend_base
+from repro.backend.kernels import MCScratch
+from repro.channel.sampling import iter_fading_trials
 from repro.core.problem import FadingRLS
 from repro.core.schedule import Schedule
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
 from repro.sim.metrics import SimulationResult, summarize_trials
 from repro.utils.rng import SeedLike
+
+
+# One process-level scratch serves consecutive replays, so a worker
+# executing many units materialises its reduction buffers once (they
+# re-grow only when a larger chunk/active-set shape arrives).  Borrowing
+# guards against reentrancy: a nested replay gets a private scratch.
+_SCRATCH: MCScratch | None = MCScratch()
+
+
+def _borrow_scratch() -> MCScratch:
+    global _SCRATCH
+    scratch = _SCRATCH
+    if scratch is None:
+        return MCScratch()
+    _SCRATCH = None
+    return scratch
+
+
+def _return_scratch(scratch: MCScratch) -> None:
+    global _SCRATCH
+    if _SCRATCH is None:
+        _SCRATCH = scratch
 
 
 def simulate_trials(
@@ -76,24 +100,37 @@ def simulate_trials(
     n0 = problem.noise if noise is None else noise
     success = np.empty((n_trials, idx.size), dtype=bool)
     done = 0
-    with span("mc.replay", trials=n_trials, k=int(idx.size)):
-        for z in iter_fading_trials(
-            problem.distances(),
-            idx,
-            problem.alpha,
-            n_trials,
-            power=problem.tx_powers(),
-            seed=seed,
-            max_bytes=max_bytes,
-        ):
-            t_c = z.shape[0]
-            sinr = instantaneous_sinr(z, noise=n0)
-            # Release the chunk before the generator draws the next one —
-            # holding it through the loop head would double peak memory.
-            del z
-            success[done : done + t_c] = sinr >= problem.gamma_th
-            del sinr
-            done += t_c
+    backend = backend_base.get_active()
+    scratch = _borrow_scratch()
+    try:
+        with span("mc.replay", trials=n_trials, k=int(idx.size)):
+            for z in iter_fading_trials(
+                problem.distances(),
+                idx,
+                problem.alpha,
+                n_trials,
+                power=problem.tx_powers(),
+                seed=seed,
+                max_bytes=max_bytes,
+            ):
+                t_c = z.shape[0]
+                # The backend kernel reduces the chunk through the reusable
+                # scratch buffers and writes the success slab in place —
+                # bit-identical to the historical
+                # ``instantaneous_sinr(z) >= gamma_th`` materialisation.
+                backend.mc_success_chunk(
+                    z,
+                    problem.gamma_th,
+                    n0,
+                    out=success[done : done + t_c],
+                    scratch=scratch,
+                )
+                # Release the chunk before the generator draws the next one —
+                # holding it through the loop head would double peak memory.
+                del z
+                done += t_c
+    finally:
+        _return_scratch(scratch)
     obs_metrics.inc("mc.trials_simulated", n_trials)
     return success
 

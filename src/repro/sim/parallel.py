@@ -22,8 +22,24 @@ Work units cross a process boundary, so the workload factory and the
 scheduler callables must be picklable: module-level functions,
 ``functools.partial`` of them, or dataclass instances like
 :class:`repro.experiments.config.TopologyWorkload` — not closures or
-lambdas.  :func:`execute_units` verifies this up front and raises a
-clear error instead of an opaque pool crash.
+lambdas.  The executor no longer probe-pickles anything up front (the
+pool already pickles every submission, so an eager probe paid that
+serialization twice — see ``benchmarks/test_kernel_micro.py`` for the
+measured submit overhead); instead, a pickling failure surfacing from
+the pool is diagnosed after the fact and re-raised as the same clear
+``ValueError`` the probe used to produce.
+
+Compute backends
+----------------
+Each :class:`WorkUnit` names the compute backend it executes under
+(:mod:`repro.backend.base`); workers install it before running, so
+``--backend numba`` survives the process boundary.  When the resolved
+backend requests shared fan-out (``sharedmem``), :func:`execute_units`
+materialises each repetition's problem once and ships segment
+references instead of workload factories — see
+:mod:`repro.backend.sharedmem`.  Results are bit-identical across
+backends and ``n_jobs`` either way (the ``backend-vs-numpy``
+differential check pins it).
 
 Observability
 -------------
@@ -128,6 +144,9 @@ class WorkUnit:
     scheduler_kwargs: Mapping[str, Any] = field(default_factory=dict)
     noise: float = 0.0
     max_bytes: Optional[int] = None
+    #: Compute backend the unit executes under (installed in the worker;
+    #: not part of the checkpoint key — backends are bit-identical).
+    backend: str = "numpy"
 
 
 def unit_key(unit: WorkUnit) -> str:
@@ -205,7 +224,11 @@ def valid_simulation_result(value: Any) -> bool:
 
 def execute_unit(unit: WorkUnit) -> SimulationResult:
     """Run one :class:`WorkUnit` — the per-process worker function."""
-    with span("parallel.unit", rep=unit.rep, algorithm=unit.name):
+    from repro.backend import base as backend_base
+
+    with backend_base.use(unit.backend), span(
+        "parallel.unit", rep=unit.rep, algorithm=unit.name
+    ):
         links = unit.workload(stable_seed("workload", unit.rep, root=unit.root_seed))
         problem = FadingRLS(
             links=links,
@@ -226,17 +249,51 @@ def execute_unit(unit: WorkUnit) -> SimulationResult:
         )
 
 
-def _check_picklable(units: Sequence[Any]) -> None:
-    """Fail fast with a readable error if units cannot cross processes."""
+def _looks_like_pickling_error(exc: BaseException) -> bool:
+    """Is this pool-surfaced exception a serialization failure?
+
+    Submit-side (and result-side) pickling failures arrive as
+    ``PicklingError``, or as ``AttributeError``/``TypeError`` whose
+    message names pickling (``"Can't pickle local object ..."``,
+    ``"cannot pickle '...' object"``).
+    """
+    if isinstance(exc, pickle.PicklingError):
+        return True
+    return isinstance(exc, (AttributeError, TypeError)) and "pickle" in str(exc).lower()
+
+
+def _raise_pickling_diagnosis(
+    func: Callable[..., Any], items: Sequence[Any], exc: BaseException
+) -> None:
+    """Turn a pool pickling failure into the historical readable error.
+
+    Runs only on the failure path, so the happy path pickles each
+    submission exactly once (in the pool) — the old eager probe paid
+    that cost twice before any work started.  Pinpoints the offender by
+    probing ``func`` first, then each item.
+    """
     try:
-        pickle.dumps(units[0])
-    except Exception as exc:
+        pickle.dumps(func)
+    except Exception as func_exc:
         raise ValueError(
-            "work units must be picklable for n_jobs > 1: define workload "
-            "factories and schedulers at module level (e.g. "
-            "repro.experiments.config.TopologyWorkload) instead of closures "
-            f"or lambdas ({exc})"
+            f"func must be picklable for n_jobs > 1 (module-level function "
+            f"or functools.partial of one): {func_exc}"
         ) from exc
+    for i, item in enumerate(items):
+        try:
+            pickle.dumps(item)
+        except Exception as item_exc:
+            raise ValueError(
+                "work units must be picklable for n_jobs > 1: define workload "
+                "factories and schedulers at module level (e.g. "
+                "repro.experiments.config.TopologyWorkload) instead of "
+                f"closures or lambdas (item {i}: {item_exc})"
+            ) from exc
+    # Everything probes clean (e.g. an unpicklable *result*); still a
+    # serialization problem, so keep the readable framing.
+    raise ValueError(
+        f"serialization across the process pool failed for n_jobs > 1: {exc}"
+    ) from exc
 
 
 class _ObservedCall:
@@ -284,28 +341,55 @@ def parallel_map(
     if jobs == 1 or len(items) <= 1:
         with span("parallel.map", items=len(items), jobs=1):
             return [func(item) for item in items]
-    _check_picklable(items)
-    try:
-        pickle.dumps(func)
-    except Exception as exc:
-        raise ValueError(
-            f"func must be picklable for n_jobs > 1 (module-level function "
-            f"or functools.partial of one): {exc}"
-        ) from exc
     workers = min(jobs, len(items))
     with span("parallel.map", items=len(items), jobs=workers):
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            if not _obs_state.enabled:
-                return list(pool.map(func, items, chunksize=max(1, chunksize)))
-            wrapped = list(
-                pool.map(_ObservedCall(func), items, chunksize=max(1, chunksize))
-            )
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                if not _obs_state.enabled:
+                    return list(pool.map(func, items, chunksize=max(1, chunksize)))
+                wrapped = list(
+                    pool.map(_ObservedCall(func), items, chunksize=max(1, chunksize))
+                )
+        except Exception as exc:
+            if _looks_like_pickling_error(exc):
+                _raise_pickling_diagnosis(func, items, exc)
+            raise
         results: List[U] = []
         for i, (result, snap, spans) in enumerate(wrapped):
             obs_metrics.merge_into_registry(snap)
             _obs_trace.absorb_spans(spans, proc=i)
             results.append(result)
         return results
+
+
+def _plan_execution(units: Sequence[WorkUnit]):
+    """Resolve the units' backend into ``(worker_func, items, arena)``.
+
+    The plain and numba backends execute the units as-is (each worker
+    installs the unit's backend); the sharedmem backend materialises
+    each distinct problem once and maps the units to
+    :class:`~repro.backend.sharedmem.SharedUnit`\\ s.  The returned
+    arena (``None`` unless shared) must be closed by the caller after
+    the map finishes — workers attach lazily, so the segments have to
+    outlive the last retry.  Shared fan-out is used even at
+    ``n_jobs=1`` so metric snapshots stay invariant in ``n_jobs`` for a
+    fixed backend.
+    """
+    if not units:
+        return execute_unit, list(units), None
+    from repro.backend import base as backend_base
+
+    resolved, reason = backend_base.resolve(units[0].backend)
+    if reason is not None:
+        import warnings
+
+        warnings.warn(reason, RuntimeWarning, stacklevel=3)
+    if resolved.shared_fanout:
+        from repro.backend import sharedmem
+
+        shared, arena = sharedmem.materialize_units(units)
+        return sharedmem.execute_shared_unit, shared, arena
+    return execute_unit, list(units), None
 
 
 def execute_units(
@@ -332,7 +416,12 @@ def execute_units(
     sweep resumes from its completed cells.
     """
     if policy is None and checkpoint is None:
-        return parallel_map(execute_unit, units, n_jobs=n_jobs)
+        func, mapped, arena = _plan_execution(units)
+        try:
+            return parallel_map(func, mapped, n_jobs=n_jobs)
+        finally:
+            if arena is not None:
+                arena.close()
     from repro.sim.resilient import RetryPolicy, resilient_map
 
     units = list(units)
@@ -356,15 +445,20 @@ def execute_units(
             if checkpoint is not None:
                 checkpoint.put(ck_keys[pending[sub_idx]], value)
 
-        computed = resilient_map(
-            execute_unit,
-            [units[i] for i in pending],
-            keys=[keys[i] for i in pending],
-            n_jobs=n_jobs,
-            policy=policy or RetryPolicy(),
-            validate=valid_simulation_result,
-            on_result=_persist,
-        )
+        func, mapped, arena = _plan_execution([units[i] for i in pending])
+        try:
+            computed = resilient_map(
+                func,
+                mapped,
+                keys=[keys[i] for i in pending],
+                n_jobs=n_jobs,
+                policy=policy or RetryPolicy(),
+                validate=valid_simulation_result,
+                on_result=_persist,
+            )
+        finally:
+            if arena is not None:
+                arena.close()
         for i, value in zip(pending, computed):
             results[i] = value
     return results  # type: ignore[return-value]
@@ -412,6 +506,7 @@ def build_units(
     scheduler_kwargs: Optional[Mapping[str, dict]] = None,
     noise: float = 0.0,
     max_bytes: Optional[int] = None,
+    backend: str = "numpy",
 ) -> List[WorkUnit]:
     """The ``rep x scheduler`` unit grid for one sweep point.
 
@@ -435,6 +530,7 @@ def build_units(
             scheduler_kwargs=kwargs_map.get(name, {}),
             noise=noise,
             max_bytes=max_bytes,
+            backend=backend,
         )
         for rep in range(n_repetitions)
         for name, scheduler in schedulers.items()

@@ -50,7 +50,6 @@ faults still terminate because injected hangs sleep-then-raise.
 
 from __future__ import annotations
 
-import pickle
 import time
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -205,11 +204,28 @@ def _abandon(pool: ProcessPoolExecutor) -> None:
     the queues are torn down and the processes killed outright (their
     tasks are already accounted for by the supervision loop).
     """
+    # Snapshot the worker processes BEFORE shutdown(): it unconditionally
+    # drops the executor's reference (``self._processes = None``), so
+    # reading it afterwards finds nothing and hung workers would survive
+    # to stall interpreter exit until their sleep expires.
+    processes = dict(getattr(pool, "_processes", None) or {})
+    # Forget pending work before the kill lands: the manager thread's
+    # broken-pool path sets an exception on every pending future, racing
+    # the ones the supervision loop already resolved (InvalidStateError
+    # in the manager thread).  Supervision keeps its own futures map, so
+    # the executor's bookkeeping can be dropped wholesale.
+    pending = getattr(pool, "_pending_work_items", None)
+    if pending is not None:
+        pending.clear()
     pool.shutdown(wait=False, cancel_futures=True)
-    processes = getattr(pool, "_processes", None) or {}
-    for proc in list(processes.values()):
+    for proc in processes.values():
         try:
             proc.kill()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+    for proc in processes.values():
+        try:
+            proc.join(timeout=1.0)  # reap; SIGKILL lands immediately
         except Exception:  # pragma: no cover - best-effort cleanup
             pass
 
@@ -281,7 +297,7 @@ def resilient_map(
         its first success, in *completion* order — the checkpoint
         write-through.
     """
-    from repro.sim.parallel import _check_picklable, resolve_n_jobs
+    from repro.sim.parallel import resolve_n_jobs
 
     policy = policy or RetryPolicy()
     items = list(items)
@@ -298,14 +314,9 @@ def resilient_map(
                 _serial_unit(func, item, key, i, policy, validate, on_result)
                 for i, (item, key) in enumerate(zip(items, keys))
             ]
-        _check_picklable(items)
-        try:
-            pickle.dumps(func)
-        except Exception as exc:
-            raise ValueError(
-                f"func must be picklable for n_jobs > 1 (module-level function "
-                f"or functools.partial of one): {exc}"
-            ) from exc
+        # No eager pickling probe: the pool serializes every submission
+        # anyway, and _pool_map converts a pickling failure into the
+        # readable ValueError instead of charging retries for it.
         return _pool_map(func, items, keys, workers, policy, validate, on_result)
 
 
@@ -319,6 +330,8 @@ def _pool_map(
     on_result: Optional[Callable[[int, Any], None]],
 ) -> List[Any]:
     """Supervised pool execution with retry, timeout, and pool rebuild."""
+    from repro.sim.parallel import _looks_like_pickling_error, _raise_pickling_diagnosis
+
     n = len(items)
     observed = _obs_state.enabled
     results: Dict[int, Any] = {}
@@ -406,6 +419,13 @@ def _pool_map(
                     broken = True
                     fail(idx, "pool-broken", f"{type(exc).__name__}: {exc}")
                 except Exception as exc:
+                    if _looks_like_pickling_error(exc):
+                        # Deterministic environment error, not a fault:
+                        # retrying (and eventually "succeeding" via the
+                        # in-parent serial fallback, which never pickles)
+                        # would mask it.  Fail fast with the readable
+                        # diagnosis instead.
+                        _raise_pickling_diagnosis(func, items, exc)
                     fail(idx, "error", f"{type(exc).__name__}: {exc}")
                 else:
                     reason = _poison_reason(value, validate)

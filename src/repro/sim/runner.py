@@ -108,6 +108,7 @@ def run_schedulers(
     max_bytes: Optional[int] = None,
     policy: Optional["RetryPolicy"] = None,
     checkpoint: Optional["UnitCheckpoint"] = None,
+    backend: str = "numpy",
 ) -> Dict[str, RunResult]:
     """Run every scheduler on ``n_repetitions`` random workloads.
 
@@ -145,6 +146,11 @@ def run_schedulers(
         Optional per-unit result store — completed units persist and an
         interrupted run resumed with the same checkpoint recomputes only
         the missing ones.
+    backend:
+        Compute backend name (``numpy`` / ``sharedmem`` / ``numba``,
+        see :mod:`repro.backend`); unavailable backends fall back to
+        ``numpy`` with a warning.  Results are bit-identical across
+        backends.
 
     Returns
     -------
@@ -164,6 +170,7 @@ def run_schedulers(
             root_seed=root_seed,
             scheduler_kwargs=scheduler_kwargs,
             max_bytes=max_bytes,
+            backend=backend,
         )
         obs_metrics.inc("runner.units_built", len(units))
         results = execute_units(units, n_jobs=n_jobs, policy=policy, checkpoint=checkpoint)
@@ -305,14 +312,15 @@ def run_sweep(
     max_bytes: Optional[int] = None,
     policy: Optional["RetryPolicy"] = None,
     checkpoint: Optional["UnitCheckpoint"] = None,
+    backend: str = "numpy",
 ) -> List[Dict[str, RunResult]]:
     """Run a whole sweep as one flat parallel unit list.
 
     Equivalent to calling :func:`run_schedulers` once per
     :class:`SweepPoint` (same seeds, same results, in order) — but all
     ``point x rep x scheduler`` cells share a single process pool, so
-    small per-point grids still saturate the workers.  ``policy`` and
-    ``checkpoint`` behave as in :func:`run_schedulers`.
+    small per-point grids still saturate the workers.  ``policy``,
+    ``checkpoint`` and ``backend`` behave as in :func:`run_schedulers`.
     """
     with span("runner.run_sweep", points=len(points), schedulers=len(schedulers)):
         all_units: List[WorkUnit] = []
@@ -330,6 +338,7 @@ def run_sweep(
                     root_seed=point.root_seed,
                     scheduler_kwargs=scheduler_kwargs,
                     max_bytes=max_bytes,
+                    backend=backend,
                 )
             )
         obs_metrics.inc("runner.units_built", len(all_units))

@@ -1,0 +1,203 @@
+"""Tests for the zero-copy shared-memory fan-out (``repro.backend.sharedmem``).
+
+Covers the arena lifecycle (create/attach/unlink, idempotent close,
+leak guards), payload grouping in :func:`materialize_units`, bit-exact
+equivalence of the sharedmem execution path with the plain numpy path
+for every ``n_jobs``, and — chaos-marked — that killed workers never
+leak a segment.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.backend import sharedmem
+from repro.core.base import get_scheduler
+from repro.experiments.config import TopologyWorkload
+from repro.sim.parallel import build_units, execute_units
+from repro.sim.runner import run_schedulers
+
+WORKLOAD = TopologyWorkload(n_links=25)
+SCHEDULERS = {"rle": get_scheduler("rle"), "ldp": get_scheduler("ldp")}
+
+
+def _leftover_segments():
+    """Shared-memory segments from this module still on disk (Linux)."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    return glob.glob(f"/dev/shm/rls{os.getpid() % 1000000}x*")
+
+
+def _run(n_jobs, backend="sharedmem", policy=None):
+    return run_schedulers(
+        SCHEDULERS,
+        WORKLOAD,
+        n_repetitions=2,
+        n_trials=40,
+        root_seed=11,
+        n_jobs=n_jobs,
+        backend=backend,
+        policy=policy,
+    )
+
+
+def _assert_identical(got, want):
+    assert got.keys() == want.keys()
+    for name in want:
+        for a, b in zip(got[name].per_rep, want[name].per_rep):
+            assert a.mean_failed == b.mean_failed
+            assert a.mean_throughput == b.mean_throughput
+            assert np.array_equal(a.per_link_success, b.per_link_success)
+            assert np.array_equal(a.active_indices, b.active_indices)
+
+
+class TestShmArena:
+    def test_share_and_attach_roundtrip(self):
+        rng = np.random.default_rng(0)
+        arr = rng.uniform(size=(7, 7))
+        with sharedmem.ShmArena() as arena:
+            ref = arena.share(arr)
+            got = sharedmem.attach(ref)
+            np.testing.assert_array_equal(got, arr)
+            assert not got.flags.writeable
+            sharedmem.detach_all()
+        assert _leftover_segments() == []
+
+    def test_close_is_idempotent(self):
+        arena = sharedmem.ShmArena()
+        arena.share(np.ones(3))
+        names = arena.segment_names()
+        assert len(names) == 1
+        arena.close()
+        arena.close()
+        assert arena.segment_names() == []
+        assert _leftover_segments() == []
+
+    def test_share_after_close_rejected(self):
+        arena = sharedmem.ShmArena()
+        arena.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            arena.share(np.ones(2))
+
+    def test_empty_array_shareable(self):
+        with sharedmem.ShmArena() as arena:
+            ref = arena.share(np.empty((0,), dtype=np.float64))
+            got = sharedmem.attach(ref)
+            assert got.shape == (0,)
+            sharedmem.detach_all()
+
+    def test_attach_cache_hit(self):
+        with sharedmem.ShmArena() as arena:
+            ref = arena.share(np.arange(5.0))
+            first = sharedmem.attach(ref)
+            second = sharedmem.attach(ref)
+            assert first is second
+            sharedmem.detach_all()
+
+    def test_attach_cache_eviction_bounded(self):
+        with sharedmem.ShmArena() as arena:
+            refs = [
+                arena.share(np.full(4, float(i)))
+                for i in range(sharedmem._ATTACH_CACHE_MAX + 8)
+            ]
+            for ref in refs:
+                sharedmem.attach(ref)
+            assert len(sharedmem._ATTACHED) <= sharedmem._ATTACH_CACHE_MAX
+            sharedmem.detach_all()
+
+
+class TestMaterializeUnits:
+    def _units(self, reps=2):
+        return build_units(
+            SCHEDULERS,
+            WORKLOAD,
+            n_repetitions=reps,
+            n_trials=10,
+            alpha=3.0,
+            gamma_th=1.0,
+            eps=0.01,
+            root_seed=11,
+            backend="sharedmem",
+        )
+
+    def test_one_payload_per_repetition(self):
+        units = self._units(reps=3)
+        shared, arena = sharedmem.materialize_units(units)
+        try:
+            assert len(shared) == len(units)
+            payloads = {id(u.payload) for u in shared}
+            assert len(payloads) == 3  # grouped by rep, shared across schedulers
+        finally:
+            arena.close()
+        assert _leftover_segments() == []
+
+    def test_shared_units_execute(self):
+        units = self._units(reps=1)
+        shared, arena = sharedmem.materialize_units(units)
+        try:
+            result = sharedmem.execute_shared_unit(shared[0])
+            assert result.n_trials == 10
+        finally:
+            arena.close()
+            sharedmem.detach_all()
+
+
+class TestBitIdentity:
+    @pytest.fixture(scope="class")
+    def numpy_serial(self):
+        return _run(1, backend="numpy")
+
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_matches_numpy_serial(self, numpy_serial, n_jobs):
+        _assert_identical(_run(n_jobs), numpy_serial)
+        assert _leftover_segments() == []
+
+    def test_execute_units_cleans_arena_on_success(self):
+        units = build_units(
+            SCHEDULERS,
+            WORKLOAD,
+            n_repetitions=1,
+            n_trials=10,
+            alpha=3.0,
+            gamma_th=1.0,
+            eps=0.01,
+            root_seed=11,
+            backend="sharedmem",
+        )
+        execute_units(units, n_jobs=1)
+        assert _leftover_segments() == []
+        assert len(sharedmem._LIVE_ARENAS) == 0
+
+
+@pytest.mark.chaos
+class TestCrashNeverLeaksSegments:
+    def test_killed_worker_leaves_no_segment(self):
+        # `die` kills the worker outright mid-unit (BrokenProcessPool);
+        # the resilient executor rebuilds the pool, the rerun is
+        # bit-identical, and the parent's arena still unlinks every
+        # segment — nothing may survive in /dev/shm.
+        from repro.faults import FaultPlan, FaultSpec, injected
+        from repro.sim.parallel import unit_key
+        from repro.sim.resilient import RetryPolicy
+
+        units = build_units(
+            SCHEDULERS,
+            WORKLOAD,
+            n_repetitions=2,
+            n_trials=40,
+            alpha=3.0,
+            gamma_th=1.0,
+            eps=0.01,
+            root_seed=11,
+        )
+        keys = [unit_key(u) for u in units]
+        plan = FaultPlan({keys[0]: FaultSpec("die"), keys[2]: FaultSpec("crash")})
+        policy = RetryPolicy(max_retries=2, backoff_base=0.0)
+        clean = _run(1, backend="numpy")
+        with injected(plan):
+            chaotic = _run(2, policy=policy)
+        _assert_identical(chaotic, clean)
+        assert _leftover_segments() == []
+        assert len(sharedmem._LIVE_ARENAS) == 0

@@ -126,3 +126,68 @@ def test_gate_against_committed_results_self_compare():
     committed = Path(__file__).resolve().parent.parent / "BENCH_RESULTS.json"
     results = load_results(committed)
     assert compare(results, results, 0.5) == []
+
+
+def test_all_speedup_prefixed_keys_are_gated():
+    """`speedup_vs_serial` (and any speedup* key) is gated, not just `speedup`."""
+    base = {"fanout": _entry(1.0, speedup_vs_serial=4.0)}
+    cur = {"fanout": _entry(1.0, speedup_vs_serial=1.0)}  # 4x -> 1x
+    failures = compare(base, cur, 0.5)
+    assert len(failures) == 1 and "speedup_vs_serial" in failures[0]
+
+
+def test_speedup_skipped_on_machine_mismatch():
+    """A 4-core speedup baseline is not compared on a 1-core runner."""
+    base = {"fanout": dict(_entry(1.0, speedup=4.0), machine_cpus=4)}
+    cur = {"fanout": dict(_entry(1.0, speedup=0.7), machine_cpus=1)}
+    notes: list = []
+    failures = compare(base, cur, 0.5, notes=notes)
+    assert failures == []
+    assert len(notes) == 1 and "machine mismatch" in notes[0]
+
+
+def test_wall_time_still_gated_on_machine_mismatch():
+    base = {"fanout": dict(_entry(1.0, speedup=4.0), machine_cpus=4)}
+    cur = {"fanout": dict(_entry(9.0, speedup=4.0), machine_cpus=1)}
+    failures = compare(base, cur, 0.5)
+    assert len(failures) == 1 and "wall time" in failures[0]
+
+
+def test_payload_machine_cpus_fallback_for_unstamped_entries():
+    """Entries without machine_cpus fall back to the file-level count."""
+    base = {"fanout": _entry(1.0, speedup=4.0)}
+    cur = {"fanout": _entry(1.0, speedup=0.7)}
+    notes: list = []
+    # Differing file-level counts -> skip.
+    assert compare(base, cur, 0.5, baseline_cpus=4, current_cpus=1, notes=notes) == []
+    assert len(notes) == 1
+    # Same counts -> gated as before.
+    failures = compare(base, cur, 0.5, baseline_cpus=4, current_cpus=4)
+    assert len(failures) == 1
+    # Unknown counts -> gated (status quo for legacy files).
+    assert len(compare(base, cur, 0.5)) == 1
+
+
+def test_main_logs_machine_mismatch_note(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(
+        json.dumps(
+            {
+                "schema": 1,
+                "machine": {"cpus": 4},
+                "results": {"fanout": _entry(1.0, speedup=4.0)},
+            }
+        )
+    )
+    cur.write_text(
+        json.dumps(
+            {
+                "schema": 1,
+                "machine": {"cpus": 1},
+                "results": {"fanout": _entry(1.0, speedup=0.7)},
+            }
+        )
+    )
+    assert main(["--baseline", str(base), "--current", str(cur)]) == 0
+    assert "machine mismatch" in capsys.readouterr().out

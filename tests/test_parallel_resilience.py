@@ -101,6 +101,12 @@ class TestResilientMapBasics:
         with pytest.raises(ValueError, match="keys"):
             resilient_map(_double, [1, 2], keys=["only-one"], n_jobs=1)
 
+    # The pool's queue-feeder thread reports the (intentional) pickling
+    # failure as an unhandled thread exception; the readable ValueError
+    # is what callers see.
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
     def test_unpicklable_func_rejected_for_pool(self):
         with pytest.raises(ValueError, match="picklable"):
             resilient_map(lambda x: x, [1, 2], n_jobs=2)
@@ -226,6 +232,33 @@ class TestChaosRecovery:
         with injected(plan):
             chaotic = _run(1, policy=POLICY)
         _assert_identical(chaotic, clean_run)
+
+
+@pytest.mark.chaos
+def test_abandon_kills_live_workers():
+    """_abandon must SIGKILL workers, not just drop the pool.
+
+    ``Executor.shutdown()`` nulls ``_processes``, so the snapshot has
+    to happen first — regression test for the leak where a hung worker
+    survived pool abandonment and stalled interpreter exit until its
+    sleep expired.
+    """
+    import time as _time
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.sim.resilient import _abandon
+
+    pool = ProcessPoolExecutor(max_workers=1)
+    pool.submit(_time.sleep, 600)
+    deadline = _time.monotonic() + 10.0
+    while not pool._processes and _time.monotonic() < deadline:
+        _time.sleep(0.01)
+    procs = list(pool._processes.values())
+    assert procs, "worker never spawned"
+    _abandon(pool)
+    for proc in procs:
+        proc.join(timeout=10.0)
+        assert not proc.is_alive(), "abandoned worker survived the kill"
 
 
 class TestObservabilityUnderChaos:

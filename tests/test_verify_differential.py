@@ -27,6 +27,7 @@ class TestRegistry:
             "batched-vs-streaming",
             "with-params-cache-carry",
             "incremental-vs-scratch",
+            "backend-vs-numpy",
         }
 
     def test_duplicate_registration_rejected(self):

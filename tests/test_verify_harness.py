@@ -18,7 +18,8 @@ class TestCheckResolution:
         names = set(all_checks())
         assert "exact-vs-ilp" in names  # differential
         assert "eps-monotonicity" in names  # metamorphic
-        assert len(names) == 12
+        assert "backend-vs-numpy" in names  # backend bit-identity
+        assert len(names) == 13
 
     def test_subset_selection(self):
         selected = resolve_checks(["eps-monotonicity", "cached-vs-certificate"])

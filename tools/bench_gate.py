@@ -10,8 +10,15 @@ the allowed fraction:
   (both must be breached — sub-100ms benches jitter by tens of
   milliseconds, which is a huge relative but meaningless absolute
   change);
-- ``config.speedup`` entries (higher is better) may not fall below
-  ``baseline * (1 - max-regress)``.
+- every ``config`` entry whose key starts with ``speedup`` (higher is
+  better) may not fall below ``baseline * (1 - max-regress)``.
+
+Speedup comparisons are **skipped with a logged reason** when the two
+results were recorded on machines with different core counts (the
+per-result ``machine_cpus`` stamp, falling back to the file-level
+``machine.cpus``): a parallel-speedup target measured on 4 cores says
+nothing on a 1-core runner.  Wall times are still gated — they are
+noisy across machines but catch order-of-magnitude breakage.
 
 Benchmarks present in only one file are reported but never fail the
 gate — new benchmarks must be able to land, and retired ones must be
@@ -39,16 +46,31 @@ DEFAULT_MAX_REGRESS = 0.5
 DEFAULT_ABS_SLACK = 0.05  # seconds; wall jitter floor for tiny benches
 
 
-def load_results(path: Path) -> Dict[str, Dict[str, Any]]:
-    """The ``results`` table of one BENCH_RESULTS.json file."""
+def load_payload(path: Path) -> Dict[str, Any]:
+    """One whole BENCH_RESULTS.json payload (results + machine block)."""
     try:
         payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise SystemExit(f"bench-gate: cannot read {path}: {exc}")
-    results = payload.get("results")
-    if not isinstance(results, dict):
+    if not isinstance(payload.get("results"), dict):
         raise SystemExit(f"bench-gate: {path} has no 'results' table")
-    return results
+    return payload
+
+
+def load_results(path: Path) -> Dict[str, Dict[str, Any]]:
+    """The ``results`` table of one BENCH_RESULTS.json file."""
+    return load_payload(path)["results"]
+
+
+def result_cpus(entry: Dict[str, Any], payload_cpus: Any = None) -> Any:
+    """The core count a result was recorded on (``None`` when unknown).
+
+    Prefers the per-result ``machine_cpus`` stamp; older entries fall
+    back to the file-level machine block of the session that wrote
+    them (best effort — that block only describes the last session).
+    """
+    cpus = entry.get("machine_cpus", payload_cpus)
+    return int(cpus) if cpus is not None else None
 
 
 def compare(
@@ -56,8 +78,17 @@ def compare(
     current: Dict[str, Dict[str, Any]],
     max_regress: float,
     abs_slack: float = DEFAULT_ABS_SLACK,
+    *,
+    baseline_cpus: Any = None,
+    current_cpus: Any = None,
+    notes: List[str] | None = None,
 ) -> List[str]:
-    """Regression messages for every shared benchmark that got worse."""
+    """Regression messages for every shared benchmark that got worse.
+
+    ``baseline_cpus``/``current_cpus`` are the file-level fallbacks for
+    results without a per-result ``machine_cpus`` stamp.  Skipped
+    speedup comparisons (machine mismatch) are appended to ``notes``.
+    """
     failures: List[str] = []
     for name in sorted(set(baseline) & set(current)):
         base, cur = baseline[name], current[name]
@@ -72,13 +103,32 @@ def compare(
                 f"{name}: wall time {cur_wall:.3f}s exceeds baseline "
                 f"{base_wall:.3f}s by more than {max_regress:.0%}"
             )
-        base_speedup = base.get("config", {}).get("speedup")
-        cur_speedup = cur.get("config", {}).get("speedup")
-        if base_speedup is not None and cur_speedup is not None:
-            if float(cur_speedup) < float(base_speedup) * (1.0 - max_regress):
+        base_cfg = base.get("config", {})
+        cur_cfg = cur.get("config", {})
+        speedup_keys = sorted(
+            k
+            for k in set(base_cfg) & set(cur_cfg)
+            if k.startswith("speedup")
+            and base_cfg[k] is not None
+            and cur_cfg[k] is not None
+        )
+        if not speedup_keys:
+            continue
+        base_cpus = result_cpus(base, baseline_cpus)
+        cur_cpus = result_cpus(cur, current_cpus)
+        if base_cpus is not None and cur_cpus is not None and base_cpus != cur_cpus:
+            if notes is not None:
+                notes.append(
+                    f"{name}: speedup comparison skipped — baseline was "
+                    f"recorded on {base_cpus} core(s), current on "
+                    f"{cur_cpus} (machine mismatch)"
+                )
+            continue
+        for key in speedup_keys:
+            if float(cur_cfg[key]) < float(base_cfg[key]) * (1.0 - max_regress):
                 failures.append(
-                    f"{name}: speedup {float(cur_speedup):.2f}x fell below "
-                    f"baseline {float(base_speedup):.2f}x by more than "
+                    f"{name}: {key} {float(cur_cfg[key]):.2f}x fell below "
+                    f"baseline {float(base_cfg[key]):.2f}x by more than "
                     f"{max_regress:.0%}"
                 )
     return failures
@@ -111,8 +161,10 @@ def main(argv: List[str] | None = None) -> int:
     if args.abs_slack < 0:
         parser.error("--abs-slack must be >= 0")
 
-    baseline = load_results(args.baseline)
-    current = load_results(args.current)
+    base_payload = load_payload(args.baseline)
+    cur_payload = load_payload(args.current)
+    baseline = base_payload["results"]
+    current = cur_payload["results"]
     shared = sorted(set(baseline) & set(current))
     only_base = sorted(set(baseline) - set(current))
     only_cur = sorted(set(current) - set(baseline))
@@ -125,7 +177,18 @@ def main(argv: List[str] | None = None) -> int:
     for name in only_cur:
         print(f"  note: {name} is new (not gated)")
 
-    failures = compare(baseline, current, args.max_regress, args.abs_slack)
+    notes: List[str] = []
+    failures = compare(
+        baseline,
+        current,
+        args.max_regress,
+        args.abs_slack,
+        baseline_cpus=base_payload.get("machine", {}).get("cpus"),
+        current_cpus=cur_payload.get("machine", {}).get("cpus"),
+        notes=notes,
+    )
+    for note in notes:
+        print(f"  note: {note}")
     for name in shared:
         if not any(msg.startswith(f"{name}:") for msg in failures):
             print(f"  ok: {name}")
