@@ -1,0 +1,67 @@
+"""Smoke benchmark: one traffic scenario end-to-end, exported.
+
+``make bench-traffic`` (or ``pytest benchmarks -m smoke
+benchmarks/test_traffic_smoke.py``) drives the whole workload stack —
+arrival generation, the slotted queue simulator, the stability-region
+bisection — on a small scenario and records its wall time to
+``BENCH_RESULTS.json``, so every PR leaves a perf data point for the
+traffic path alongside the figure pipeline's.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks import bench_export
+from repro.workload.generators import PoissonArrivals
+from repro.workload.scenario import WorkloadScenario, run_scenario
+
+SCENARIO = WorkloadScenario(
+    name="bench-traffic-smoke",
+    topology="paper",
+    n_links=10,
+    arrivals=PoissonArrivals(0.05),
+    scheduler="rle",
+    policy="backlogged",
+    n_slots=150,
+    seed=2017,
+    stability={
+        "factor_lo": 0.5,
+        "factor_hi": 64.0,
+        "n_grid": 4,
+        "max_iter": 4,
+        "n_slots": 150,
+    },
+)
+
+
+@pytest.mark.smoke
+def test_smoke_traffic_end_to_end():
+    t0 = time.perf_counter()
+    payload = run_scenario(SCENARIO)
+    wall = time.perf_counter() - t0
+
+    stats = payload["stats"]
+    assert stats["arrived"] == (
+        stats["served"] + stats["dropped"] + stats["final_backlog"]
+    )
+    # A 10-link paper instance under RLE is comfortably stable at
+    # lambda = 0.05/link/slot and must diverge well before 64x that.
+    stability = payload["stability"]
+    assert stability["bracketed"]
+    assert 0.05 < stability["lam_star"] < 3.2
+
+    bench_export.record(
+        "smoke_traffic",
+        wall,
+        {
+            "n_links": SCENARIO.n_links,
+            "n_slots": SCENARIO.n_slots,
+            "scheduler": SCENARIO.scheduler,
+            "policy": SCENARIO.policy,
+            "stability_probes": stability["n_probes"],
+        },
+    )
+    print(f"\nsmoke traffic: {wall:.2f}s (lam* = {stability['lam_star']:.3f})")

@@ -273,6 +273,69 @@ def cmd_queue(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_traffic(args: argparse.Namespace) -> int:
+    """``repro traffic``: run a declarative workload scenario."""
+    from repro.backend.base import use as use_backend
+    from repro.workload.generators import arrivals_from_spec
+    from repro.workload.scenario import WorkloadScenario, run_scenario
+
+    if args.config:
+        try:
+            scenario = WorkloadScenario.from_json(args.config)
+        except (OSError, ValueError, TypeError) as exc:
+            raise SystemExit(f"bad scenario config {args.config!r}: {exc}")
+    else:
+        base = arrivals_from_spec({"family": args.arrival})
+        if base.mean_rate() <= 0:
+            raise SystemExit(f"arrival family {args.arrival!r} has zero base rate")
+        try:
+            scenario = WorkloadScenario(
+                name=f"{args.topology}-{args.n_links}-{args.arrival}",
+                topology=args.topology,
+                n_links=args.n_links,
+                topology_seed=args.seed,
+                alpha=args.alpha,
+                eps=args.eps,
+                noise=args.noise,
+                arrivals=base.scaled(args.rate / base.mean_rate()),
+                scheduler=args.algorithm,
+                policy=args.policy,
+                n_slots=args.slots,
+                seed=args.seed,
+                max_queue=args.max_queue,
+                stability=None if args.no_stability else {},
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    with use_backend(_backend(args)):
+        payload = run_scenario(scenario, n_jobs=_n_jobs(args) or 1)
+    stats = payload["stats"]
+    print(
+        f"{scenario.name}: {scenario.scheduler}/{scenario.policy} over "
+        f"{stats['n_slots']} slots, {stats['n_links']} links\n"
+        f"  arrivals {stats['arrived']}, served {stats['served']} "
+        f"({100 * stats['delivery_ratio']:.1f}%), dropped {stats['dropped']}, "
+        f"failed attempts {stats['failed']}\n"
+        f"  mean delay {stats['mean_delay'] if stats['mean_delay'] is None else round(stats['mean_delay'], 2)} slots "
+        f"(p95 {stats['p95_delay'] if stats['p95_delay'] is None else round(stats['p95_delay'], 1)}), "
+        f"mean backlog {stats['mean_backlog']:.1f}, "
+        f"final backlog {stats['final_backlog']}, "
+        f"drift {stats['drift']:+.4f} pkts/slot/link"
+    )
+    estimate = payload["stability"]
+    if estimate is not None:
+        bound = "bracketed" if estimate["bracketed"] else "one-sided bound"
+        print(
+            f"  stability region: lambda* ~ {estimate['lam_star']:.4f} "
+            f"pkts/link/slot (x{estimate['factor_star']:.2f} offered load, "
+            f"{bound}, {estimate['n_probes']} probes)"
+        )
+    if args.output:
+        write_json(payload, args.output)
+        print(f"wrote traffic payload to {args.output}")
+    return 0
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     """``repro verify``: run the differential + metamorphic oracle."""
     from repro.verify import all_checks, run_verification
@@ -522,6 +585,63 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--noise", type=float, default=0.0)
     q.add_argument("--seed", type=int, default=0)
     q.set_defaults(fn=cmd_queue)
+
+    w = sub.add_parser(
+        "traffic", help="run a traffic workload scenario with stability sweep"
+    )
+    w.add_argument(
+        "--config",
+        metavar="PATH",
+        help="declarative scenario JSON (see docs/WORKLOADS.md); "
+        "overrides the inline flags below",
+    )
+    w.add_argument("--topology", choices=TOPOLOGIES, default="paper")
+    w.add_argument("--n-links", type=int, default=12)
+    w.add_argument("--algorithm", default="rle")
+    w.add_argument(
+        "--policy",
+        choices=("backlogged", "multislot", "incremental"),
+        default="backlogged",
+        help="service policy: one-shot on the backlogged sub-instance, "
+        "cyclic multislot cover frame, or incremental engine under churn",
+    )
+    w.add_argument(
+        "--arrival",
+        choices=("poisson", "onoff", "diurnal", "spikes"),
+        default="poisson",
+        help="arrival-process family (scaled to --rate mean)",
+    )
+    w.add_argument(
+        "--rate",
+        type=float,
+        default=0.05,
+        help="mean arrival rate, packets per link per slot",
+    )
+    w.add_argument("--slots", type=int, default=300)
+    w.add_argument("--alpha", type=float, default=3.0)
+    w.add_argument("--eps", type=float, default=0.05)
+    w.add_argument("--noise", type=float, default=0.0)
+    w.add_argument("--seed", type=int, default=0)
+    w.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help="per-link queue capacity (arrivals beyond it are dropped)",
+    )
+    w.add_argument(
+        "--no-stability",
+        action="store_true",
+        help="skip the offered-load stability sweep",
+    )
+    w.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the stability sweep grid",
+    )
+    _add_backend_flag(w)
+    w.add_argument("--output", help="write the JSON payload here")
+    w.set_defaults(fn=cmd_traffic)
 
     v = sub.add_parser(
         "verify", help="run the differential + metamorphic verification oracle"

@@ -59,6 +59,19 @@ class MultiSlotSchedule:
             raise ValueError("some links are unassigned")
         return assignment
 
+    def slot_cycle(self, t: int) -> Schedule:
+        """The frame slot serving time slot ``t`` under cyclic (TDMA) reuse.
+
+        A cover frame of ``n`` slots repeats forever: time slot ``t``
+        is served by frame slot ``t mod n``.  The workload simulator's
+        ``multislot`` service policy uses this to turn a one-shot cover
+        into a stationary service schedule.  Raises on an empty frame
+        (no slots to cycle through).
+        """
+        if not self.slots:
+            raise ValueError("cannot cycle an empty multi-slot schedule")
+        return self.slots[t % self.n_slots]
+
 
 def multislot_schedule(
     problem: FadingRLS,

@@ -118,6 +118,10 @@ class ExperimentConfig:
     incremental: bool = False
     move_threshold: float = 0.0
     quality_bound: float = 0.8
+    workload_arrival: str = "poisson"
+    workload_rate: float = 0.05
+    workload_slots: int = 300
+    workload_policy: str = "backlogged"
 
     def workload(self, n_links: int) -> TopologyWorkload:
         """Per-repetition workload factory for ``n_links`` links.
@@ -187,6 +191,68 @@ class ExperimentConfig:
                 raise ValueError("quality_bound must be in [0, 1]")
             out = replace(out, quality_bound=quality_bound)
         return out
+
+    def with_workload(
+        self,
+        *,
+        arrival: Optional[str] = None,
+        rate: Optional[float] = None,
+        slots: Optional[int] = None,
+        policy: Optional[str] = None,
+    ) -> "ExperimentConfig":
+        """Copy with traffic-workload knobs replaced (unspecified kept).
+
+        ``arrival`` names an :data:`repro.workload.generators.ARRIVAL_FAMILIES`
+        entry, ``rate`` is the mean offered load in packets/link/slot
+        (the family's shape is preserved; its rates are scaled to this
+        mean), ``slots`` the horizon and ``policy`` the service policy
+        of :func:`repro.workload.queues.simulate_workload`.
+        """
+        out = self
+        if arrival is not None:
+            from repro.workload.generators import ARRIVAL_FAMILIES
+
+            if arrival not in ARRIVAL_FAMILIES:
+                raise ValueError(
+                    f"unknown arrival family {arrival!r}; choose from "
+                    f"{sorted(ARRIVAL_FAMILIES)}"
+                )
+            out = replace(out, workload_arrival=arrival)
+        if rate is not None:
+            if not rate > 0:
+                raise ValueError(f"workload rate must be > 0, got {rate}")
+            out = replace(out, workload_rate=rate)
+        if slots is not None:
+            if slots < 0:
+                raise ValueError(f"workload slots must be >= 0, got {slots}")
+            out = replace(out, workload_slots=slots)
+        if policy is not None:
+            from repro.workload.queues import POLICIES
+
+            if policy not in POLICIES:
+                raise ValueError(
+                    f"unknown workload policy {policy!r}; choose from {POLICIES}"
+                )
+            out = replace(out, workload_policy=policy)
+        return out
+
+    def arrival_process(self):
+        """The configured arrival generator, scaled to ``workload_rate``.
+
+        Builds the family's default-shaped generator and rescales its
+        rates so the long-run mean equals ``workload_rate`` — the
+        declarative "family + mean load" surface the CLI and scenario
+        configs share.
+        """
+        from repro.workload.generators import ARRIVAL_FAMILIES
+
+        base = ARRIVAL_FAMILIES[self.workload_arrival]()
+        mean = base.mean_rate()
+        if not mean > 0:
+            raise ValueError(
+                f"arrival family {self.workload_arrival!r} has zero base rate"
+            )
+        return base.scaled(self.workload_rate / mean)
 
     def with_resilience(
         self,

@@ -135,6 +135,26 @@ def simulate_trials(
     return success
 
 
+def simulate_slot(
+    problem: FadingRLS,
+    active: Schedule | np.ndarray,
+    *,
+    noise: float | None = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """One fading realisation: per-link success of a single slot.
+
+    The slotted queue simulator (:mod:`repro.workload.queues`) calls
+    this once per time slot with an identity-derived seed, so each
+    slot's channel draw is a pure function of ``(problem, active,
+    seed)`` — independent of backend, process and call order.  Returns
+    a ``(K,)`` bool array over the active links in *sorted index
+    order* (the same convention as :func:`simulate_trials`).
+    """
+    success = simulate_trials(problem, active, 1, noise=noise, seed=seed)
+    return success[0]
+
+
 def simulate_schedule(
     problem: FadingRLS,
     schedule: Schedule | np.ndarray,

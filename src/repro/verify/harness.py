@@ -25,6 +25,11 @@ from repro.obs.trace import span
 from repro.verify.differential import CheckFn, DIFFERENTIAL_CHECKS
 from repro.verify.fuzz import FAMILIES, Scenario, make_scenario
 from repro.verify.metamorphic import METAMORPHIC_RELATIONS
+
+# Imported for its registration side-effect: the queue-stability
+# relations live in their own module (they pull in repro.workload) but
+# register into the same METAMORPHIC_RELATIONS registry read above.
+from repro.verify import stability  # noqa: F401  (registration import)
 from repro.verify.report import CheckOutcome, VerificationReport
 
 

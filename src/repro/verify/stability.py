@@ -1,0 +1,156 @@
+"""Queue-stability metamorphic relations (workload subsystem oracles).
+
+Two relations over :func:`repro.workload.queues.simulate_workload`,
+registered into the same :data:`~repro.verify.metamorphic.METAMORPHIC_RELATIONS`
+registry the harness merges into ``make verify-fuzz``:
+
+- ``lambda-drain`` — *vanishing load empties queues*: any working
+  scheduler serves at least one backlogged link per slot, so at an
+  offered load far below one packet per slot the system must be deep
+  inside its stability region and end the horizon (essentially) empty.
+  A lingering backlog at near-zero load means service is broken — a
+  scheduler returning empty sets, fading successes being ignored, or
+  queues failing to drain on success.
+- ``service-capacity`` — *accounting sanity per slot*: deliveries in a
+  slot can never exceed that slot's transmission attempts
+  (``served_per_slot <= scheduled_per_slot``), cumulative service can
+  never exceed cumulative arrivals, and the conservation identity
+  ``arrived = served + dropped + final backlog`` must hold exactly.
+
+Both run the simulator on a small restriction of the fuzzed scenario
+instance (the relations probe queue dynamics, not scale) with seeds
+derived from the scenario's own seed, so every cell is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.problem import FadingRLS
+from repro.verify.fuzz import Scenario
+from repro.verify.metamorphic import _mismatch, register_relation
+from repro.verify.report import Mismatch
+
+#: Reason codes emitted by the relations below.
+CODE_LAMBDA_DRAIN = "lambda-drain-violation"
+CODE_SERVICE_CAPACITY = "service-capacity-violation"
+CODE_CONSERVATION = "packet-conservation-violation"
+
+#: Cap on the instance slice the relations simulate (speed, not scale).
+_MAX_LINKS = 12
+
+
+def _workload_problem(problem: FadingRLS) -> FadingRLS | None:
+    """A small serviceable restriction of the scenario instance.
+
+    Unserviceable links (noise alone over budget) can never drain and
+    would trip the relations for reasons the workload layer does not
+    own, so they are filtered out first.  Returns ``None`` when nothing
+    serviceable remains.
+    """
+    serviceable = np.flatnonzero(problem.serviceable())
+    if serviceable.size == 0:
+        return None
+    return problem.restrict(serviceable[:_MAX_LINKS])
+
+
+@register_relation("lambda-drain")
+def relation_lambda_drain(scenario: Scenario) -> List[Mismatch]:
+    """Near-zero offered load must leave queues (essentially) empty."""
+    from repro.workload.generators import PoissonArrivals
+    from repro.workload.queues import simulate_workload
+
+    problem = _workload_problem(scenario.problem)
+    if problem is None:
+        return []
+    result = simulate_workload(
+        problem,
+        PoissonArrivals(rate=0.02),
+        "rle",
+        n_slots=60,
+        seed=scenario.seed,
+        policy="backlogged",
+    )
+    # ~0.02 * 60 * n packets offered in total against a scheduler that
+    # serves >= 1 backlogged link per slot: more than a couple queued at
+    # the horizon means service is broken, not that the load was high.
+    if result.final_backlog > 2:
+        return [
+            _mismatch(
+                "lambda-drain",
+                scenario,
+                CODE_LAMBDA_DRAIN,
+                f"{result.final_backlog} packets still queued after "
+                f"{result.n_slots} slots at near-zero load "
+                f"(lambda = 0.02/link/slot, {result.arrived} arrived)",
+                final_backlog=result.final_backlog,
+                arrived=result.arrived,
+                served=result.served,
+            )
+        ]
+    return []
+
+
+@register_relation("service-capacity")
+def relation_service_capacity(scenario: Scenario) -> List[Mismatch]:
+    """Per-slot service accounting must be internally consistent."""
+    from repro.workload.generators import OnOffArrivals
+    from repro.workload.queues import simulate_workload
+
+    problem = _workload_problem(scenario.problem)
+    if problem is None:
+        return []
+    result = simulate_workload(
+        problem,
+        OnOffArrivals(rate_on=0.6, p_on=0.2, p_off=0.2),
+        "rle",
+        n_slots=50,
+        seed=scenario.seed,
+        policy="backlogged",
+    )
+    out: List[Mismatch] = []
+    excess = result.served_per_slot - result.scheduled_per_slot
+    if np.any(excess > 0):
+        t = int(np.argmax(excess))
+        out.append(
+            _mismatch(
+                "service-capacity",
+                scenario,
+                CODE_SERVICE_CAPACITY,
+                f"slot {t} delivered {int(result.served_per_slot[t])} packets "
+                f"on {int(result.scheduled_per_slot[t])} transmission attempts",
+                slot=t,
+                served=int(result.served_per_slot[t]),
+                scheduled=int(result.scheduled_per_slot[t]),
+            )
+        )
+    served_cum = int(result.served_per_slot.sum())
+    if served_cum > result.arrived:
+        out.append(
+            _mismatch(
+                "service-capacity",
+                scenario,
+                CODE_SERVICE_CAPACITY,
+                f"served {served_cum} packets but only {result.arrived} arrived",
+                served=served_cum,
+                arrived=result.arrived,
+            )
+        )
+    residual = result.arrived - result.served - result.dropped - result.final_backlog
+    if residual != 0:
+        out.append(
+            _mismatch(
+                "service-capacity",
+                scenario,
+                CODE_CONSERVATION,
+                f"conservation violated: arrived - served - dropped - queued "
+                f"= {residual}",
+                arrived=result.arrived,
+                served=result.served,
+                dropped=result.dropped,
+                final_backlog=result.final_backlog,
+            )
+        )
+    return out

@@ -1,0 +1,62 @@
+"""Traffic-driven workloads: arrivals, slotted queues, stability.
+
+The workload subsystem (ROADMAP O2) turns one-shot scheduling into the
+queueing setting of "Wireless Network Stability in the SINR Model":
+
+- :mod:`repro.workload.generators` — declarative per-link arrival
+  processes (Poisson, bursty on/off, diurnal, adversarial spikes),
+  bit-reproducible under the identity-derived seed contract;
+- :mod:`repro.workload.queues` — the slotted FIFO queue simulator
+  coupling arrivals to the repo's schedulers (one-shot, multislot
+  cover, incremental under churn) through Monte-Carlo fading;
+- :mod:`repro.workload.analyzers` — delay/backlog statistics, drift
+  estimation, offered-load sweeps and the empirical stability-region
+  bisection;
+- :mod:`repro.workload.scenario` — JSON scenario configs and the
+  end-to-end runner behind ``repro traffic``.
+"""
+
+from repro.workload.analyzers import (
+    StabilityEstimate,
+    WorkloadStats,
+    drift_estimate,
+    is_divergent,
+    stability_region,
+    summarize_workload,
+    sweep_rates,
+)
+from repro.workload.generators import (
+    ARRIVAL_FAMILIES,
+    ArrivalProcess,
+    DiurnalArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+    SpikeArrivals,
+    arrivals_from_spec,
+    spec_of,
+)
+from repro.workload.queues import POLICIES, WorkloadResult, simulate_workload
+from repro.workload.scenario import WorkloadScenario, run_scenario
+
+__all__ = [
+    "ARRIVAL_FAMILIES",
+    "ArrivalProcess",
+    "DiurnalArrivals",
+    "OnOffArrivals",
+    "POLICIES",
+    "PoissonArrivals",
+    "SpikeArrivals",
+    "StabilityEstimate",
+    "WorkloadResult",
+    "WorkloadScenario",
+    "WorkloadStats",
+    "arrivals_from_spec",
+    "drift_estimate",
+    "is_divergent",
+    "run_scenario",
+    "simulate_workload",
+    "spec_of",
+    "stability_region",
+    "summarize_workload",
+    "sweep_rates",
+]

@@ -3,13 +3,23 @@
 import numpy as np
 import pytest
 
+from repro.core.base import get_scheduler, list_schedulers
 from repro.core.ldp import ldp_schedule
-from repro.core.multislot import MultiSlotSchedule, multislot_lower_bound, multislot_schedule
+from repro.core.multislot import (
+    MultiSlotSchedule,
+    exact_min_slots,
+    first_fit_multislot,
+    multislot_lower_bound,
+    multislot_schedule,
+)
 from repro.core.problem import FadingRLS
 from repro.core.rle import rle_schedule
 from repro.core.schedule import Schedule
 from repro.network.links import LinkSet
 from repro.network.topology import paper_topology
+
+#: Schedulers whose signature takes a ``seed`` keyword.
+SEEDED = {"dls", "random", "protocol_mis"}
 
 
 class TestMultiSlot:
@@ -71,6 +81,49 @@ class TestMultiSlot:
         assert ms.slots[0].diagnostics["c2"] == 0.3
 
 
+class TestCoverInvariant:
+    """Every registered one-shot scheduler must produce a valid cover."""
+
+    @pytest.mark.parametrize("name", list_schedulers())
+    def test_cover_invariant(self, name):
+        p = FadingRLS(links=paper_topology(10, seed=4))
+        kwargs = {"seed": 0} if name in SEEDED else {}
+        ms = multislot_schedule(p, get_scheduler(name), **kwargs)
+        assignment = ms.slot_of(p.n_links)
+        # slot_of validates disjointness + coverage; also pin the
+        # assignment against the slots themselves.
+        for t, slot in enumerate(ms.slots):
+            assert np.all(assignment[slot.active] == t)
+        assert 1 <= ms.n_slots <= p.n_links
+
+    @pytest.mark.parametrize("name", ["ldp", "rle", "greedy", "local_search"])
+    def test_feasible_scheduler_gives_feasible_cover(self, name):
+        """Feasibility-preserving schedulers yield all-feasible slots."""
+        p = FadingRLS(links=paper_topology(30, seed=5))
+        ms = multislot_schedule(p, get_scheduler(name))
+        for slot in ms.slots:
+            assert p.is_feasible(slot.active)
+
+    def test_single_link_instance(self):
+        p = FadingRLS(links=paper_topology(1, seed=0))
+        ms = multislot_schedule(p, rle_schedule)
+        assert ms.n_slots == 1
+        np.testing.assert_array_equal(ms.slots[0].active, [0])
+        np.testing.assert_array_equal(ms.slot_of(1), [0])
+
+    def test_first_fit_single_link_and_empty(self):
+        single = FadingRLS(links=paper_topology(1, seed=0))
+        assert first_fit_multislot(single).n_slots == 1
+        empty = FadingRLS(links=LinkSet.empty())
+        assert first_fit_multislot(empty).n_slots == 0
+
+    def test_exact_min_slots_single_link_and_empty(self):
+        single = FadingRLS(links=paper_topology(1, seed=0))
+        assert exact_min_slots(single).n_slots == 1
+        empty = FadingRLS(links=LinkSet.empty())
+        assert exact_min_slots(empty).n_slots == 0
+
+
 class TestSlotOf:
     def test_duplicate_assignment_detected(self):
         ms = MultiSlotSchedule(
@@ -84,6 +137,42 @@ class TestSlotOf:
         ms = MultiSlotSchedule(slots=[Schedule(active=np.array([0]))], algorithm="x")
         with pytest.raises(ValueError, match="unassigned"):
             ms.slot_of(2)
+
+    def test_empty_frame_all_unassigned(self):
+        ms = MultiSlotSchedule(slots=[], algorithm="x")
+        with pytest.raises(ValueError, match="unassigned"):
+            ms.slot_of(1)
+
+    def test_zero_links_empty_frame_is_valid(self):
+        ms = MultiSlotSchedule(slots=[], algorithm="x")
+        assert ms.slot_of(0).size == 0
+
+    def test_valid_assignment_roundtrip(self):
+        ms = MultiSlotSchedule(
+            slots=[
+                Schedule(active=np.array([2, 0])),
+                Schedule(active=np.array([1])),
+            ],
+            algorithm="x",
+        )
+        np.testing.assert_array_equal(ms.slot_of(3), [0, 1, 0])
+
+
+class TestSlotCycle:
+    def test_cycles_through_frame(self):
+        slots = [
+            Schedule(active=np.array([0])),
+            Schedule(active=np.array([1])),
+            Schedule(active=np.array([2])),
+        ]
+        ms = MultiSlotSchedule(slots=slots, algorithm="x")
+        for t in range(9):
+            assert ms.slot_cycle(t) is slots[t % 3]
+
+    def test_empty_frame_raises(self):
+        ms = MultiSlotSchedule(slots=[], algorithm="x")
+        with pytest.raises(ValueError, match="empty"):
+            ms.slot_cycle(0)
 
 
 class TestLowerBound:

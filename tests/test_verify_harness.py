@@ -19,7 +19,8 @@ class TestCheckResolution:
         assert "exact-vs-ilp" in names  # differential
         assert "eps-monotonicity" in names  # metamorphic
         assert "backend-vs-numpy" in names  # backend bit-identity
-        assert len(names) == 13
+        assert "lambda-drain" in names  # queue stability
+        assert len(names) == 15
 
     def test_subset_selection(self):
         selected = resolve_checks(["eps-monotonicity", "cached-vs-certificate"])

@@ -12,6 +12,7 @@ from repro.verify.metamorphic import (
     relation_scale_invariance,
     relation_subset_feasibility,
 )
+from repro.verify import stability  # noqa: F401  (registers queue relations)
 
 
 class TestRegistry:
@@ -22,6 +23,9 @@ class TestRegistry:
             "interferer-monotonicity",
             "subset-feasibility",
             "power-scale-invariance",
+            # queue-stability relations (repro.verify.stability)
+            "lambda-drain",
+            "service-capacity",
         }
 
     def test_duplicate_registration_rejected(self):

@@ -1,0 +1,84 @@
+"""Tests for the queue-stability metamorphic relations."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import FadingRLS
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology
+from repro.verify.fuzz import Scenario
+from repro.verify.harness import all_checks
+from repro.verify.metamorphic import METAMORPHIC_RELATIONS
+from repro.verify.stability import (
+    CODE_CONSERVATION,
+    CODE_LAMBDA_DRAIN,
+    CODE_SERVICE_CAPACITY,
+    _workload_problem,
+    relation_lambda_drain,
+    relation_service_capacity,
+)
+
+
+def _scenario(n=10, seed=3, **problem_kwargs):
+    problem = FadingRLS(links=paper_topology(n, seed=seed), **problem_kwargs)
+    return Scenario(name=f"t-{n}-{seed}", family="paper", problem=problem, seed=seed)
+
+
+class TestRegistration:
+    def test_relations_registered(self):
+        assert METAMORPHIC_RELATIONS["lambda-drain"] is relation_lambda_drain
+        assert METAMORPHIC_RELATIONS["service-capacity"] is relation_service_capacity
+
+    def test_relations_reach_the_harness(self):
+        assert {"lambda-drain", "service-capacity"} <= set(all_checks())
+
+
+class TestCleanScenarios:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_lambda_drain_passes(self, seed):
+        assert relation_lambda_drain(_scenario(seed=seed)) == []
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_service_capacity_passes(self, seed):
+        assert relation_service_capacity(_scenario(seed=seed)) == []
+
+    def test_relations_skip_unserviceable_instances(self):
+        # Noise so large no link can ever meet its budget.
+        scenario = _scenario(n=4, noise=1e12)
+        assert _workload_problem(scenario.problem) is None
+        assert relation_lambda_drain(scenario) == []
+        assert relation_service_capacity(scenario) == []
+
+    def test_restriction_caps_instance_size(self):
+        scenario = _scenario(n=40)
+        restricted = _workload_problem(scenario.problem)
+        assert restricted is not None
+        assert restricted.n_links <= 12
+
+
+class TestFaultDetection:
+    """Each relation fires on a simulator whose dynamics are broken."""
+
+    def test_lambda_drain_detects_no_service(self, monkeypatch):
+        """A scheduler that never schedules anyone must trip the drain oracle."""
+        from repro.core.schedule import Schedule
+        import repro.core.base as core_base
+
+        real = core_base.get_scheduler
+
+        def broken(name):
+            if name == "rle":
+                return lambda problem, **kw: Schedule.empty("rle")
+            return real(name)
+
+        import repro.workload.queues as queues
+
+        monkeypatch.setattr(queues, "get_scheduler", broken)
+        mismatches = relation_lambda_drain(_scenario())
+        assert len(mismatches) == 1
+        assert mismatches[0].code == CODE_LAMBDA_DRAIN
+
+    def test_reason_codes_are_stable_strings(self):
+        assert CODE_LAMBDA_DRAIN == "lambda-drain-violation"
+        assert CODE_SERVICE_CAPACITY == "service-capacity-violation"
+        assert CODE_CONSERVATION == "packet-conservation-violation"

@@ -1,0 +1,180 @@
+"""Arrival-generator tests: validation, scaling, golden-trace determinism.
+
+The golden files under ``tests/goldens/workload_<family>.json`` pin the
+exact byte content of each family's default trace at a fixed seed.  A
+mismatch means the determinism contract broke — a numpy draw was
+reordered, a parameter default changed, or platform-dependent
+randomness crept in.  Regenerate them (consciously!) with::
+
+    PYTHONPATH=src python tools/regen_workload_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.workload.generators import (
+    ARRIVAL_FAMILIES,
+    DiurnalArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+    SpikeArrivals,
+    arrivals_from_spec,
+    spec_of,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+class TestValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            PoissonArrivals(rate=-0.1)
+
+    def test_nan_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            PoissonArrivals(rate=float("nan"))
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="p_on"):
+            OnOffArrivals(p_on=1.5)
+
+    def test_period_bounds(self):
+        with pytest.raises(ValueError, match="period"):
+            DiurnalArrivals(period=0)
+
+    def test_spike_offset_bounds(self):
+        with pytest.raises(ValueError, match="offset"):
+            SpikeArrivals(spike_every=10, offset=10)
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ValueError, match="n_links"):
+            PoissonArrivals().sample(-1, 10, seed=0)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown arrival family"):
+            arrivals_from_spec({"family": "fractal"})
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            arrivals_from_spec({"family": "poisson", "lambda": 0.1})
+
+    def test_missing_family_rejected(self):
+        with pytest.raises(ValueError, match="family"):
+            arrivals_from_spec({"rate": 0.1})
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("family", sorted(ARRIVAL_FAMILIES))
+    def test_spec_roundtrip(self, family):
+        gen = ARRIVAL_FAMILIES[family]()
+        assert arrivals_from_spec(spec_of(gen)) == gen
+
+    @pytest.mark.parametrize("family", sorted(ARRIVAL_FAMILIES))
+    def test_sample_shape_and_dtype(self, family):
+        trace = ARRIVAL_FAMILIES[family]().sample(3, 17, seed=5)
+        assert trace.shape == (17, 3)
+        assert trace.dtype == np.int64
+        assert (trace >= 0).all()
+
+    @pytest.mark.parametrize("family", sorted(ARRIVAL_FAMILIES))
+    def test_zero_shapes(self, family):
+        gen = ARRIVAL_FAMILIES[family]()
+        assert gen.sample(0, 5, seed=0).shape == (5, 0)
+        assert gen.sample(5, 0, seed=0).shape == (0, 5)
+
+    @pytest.mark.parametrize("family", sorted(ARRIVAL_FAMILIES))
+    def test_scaled_mean_rate(self, family):
+        gen = ARRIVAL_FAMILIES[family]()
+        assert gen.scaled(2.5).mean_rate() == pytest.approx(2.5 * gen.mean_rate())
+
+    def test_scaled_zero_silences_poisson(self):
+        trace = PoissonArrivals(0.4).scaled(0.0).sample(4, 50, seed=1)
+        assert trace.sum() == 0
+
+    def test_empirical_mean_tracks_mean_rate(self):
+        for family, cls in sorted(ARRIVAL_FAMILIES.items()):
+            gen = cls()
+            trace = gen.sample(50, 4000, seed=9)
+            assert trace.mean() == pytest.approx(gen.mean_rate(), rel=0.25), family
+
+    def test_onoff_duty_cycle(self):
+        gen = OnOffArrivals(p_on=0.1, p_off=0.3)
+        assert gen.duty == pytest.approx(0.25)
+        assert OnOffArrivals(p_on=0.0, p_off=0.0).duty == 0.0
+
+    def test_diurnal_rate_curve(self):
+        gen = DiurnalArrivals(base_rate=0.1, peak_rate=0.5, period=10)
+        assert gen.rate_at(0) == pytest.approx(0.1)
+        assert gen.rate_at(5) == pytest.approx(0.5)
+
+    def test_spike_slots_deterministic(self):
+        gen = SpikeArrivals(base_rate=0.0, spike_size=2.0, spike_every=5, offset=1)
+        trace = gen.sample(3, 11, seed=0)
+        spiked = np.flatnonzero(trace.sum(axis=1))
+        np.testing.assert_array_equal(spiked, [1, 6])
+        assert (trace[spiked] == 2).all()
+
+
+class TestGoldenTraces:
+    """Byte-exact pinning of each family's seeded trace."""
+
+    @pytest.mark.parametrize("family", sorted(ARRIVAL_FAMILIES))
+    def test_golden_trace_matches(self, family):
+        path = GOLDEN_DIR / f"workload_{family}.json"
+        golden = json.loads(path.read_text())
+        gen = arrivals_from_spec(golden["spec"])
+        trace = gen.sample(
+            golden["n_links"], golden["n_slots"], seed=golden["seed"]
+        )
+        regenerated = json.dumps(
+            {
+                "spec": spec_of(gen),
+                "seed": golden["seed"],
+                "n_links": golden["n_links"],
+                "n_slots": golden["n_slots"],
+                "trace": trace.tolist(),
+            },
+            indent=2,
+            sort_keys=True,
+        ) + "\n"
+        assert regenerated.encode() == path.read_bytes()
+
+    def test_cross_process_determinism(self):
+        """A fresh interpreter reproduces the exact golden bytes.
+
+        Process-boundary determinism is the contract the goldens pin:
+        no state of *this* process (import order, RNG pool, hash seed)
+        may leak into a trace.
+        """
+        family = "onoff"
+        path = GOLDEN_DIR / f"workload_{family}.json"
+        golden = json.loads(path.read_text())
+        script = textwrap.dedent(
+            f"""
+            import json, sys
+            from repro.workload.generators import arrivals_from_spec
+            golden = json.loads(sys.stdin.read())
+            gen = arrivals_from_spec(golden["spec"])
+            trace = gen.sample(
+                golden["n_links"], golden["n_slots"], seed=golden["seed"]
+            )
+            print(json.dumps(trace.tolist()))
+            """
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            input=path.read_text(),
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": str(Path(__file__).parents[1] / "src"), "PYTHONHASHSEED": "random"},
+        )
+        assert json.loads(out.stdout) == golden["trace"]

@@ -1,0 +1,42 @@
+"""Regenerate the golden arrival traces under ``tests/goldens/``.
+
+Run only when the determinism contract *deliberately* changes (a new
+family, a changed default): ``PYTHONPATH=src python
+tools/regen_workload_goldens.py``.  The byte-exact comparison in
+``tests/test_workload_generators.py`` depends on this exact
+serialization (``json.dump(..., indent=2, sort_keys=True)`` plus a
+trailing newline).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.workload.generators import ARRIVAL_FAMILIES, spec_of
+
+SEED, N_LINKS, N_SLOTS = 2017, 4, 24
+GOLDEN_DIR = Path(__file__).parents[1] / "tests" / "goldens"
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for family, cls in sorted(ARRIVAL_FAMILIES.items()):
+        gen = cls()
+        trace = gen.sample(N_LINKS, N_SLOTS, seed=SEED)
+        payload = {
+            "spec": spec_of(gen),
+            "seed": SEED,
+            "n_links": N_LINKS,
+            "n_slots": N_SLOTS,
+            "trace": trace.tolist(),
+        }
+        path = GOLDEN_DIR / f"workload_{family}.json"
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path} ({int(trace.sum())} packets)")
+
+
+if __name__ == "__main__":
+    main()
