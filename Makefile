@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-smoke bench-traffic bench-kernels bench-gate chaos figures verify-fuzz coverage docs-check ci-local
+.PHONY: test lint bench bench-smoke bench-traffic bench-channels bench-kernels bench-gate chaos figures verify-fuzz coverage docs-check ci-local
 
 test: lint docs-check ## tier-1 test suite (cheap static gates first)
 	$(PYTHON) -m pytest -x -q
@@ -33,6 +33,9 @@ bench-smoke:     ## small end-to-end benches + BENCH_RESULTS.json entries
 
 bench-traffic:   ## traffic-scenario smoke bench (workload stack + stability bisection)
 	$(PYTHON) -m pytest benchmarks/test_traffic_smoke.py -q -s
+
+bench-channels:  ## channel x power grid smoke bench (pluggable-law replay path)
+	$(PYTHON) -m pytest benchmarks/test_channel_smoke.py -q -s
 
 bench-kernels:   ## compute-kernel micro-benchmarks (feasibility/F-build/MC/submit path)
 	$(PYTHON) -m pytest benchmarks/test_kernel_micro.py -q -s

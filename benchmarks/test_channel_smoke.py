@@ -1,0 +1,59 @@
+"""Smoke benchmark: the channel x power grid end-to-end, exported.
+
+``make bench-channels`` (or ``pytest benchmarks -m smoke
+benchmarks/test_channel_smoke.py``) drives :func:`power_sweep` over a
+reduced law x policy grid with two schedulers and records its wall
+time to ``BENCH_RESULTS.json`` as ``smoke_channels``, so every PR
+leaves a perf data point for the pluggable-channel replay path
+alongside the Rayleigh figure pipeline's.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks import bench_export
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.power_sweep import power_sweep
+
+CHANNELS = ("rayleigh", "nakagami:m=2", "shadowing:sigma_db=6")
+POLICIES = ("uniform", "distance_proportional")
+SCHEDULERS = ("rle", "greedy")
+N_LINKS, N_REPS, N_TRIALS = 16, 2, 200
+
+
+@pytest.mark.smoke
+def test_smoke_channel_power_grid():
+    cfg = ExperimentConfig(root_seed=2017)
+    t0 = time.perf_counter()
+    cells = power_sweep(
+        cfg,
+        channels=CHANNELS,
+        policies=POLICIES,
+        schedulers=SCHEDULERS,
+        n_links=N_LINKS,
+        n_repetitions=N_REPS,
+        n_trials=N_TRIALS,
+    )
+    wall = time.perf_counter() - t0
+
+    assert len(cells) == len(CHANNELS) * len(POLICIES)
+    for cell in cells:
+        assert set(cell.results) == set(SCHEDULERS)
+        for result in cell.results.values():
+            assert len(result.per_rep) == N_REPS
+
+    bench_export.record(
+        "smoke_channels",
+        wall,
+        {
+            "channels": len(CHANNELS),
+            "policies": len(POLICIES),
+            "schedulers": len(SCHEDULERS),
+            "n_links": N_LINKS,
+            "n_repetitions": N_REPS,
+            "n_trials": N_TRIALS,
+        },
+    )

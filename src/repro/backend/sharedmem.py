@@ -284,25 +284,37 @@ class SharedUnit:
     scheduler_kwargs: Mapping[str, Any] = field(default_factory=dict)
     noise: float = 0.0
     max_bytes: Optional[int] = None
+    channel: Optional[str] = None
+    power_policy: str = "uniform"
 
 
 def execute_shared_unit(unit: SharedUnit) -> SimulationResult:
     """Run one :class:`SharedUnit` — the sharedmem worker function."""
     from repro.backend import base
+    from repro.core.powercontrol import run_scheduler_with_power
     from repro.sim.montecarlo import simulate_schedule
 
     with base.use("sharedmem"):
         with span("parallel.unit", rep=unit.rep, algorithm=unit.name):
             problem = unit.payload.build_problem()
             with span("scheduler.run", algorithm=unit.name):
-                schedule = unit.scheduler(problem, **dict(unit.scheduler_kwargs))
+                # Re-powering drops the shared F cache (with_powers), so
+                # the non-uniform policies rebuild F from the attached
+                # distances — the same bits the plain executor computes.
+                schedule, powered = run_scheduler_with_power(
+                    problem,
+                    unit.scheduler,
+                    unit.power_policy,
+                    dict(unit.scheduler_kwargs),
+                )
             obs_metrics.inc("scheduler.links_admitted", schedule.size)
             return simulate_schedule(
-                problem,
+                powered,
                 schedule,
                 n_trials=unit.n_trials,
                 seed=stable_seed("fading", unit.rep, unit.name, root=unit.root_seed),
                 max_bytes=unit.max_bytes,
+                channel=unit.channel,
             )
 
 
@@ -369,6 +381,8 @@ def materialize_units(units) -> Tuple[List[SharedUnit], ShmArena]:
                         scheduler_kwargs=unit.scheduler_kwargs,
                         noise=unit.noise,
                         max_bytes=unit.max_bytes,
+                        channel=unit.channel,
+                        power_policy=unit.power_policy,
                     )
                 )
     except Exception:

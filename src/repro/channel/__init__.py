@@ -1,17 +1,44 @@
 """Channel models.
 
 - :mod:`repro.channel.pathloss` — the log-distance mean power law
-  ``P * d^-alpha`` shared by both models,
+  ``P * d^-alpha`` shared by every law,
 - :mod:`repro.channel.deterministic` — the classical physical (SINR)
   model used by the ApproxLogN / ApproxDiversity baselines,
 - :mod:`repro.channel.rayleigh` — the Rayleigh-fading law: per-pair
   exponential received powers (Eq. 5), the closed-form success
   probability of Theorem 3.1, and fading samplers,
+- :mod:`repro.channel.nakagami` — Nakagami-m fading (Gamma-distributed
+  instantaneous power; ``m = 1`` is Rayleigh, larger ``m`` milder),
+- :mod:`repro.channel.shadowing` — log-normal shadowing and the Suzuki
+  shadowing x Rayleigh composite,
+- :mod:`repro.channel.laws` — the pluggable :class:`ChannelLaw`
+  interface and registry (``rayleigh`` | ``nakagami`` | ``shadowing`` |
+  ``deterministic``) the simulator, experiments and CLI select from
+  (see ``docs/CHANNELS.md``),
 - :mod:`repro.channel.sampling` — batched and streaming (memory-bounded)
-  Monte-Carlo draws consumed by :mod:`repro.sim`.
+  Monte-Carlo draws consumed by :mod:`repro.sim`, parametrised by a
+  channel law.
 """
 
 from repro.channel.deterministic import deterministic_sinr, deterministic_success
+from repro.channel.laws import (
+    CHANNEL_LAWS,
+    ChannelLaw,
+    DeterministicLaw,
+    NakagamiLaw,
+    RayleighLaw,
+    ShadowingLaw,
+    channel_law_names,
+    get_channel_law,
+    register_channel_law,
+)
+from repro.channel.nakagami import (
+    NakagamiChannel,
+    fading_severity_sweep,
+    sample_nakagami_trials,
+    sample_received_power_nakagami,
+    success_probability_nakagami,
+)
 from repro.channel.pathloss import mean_received_power, pathloss_matrix
 from repro.channel.rayleigh import (
     RayleighChannel,
@@ -25,6 +52,10 @@ from repro.channel.sampling import (
     iter_fading_trials,
     sample_fading_trials,
     trial_chunk_size,
+)
+from repro.channel.shadowing import (
+    sample_shadowed_trials,
+    success_probability_shadowed,
 )
 
 __all__ = [
@@ -41,4 +72,23 @@ __all__ = [
     "fading_means",
     "trial_chunk_size",
     "DEFAULT_MAX_BYTES",
+    # channel-law interface (docs/CHANNELS.md)
+    "ChannelLaw",
+    "RayleighLaw",
+    "NakagamiLaw",
+    "ShadowingLaw",
+    "DeterministicLaw",
+    "CHANNEL_LAWS",
+    "get_channel_law",
+    "register_channel_law",
+    "channel_law_names",
+    # Nakagami-m module surface
+    "NakagamiChannel",
+    "sample_nakagami_trials",
+    "sample_received_power_nakagami",
+    "success_probability_nakagami",
+    "fading_severity_sweep",
+    # shadowing module surface
+    "sample_shadowed_trials",
+    "success_probability_shadowed",
 ]

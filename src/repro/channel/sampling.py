@@ -27,17 +27,29 @@ pin down):
 2. the layout is a public contract: any alternative sampler (e.g. one
    that drew the diagonal separately, or scaled before drawing) would
    silently break seed-compatibility with recorded results.
+
+The default draw is Rayleigh (one exponential stream).  Passing ``law=``
+swaps in any registered :class:`~repro.channel.laws.ChannelLaw`
+(Nakagami-m, Suzuki shadowing, deterministic); every law honours the
+same chunk-invariance contract — see :mod:`repro.channel.laws` for how
+each one lays out its stream(s).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import TYPE_CHECKING, Iterator, Tuple, Union
 
 import numpy as np
 
 from repro.channel.pathloss import pathloss_matrix
 from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.utils.rng import SeedLike, as_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (laws uses fading_means)
+    from repro.channel.laws import ChannelLaw
+
+LawLike = Union[None, str, "ChannelLaw"]
 
 #: Default byte budget for one streamed chunk of fading trials
 #: (see :func:`iter_fading_trials`).  128 MiB keeps the hot loop well
@@ -89,6 +101,27 @@ def fading_means(
     return idx, means
 
 
+def _resolve_law(law: LawLike):
+    """Resolve ``law`` to a :class:`~repro.channel.laws.ChannelLaw`, or
+    ``None`` for the default Rayleigh fast path.
+
+    The Rayleigh law's ``sample_chunk`` is bit-identical to the inline
+    draw below, but the inline path skips the law dispatch, the
+    ``channel.sample`` span and the ``channel.chunks_sampled`` counter —
+    keeping the legacy hot path's bits *and* observability snapshots
+    untouched.  Imported lazily: :mod:`repro.channel.laws` itself imports
+    :func:`fading_means` from this module.
+    """
+    if law is None:
+        return None
+    from repro.channel.laws import RayleighLaw, get_channel_law
+
+    resolved = get_channel_law(law)
+    if type(resolved) is RayleighLaw:
+        return None
+    return resolved
+
+
 def trial_chunk_size(k: int, max_bytes: int | None) -> int:
     """Trials per streamed chunk under a byte budget.
 
@@ -116,6 +149,7 @@ def iter_fading_trials(
     seed: SeedLike = None,
     max_bytes: int | None = None,
     chunk_trials: int | None = None,
+    law: LawLike = None,
 ) -> Iterator[np.ndarray]:
     """Stream fading trials in chunks along the trial axis.
 
@@ -135,9 +169,15 @@ def iter_fading_trials(
     chunk_trials:
         Explicit trials-per-chunk override (``>= 1``); wins over
         ``max_bytes``.
+    law:
+        Channel law (spec string or :class:`~repro.channel.laws.ChannelLaw`)
+        supplying the random factor; ``None``/Rayleigh keeps the inline
+        exponential draw.  Every registered law honours the same
+        chunk-invariant stream contract.
     """
     if n_trials < 0:
         raise ValueError("n_trials must be >= 0")
+    resolved = _resolve_law(law)
     idx, means = fading_means(distances, active, alpha, power=power)
     k = idx.size
     if k == 0 or n_trials == 0:
@@ -148,11 +188,17 @@ def iter_fading_trials(
     elif chunk_trials < 1:
         raise ValueError(f"chunk_trials must be >= 1, got {chunk_trials}")
     rng = as_rng(seed)
+    state = None if resolved is None else resolved.start_stream(rng, means)
     done = 0
     while done < n_trials:
         t_c = min(chunk_trials, n_trials - done)
-        z = rng.exponential(1.0, size=(t_c, k, k))
-        z *= means[None, :, :]
+        if resolved is None:
+            z = rng.exponential(1.0, size=(t_c, k, k))
+            z *= means[None, :, :]
+        else:
+            with span("channel.sample", law=resolved.name, trials=t_c):
+                z = resolved.sample_chunk(state, means, t_c)
+            obs_metrics.inc("channel.chunks_sampled")
         obs_metrics.inc("mc.chunks_sampled")
         yield z
         # Drop our reference before drawing the next chunk so only one
@@ -170,12 +216,15 @@ def sample_fading_trials(
     *,
     power: float | np.ndarray = 1.0,
     seed: SeedLike = None,
+    law: LawLike = None,
 ) -> np.ndarray:
     """Sample instantaneous power matrices for an active set.
 
     Materialises the full ``(T, K, K)`` tensor — convenient for small
     replays and tests; the simulator's hot path streams the same values
-    through :func:`iter_fading_trials` instead.
+    through :func:`iter_fading_trials` instead.  ``law`` selects the
+    channel law (``None`` = Rayleigh); for every registered law the
+    result is bit-identical to concatenating the streamed chunks.
 
     Parameters
     ----------
@@ -199,14 +248,18 @@ def sample_fading_trials(
     """
     if n_trials < 0:
         raise ValueError("n_trials must be >= 0")
+    resolved = _resolve_law(law)
     idx, means = fading_means(distances, active, alpha, power=power)
     k = idx.size
     if k == 0 or n_trials == 0:
         return np.zeros((n_trials, k, k), dtype=float)
     rng = as_rng(seed)
-    z = rng.exponential(1.0, size=(n_trials, k, k))
-    z *= means[None, :, :]
-    return z
+    if resolved is None:
+        z = rng.exponential(1.0, size=(n_trials, k, k))
+        z *= means[None, :, :]
+        return z
+    state = resolved.start_stream(rng, means)
+    return resolved.sample_chunk(state, means, n_trials)
 
 
 def instantaneous_sinr(z: np.ndarray, *, noise: float = 0.0) -> np.ndarray:

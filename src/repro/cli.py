@@ -7,8 +7,12 @@ Commands
 ``schedule``
     Run a scheduler on a workload file (or a fresh random one), verify
     feasibility, optionally Monte-Carlo simulate, print or save JSON.
-``figures``
-    Regenerate the paper's evaluation panels as tables (and JSON).
+``figures`` / ``fig5`` / ``fig6``
+    Regenerate the paper's evaluation panels as tables (and JSON);
+    ``fig5``/``fig6`` are shortcuts for the two panels of each figure.
+``power-sweep``
+    Run every registered scheduler over a channel-law x power-policy
+    grid (see ``docs/CHANNELS.md``).
 ``list``
     Show the registered schedulers.
 ``verify``
@@ -28,6 +32,13 @@ Global observability flags (before the command name):
   table on exit;
 - ``--profile`` wraps the command in cProfile and prints the top
   cumulative entries (independent of the obs switch).
+
+Channel flags (``schedule``/``figures``/``fig5``/``fig6``/``report``):
+``--channel SPEC`` selects the Monte-Carlo replay's fading law
+(``rayleigh`` | ``nakagami:m=...`` | ``shadowing:sigma_db=...`` |
+``deterministic``) and ``--power-policy`` a transmit-power policy;
+schedules stay certified under the paper's Rayleigh + uniform-power
+closed form (``docs/CHANNELS.md``).
 """
 
 from __future__ import annotations
@@ -130,6 +141,24 @@ def _backend(args: argparse.Namespace) -> str | None:
     return backend
 
 
+def _channel(args: argparse.Namespace) -> str | None:
+    """``--channel`` validated/canonicalised (None = keep config default)."""
+    spec = getattr(args, "channel", None)
+    if spec is None:
+        return None
+    from repro.channel.laws import get_channel_law
+
+    try:
+        return get_channel_law(spec).spec
+    except ValueError as exc:
+        raise SystemExit(f"--channel: {exc}")
+
+
+def _power_policy(args: argparse.Namespace) -> str | None:
+    """``--power-policy`` (choices are argparse-enforced)."""
+    return getattr(args, "power_policy", None)
+
+
 def _resilience(args: argparse.Namespace) -> dict:
     """Validated resilience knobs (``--unit-timeout``/``--max-retries``/
     ``--resume``) as ``with_resilience`` keyword arguments."""
@@ -156,10 +185,16 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         eps=args.eps,
         noise=args.noise,
     )
+    from repro.core.powercontrol import run_scheduler_with_power
+
     scheduler = get_scheduler(args.algorithm)
     kwargs = {"seed": args.seed} if args.algorithm in ("dls", "random", "protocol_mis") else {}
+    channel = _channel(args)
+    policy = _power_policy(args) or "uniform"
     with span("scheduler.run", algorithm=args.algorithm):
-        schedule = scheduler(problem, **kwargs)
+        schedule, powered = run_scheduler_with_power(
+            problem, scheduler, policy, kwargs
+        )
     obs_metrics.inc("scheduler.links_admitted", schedule.size)
 
     result = None
@@ -167,14 +202,18 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         from repro.sim.montecarlo import simulate_schedule
 
         result = simulate_schedule(
-            problem,
+            powered,
             schedule,
             n_trials=args.trials,
             seed=args.seed,
             max_bytes=_mc_max_bytes(args),
+            channel=channel,
         )
 
-    payload = schedule_to_dict(schedule, problem, result)
+    payload = schedule_to_dict(schedule, powered, result)
+    if channel is not None or policy != "uniform":
+        payload["channel"] = channel or "rayleigh"
+        payload["power_policy"] = policy
     if args.output:
         write_json(payload, args.output)
         print(f"wrote result to {args.output}")
@@ -206,13 +245,19 @@ def cmd_figures(args: argparse.Namespace) -> int:
         backend=_backend(args),
     )
     cfg = cfg.with_resilience(**_resilience(args))
+    cfg = cfg.with_channel(channel=_channel(args), power_policy=_power_policy(args))
     drivers = {
         "fig5a": (failed_vs_links, "mean_failed", "Fig. 5(a): failed transmissions vs #links"),
         "fig5b": (failed_vs_alpha, "mean_failed", "Fig. 5(b): failed transmissions vs alpha"),
         "fig6a": (throughput_vs_links, "mean_throughput", "Fig. 6(a): throughput vs #links"),
         "fig6b": (throughput_vs_alpha, "mean_throughput", "Fig. 6(b): throughput vs alpha"),
     }
-    panels = PANELS if args.panel == "all" else (args.panel,)
+    # ``repro fig5`` / ``repro fig6`` preselect their two panels; the
+    # general ``figures`` command goes through ``--panel``.
+    group = getattr(args, "panel_group", None)
+    panels = group or (PANELS if args.panel == "all" else (args.panel,))
+    if cfg.channel != "rayleigh" or cfg.power_policy != "uniform":
+        print(f"channel={cfg.channel} power_policy={cfg.power_policy}\n")
     collected = {}
     for panel in panels:
         driver, metric, title = drivers[panel]
@@ -425,12 +470,73 @@ def cmd_report(args: argparse.Namespace) -> int:
         backend=_backend(args),
     )
     cfg = cfg.with_resilience(**_resilience(args))
+    cfg = cfg.with_channel(channel=_channel(args), power_policy=_power_policy(args))
     text = generate_report(cfg)
     if args.output:
         Path(args.output).write_text(text)
         print(f"wrote report to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def cmd_power_sweep(args: argparse.Namespace) -> int:
+    """``repro power-sweep``: scheduler registry over channel x power grid."""
+    from repro.core.powercontrol import POWER_POLICIES
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.power_sweep import (
+        DEFAULT_CHANNELS,
+        format_power_sweep,
+        power_sweep,
+    )
+
+    cfg = ExperimentConfig().small().with_execution(
+        n_jobs=_n_jobs(args),
+        mc_max_bytes=_mc_max_bytes(args),
+        backend=_backend(args),
+    )
+    channels = tuple(args.channel) if args.channel else DEFAULT_CHANNELS
+    policies = tuple(args.policy) if args.policy else POWER_POLICIES
+    from repro.channel.laws import get_channel_law
+
+    try:
+        for spec in channels:
+            get_channel_law(spec)
+    except ValueError as exc:
+        raise SystemExit(f"--channel: {exc}")
+    try:
+        cells = power_sweep(
+            cfg,
+            channels=channels,
+            policies=policies,
+            schedulers=args.algorithm or None,
+            n_links=args.n_links,
+            n_repetitions=args.reps,
+            n_trials=args.trials,
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    print(format_power_sweep(cells))
+    if args.output:
+        payload = {
+            "grid": [
+                {
+                    "channel": cell.channel,
+                    "power_policy": cell.power_policy,
+                    "results": {
+                        name: {
+                            "mean_failed": r.mean_failed,
+                            "mean_throughput": r.mean_throughput,
+                            "mean_scheduled": r.mean_scheduled,
+                        }
+                        for name, r in cell.results.items()
+                    },
+                }
+                for cell in cells
+            ]
+        }
+        write_json(payload, args.output)
+        print(f"wrote power-sweep grid to {args.output}")
     return 0
 
 
@@ -460,6 +566,27 @@ def _add_backend_flag(p: argparse.ArgumentParser) -> None:
         help="compute backend: numpy (reference), sharedmem (zero-copy "
         "worker fan-out), numba (native kernels); results are "
         "bit-identical, unavailable backends fall back to numpy",
+    )
+
+
+def _add_channel_flags(p: argparse.ArgumentParser) -> None:
+    """Attach the channel-law / power-policy selectors (docs/CHANNELS.md)."""
+    from repro.core.powercontrol import POWER_POLICIES
+
+    p.add_argument(
+        "--channel",
+        metavar="SPEC",
+        default=None,
+        help="channel law for Monte-Carlo replays: 'rayleigh' (paper), "
+        "'nakagami:m=2', 'shadowing:sigma_db=6', 'deterministic', ...; "
+        "schedules stay certified under the paper's Rayleigh closed form",
+    )
+    p.add_argument(
+        "--power-policy",
+        choices=POWER_POLICIES,
+        default=None,
+        help="transmit-power policy applied around scheduling "
+        "(default: uniform, the paper's setting)",
     )
 
 
@@ -538,29 +665,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="memory budget (MiB) per Monte-Carlo replay chunk (default 128)",
     )
+    _add_channel_flags(s)
     s.add_argument("--output", help="write the JSON result here")
     s.set_defaults(fn=cmd_schedule)
 
+    def _add_figure_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--full", action="store_true", help="paper-scale configuration"
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker processes for the sweep grid (1 = serial, 0 = all "
+            "CPUs; results are identical for every value)",
+        )
+        p.add_argument(
+            "--mc-chunk-mb",
+            type=float,
+            default=None,
+            help="memory budget (MiB) per Monte-Carlo replay chunk (default 128)",
+        )
+        _add_backend_flag(p)
+        _add_resilience_flags(p)
+        _add_channel_flags(p)
+        p.add_argument("--output", help="write all series as JSON here")
+
     f = sub.add_parser("figures", help="regenerate the paper's evaluation panels")
     f.add_argument("--panel", choices=PANELS + ("all",), default="all")
-    f.add_argument("--full", action="store_true", help="paper-scale configuration")
-    f.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes for the sweep grid (1 = serial, 0 = all CPUs; "
-        "results are identical for every value)",
-    )
-    f.add_argument(
-        "--mc-chunk-mb",
-        type=float,
-        default=None,
-        help="memory budget (MiB) per Monte-Carlo replay chunk (default 128)",
-    )
-    _add_backend_flag(f)
-    _add_resilience_flags(f)
-    f.add_argument("--output", help="write all series as JSON here")
+    _add_figure_flags(f)
     f.set_defaults(fn=cmd_figures)
+
+    for group_name, group_panels, group_help in (
+        ("fig5", ("fig5a", "fig5b"), "regenerate Fig. 5 (failed transmissions)"),
+        ("fig6", ("fig6a", "fig6b"), "regenerate Fig. 6 (throughput)"),
+    ):
+        fg = sub.add_parser(group_name, help=group_help)
+        _add_figure_flags(fg)
+        fg.set_defaults(fn=cmd_figures, panel_group=group_panels)
 
     l = sub.add_parser("list", help="list registered schedulers")
     l.set_defaults(fn=cmd_list)
@@ -733,8 +875,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_flag(r)
     _add_resilience_flags(r)
+    _add_channel_flags(r)
     r.add_argument("--output", help="write markdown here instead of stdout")
     r.set_defaults(fn=cmd_report)
+
+    ps = sub.add_parser(
+        "power-sweep",
+        help="run every registered scheduler over a channel x power-policy grid",
+    )
+    ps.add_argument(
+        "--channel",
+        action="append",
+        metavar="SPEC",
+        default=None,
+        help="channel-law spec for the grid (repeatable; default: rayleigh, "
+        "nakagami:m=2, shadowing:sigma_db=6, deterministic)",
+    )
+    ps.add_argument(
+        "--policy",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="power policy for the grid (repeatable; default: all registered)",
+    )
+    ps.add_argument(
+        "--algorithm",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="scheduler to include (repeatable; default: every registered one)",
+    )
+    ps.add_argument("--n-links", type=int, default=12)
+    ps.add_argument("--reps", type=int, default=2, help="workload draws per cell")
+    ps.add_argument("--trials", type=int, default=100, help="Monte-Carlo trials")
+    ps.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes per cell sweep (1 = serial, 0 = all CPUs)",
+    )
+    ps.add_argument(
+        "--mc-chunk-mb",
+        type=float,
+        default=None,
+        help="memory budget (MiB) per Monte-Carlo replay chunk (default 128)",
+    )
+    _add_backend_flag(ps)
+    ps.add_argument("--output", help="write the JSON grid here")
+    ps.set_defaults(fn=cmd_power_sweep)
 
     t = sub.add_parser("trace", help="inspect observability trace files")
     tsub = t.add_subparsers(dest="trace_command", required=True)

@@ -21,18 +21,33 @@ top of the generalised model (per-link ``powers`` on
 All of these respect the closed-form feasibility of Cor. 3.1 (with
 noise factors), so results remain machine-checkable via
 ``problem.is_feasible``.
+
+The experiment pipeline selects among them by **name**: the
+:data:`POWER_POLICIES` registry (``uniform``,
+``distance_proportional``, ``min_uniform``, ``foschini_miljanic``)
+backs the ``power_policy`` field of
+:class:`~repro.experiments.config.ExperimentConfig` and the
+``--power-policy`` CLI flag; :func:`apply_power_policy` and
+:func:`run_scheduler_with_power` are the two entry points the
+executors call.  The first three policies re-power the instance
+*before* scheduling; ``foschini_miljanic`` schedules first and then
+re-powers the admitted set via :func:`min_power_assignment` (keeping
+the original powers when the iteration reports infeasibility), so it
+composes with any scheduler.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.core.problem import FadingRLS
 from repro.core.schedule import Schedule
 from repro.network.links import LinkSet
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 
 
 def distance_proportional_powers(
@@ -165,17 +180,23 @@ def min_power_assignment(
     own = np.diag(sub_d).copy()
 
     powers = np.full(idx.size, 1e-6)
-    for it in range(1, max_iterations + 1):
-        prev = powers.copy()
-        for j_local in range(idx.size):
-            req = _min_power_for_link(j_local, powers, own, sub_d, problem, p_max)
-            if not np.isfinite(req):
-                return PowerAssignment(
-                    feasible=False, powers=base, iterations=it, total_power=float("inf")
-                )
-            powers[j_local] = req
-        if np.max(np.abs(powers - prev)) <= tol * max(1.0, np.max(powers)):
-            break
+    with span("powercontrol.iterate", k=int(idx.size)):
+        for it in range(1, max_iterations + 1):
+            prev = powers.copy()
+            for j_local in range(idx.size):
+                req = _min_power_for_link(j_local, powers, own, sub_d, problem, p_max)
+                if not np.isfinite(req):
+                    obs_metrics.inc("powercontrol.iterations", it)
+                    return PowerAssignment(
+                        feasible=False,
+                        powers=base,
+                        iterations=it,
+                        total_power=float("inf"),
+                    )
+                powers[j_local] = req
+            if np.max(np.abs(powers - prev)) <= tol * max(1.0, np.max(powers)):
+                break
+    obs_metrics.inc("powercontrol.iterations", it)
 
     out = base
     out[idx] = np.maximum(powers, 1e-300)
@@ -203,3 +224,106 @@ def joint_power_schedule(
     powers = np.asarray(power_policy(problem), dtype=float)
     powered = problem.with_powers(powers)
     return scheduler(powered, **scheduler_kwargs), powered
+
+
+#: Named power policies selectable via config/CLI.  ``uniform`` is the
+#: paper's setting (keep the instance's powers untouched);
+#: ``distance_proportional`` and ``min_uniform`` re-power the instance
+#: before scheduling; ``foschini_miljanic`` re-powers the *scheduled*
+#: set afterwards (see :func:`run_scheduler_with_power`).
+POWER_POLICIES: Tuple[str, ...] = (
+    "uniform",
+    "distance_proportional",
+    "min_uniform",
+    "foschini_miljanic",
+)
+
+
+def _check_policy(policy: str) -> str:
+    if policy not in POWER_POLICIES:
+        raise ValueError(
+            f"unknown power policy {policy!r}; registered policies: "
+            f"{', '.join(POWER_POLICIES)}"
+        )
+    return policy
+
+
+def apply_power_policy(
+    problem: FadingRLS,
+    policy: str,
+    *,
+    active: Optional[np.ndarray] = None,
+) -> FadingRLS:
+    """Re-power ``problem`` according to a named policy.
+
+    ``uniform`` returns the problem unchanged.  ``foschini_miljanic``
+    needs a target set: with ``active`` it runs
+    :func:`min_power_assignment` over that set and applies the powers
+    only when the iteration certifies feasibility (else the original
+    problem is returned — the conservative fallback); without ``active``
+    it is a no-op, because the policy is defined relative to a schedule
+    (:func:`run_scheduler_with_power` supplies one).
+    """
+    _check_policy(policy)
+    if policy == "uniform":
+        return problem
+    if policy == "distance_proportional":
+        return problem.with_powers(
+            distance_proportional_powers(problem.links, problem.alpha)
+        )
+    if policy == "min_uniform":
+        p = min_uniform_power(problem)
+        if p <= 0.0:
+            return problem
+        return problem.with_powers(np.full(problem.n_links, p))
+    # foschini_miljanic
+    if active is None:
+        return problem
+    assignment = min_power_assignment(problem, active)
+    if not assignment.feasible:
+        return problem
+    return problem.with_powers(assignment.powers)
+
+
+def run_scheduler_with_power(
+    problem: FadingRLS,
+    scheduler: Callable[..., Schedule],
+    policy: str,
+    scheduler_kwargs: Optional[Dict] = None,
+) -> Tuple[Schedule, FadingRLS]:
+    """Run ``scheduler`` under a named power policy.
+
+    Pre-scheduling policies (``uniform``, ``distance_proportional``,
+    ``min_uniform``) re-power the instance first so the scheduler's own
+    feasibility test sees the final powers.  ``foschini_miljanic``
+    schedules on the base instance, then re-powers the admitted set
+    (powers applied only if the iteration certifies feasibility).
+    Returns ``(schedule, powered_problem)`` — simulate against the
+    returned problem, which is what the admitted links actually
+    transmit with.
+
+    **Uniform-power schedulers.**  The paper's algorithms (``ldp``,
+    ``rle``, ``approx_logn``, ``approx_diversity``) raise
+    :class:`~repro.core.base.SchedulerError` on per-link powers — their
+    theorems assume uniform power.  For those, a per-link policy falls
+    back to certifying the schedule on the *original* instance and
+    re-powering only the Monte-Carlo replay: the certificate keeps its
+    published (Rayleigh + uniform-power) assumptions, and the replay
+    measures how the schedule fares under the policy — the same
+    conservative contract the channel laws follow (``docs/CHANNELS.md``).
+    """
+    _check_policy(policy)
+    kwargs = scheduler_kwargs or {}
+    if policy == "foschini_miljanic":
+        schedule = scheduler(problem, **kwargs)
+        powered = apply_power_policy(problem, policy, active=schedule.active)
+        return schedule, powered
+    powered = apply_power_policy(problem, policy)
+    if powered is problem:
+        return scheduler(problem, **kwargs), problem
+    from repro.core.base import SchedulerError
+
+    try:
+        return scheduler(powered, **kwargs), powered
+    except SchedulerError:
+        return scheduler(problem, **kwargs), powered

@@ -9,7 +9,10 @@ Beyond the paper's four figure panels:
 - **A3** :func:`approximation_quality` — LDP/RLE scheduled rate against
   the exact optimum on small instances (feasible for exact solvers);
 - **A4** is runtime scaling and lives entirely in
-  ``benchmarks/test_scaling.py`` (pytest-benchmark owns the timing).
+  ``benchmarks/test_scaling.py`` (pytest-benchmark owns the timing);
+- **A5** :func:`channel_robustness` — how each scheduler's Monte-Carlo
+  metrics move when the simulated channel departs from the Rayleigh
+  law its certificates assume (``docs/CHANNELS.md``).
 
 Every driver takes ``n_jobs`` and fans its repetition grid out through
 :func:`repro.sim.parallel.fan_out` (1 = serial, bit-identical results
@@ -237,3 +240,51 @@ def approximation_quality(
         worst_ratio={k: float(np.max(v)) for k, v in ratios.items()},
         theoretical_bound={k: float(np.max(v)) for k, v in bounds.items()},
     )
+
+
+def channel_robustness(
+    *,
+    channels: Sequence[str] = (
+        "rayleigh",
+        "nakagami:m=2",
+        "nakagami:m=8",
+        "shadowing:sigma_db=6",
+        "deterministic",
+    ),
+    n_links: int = 60,
+    n_repetitions: int = 5,
+    n_trials: int = 200,
+    alpha: float = 3.0,
+    root_seed: int = 2017,
+    n_jobs: Optional[int] = 1,
+    policy: Optional["RetryPolicy"] = None,
+) -> Dict[str, Dict[str, "RunResult"]]:
+    """A5: the paper schedulers replayed under every channel law.
+
+    The schedulers (and their Rayleigh/Cor. 3.1 certificates) are held
+    fixed; only the Monte-Carlo channel varies, so differences isolate
+    how robust each certificate is to the fading model.  Every channel
+    shares the same root seed — paired comparison, like the figure
+    sweeps.  Returns ``{canonical channel spec: run_schedulers dict}``.
+    """
+    from repro.channel.laws import get_channel_law
+    from repro.experiments.config import ExperimentConfig, paper_scheduler_set
+    from repro.sim.runner import RunResult, run_schedulers  # noqa: F401
+
+    cfg = ExperimentConfig()
+    out: Dict[str, Dict[str, RunResult]] = {}
+    with span("experiment.ablation_channel", channels=len(channels)):
+        for spec in channels:
+            law = get_channel_law(spec)
+            out[law.spec] = run_schedulers(
+                paper_scheduler_set(),
+                cfg.workload(n_links),
+                n_repetitions=n_repetitions,
+                n_trials=n_trials,
+                alpha=alpha,
+                root_seed=root_seed,
+                n_jobs=n_jobs,
+                policy=policy,
+                channel=law.spec,
+            )
+    return out

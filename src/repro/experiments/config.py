@@ -89,6 +89,14 @@ class ExperimentConfig:
     completed work unit so an interrupted sweep resumes from where it
     stopped.
 
+    Channel knobs (``docs/CHANNELS.md``): ``channel`` selects the
+    fading law every Monte-Carlo replay samples (``rayleigh`` |
+    ``nakagami:m=...`` | ``shadowing:sigma_db=...`` | ``deterministic``,
+    see :mod:`repro.channel.laws`) and ``power_policy`` the named
+    transmit-power policy wrapped around each scheduler run
+    (:data:`repro.core.powercontrol.POWER_POLICIES`); set both via
+    :meth:`with_channel`.
+
     Dynamic-network knobs: ``incremental`` routes mobility traces
     through :class:`~repro.core.incremental.IncrementalScheduler`
     instead of per-step from-scratch runs; ``move_threshold``
@@ -122,6 +130,14 @@ class ExperimentConfig:
     workload_rate: float = 0.05
     workload_slots: int = 300
     workload_policy: str = "backlogged"
+    #: Channel-law spec for Monte-Carlo replays ("rayleigh" is the
+    #: paper's channel); set via :meth:`with_channel`, which
+    #: canonicalises and validates the spec.
+    channel: str = "rayleigh"
+    #: Named power policy from
+    #: :data:`repro.core.powercontrol.POWER_POLICIES` ("uniform" is the
+    #: paper's setting).
+    power_policy: str = "uniform"
 
     def workload(self, n_links: int) -> TopologyWorkload:
         """Per-repetition workload factory for ``n_links`` links.
@@ -234,6 +250,41 @@ class ExperimentConfig:
                     f"unknown workload policy {policy!r}; choose from {POLICIES}"
                 )
             out = replace(out, workload_policy=policy)
+        return out
+
+    def with_channel(
+        self,
+        *,
+        channel: Optional[str] = None,
+        power_policy: Optional[str] = None,
+    ) -> "ExperimentConfig":
+        """Copy with channel/power knobs replaced (unspecified kept).
+
+        ``channel`` is a law spec understood by
+        :func:`repro.channel.laws.get_channel_law` (e.g.
+        ``"nakagami:m=2"``, ``"shadowing:sigma_db=6"``); it is parsed
+        here, so typos fail at configuration time, and stored in
+        canonical form.  ``power_policy`` must name a
+        :data:`repro.core.powercontrol.POWER_POLICIES` entry.
+
+        >>> cfg = ExperimentConfig().with_channel(channel="shadowing:sigma_db=6")
+        >>> cfg.channel
+        'shadowing:sigma_db=6,static=false'
+        """
+        out = self
+        if channel is not None:
+            from repro.channel.laws import get_channel_law
+
+            out = replace(out, channel=get_channel_law(channel).spec)
+        if power_policy is not None:
+            from repro.core.powercontrol import POWER_POLICIES
+
+            if power_policy not in POWER_POLICIES:
+                raise ValueError(
+                    f"unknown power policy {power_policy!r}; choose from "
+                    f"{POWER_POLICIES}"
+                )
+            out = replace(out, power_policy=power_policy)
         return out
 
     def arrival_process(self):

@@ -65,6 +65,8 @@ def sweep_panel(
         policy=cfg.retry_policy(),
         checkpoint=cfg.unit_checkpoint(),
         backend=cfg.backend,
+        channel=cfg.channel,
+        power_policy=cfg.power_policy,
     )
     series: Dict[str, List[RunResult]] = {name: [] for name in schedulers}
     for results in per_point:

@@ -16,6 +16,13 @@ Two gates, both cheap enough to run before every test pass:
    with the standard :mod:`doctest` machinery.  Documented signatures
    that drift from the code fail here instead of silently rotting.
 
+3. **Channel reference** — every registered channel law
+   (:func:`repro.channel.laws.channel_law_names`) and power policy
+   (:data:`repro.core.powercontrol.POWER_POLICIES`) must appear
+   backticked in the matching section of ``docs/CHANNELS.md``, and its
+   doctest blocks run like API.md's.  Registering a law without
+   documenting it fails the build.
+
 The scanner is intentionally literal: instrumented call sites must
 write ``span("dotted.name", ...)`` / ``obs_metrics.inc("dotted.name",
 ...)`` with a **string literal** first argument (this is also the
@@ -139,11 +146,46 @@ def run_doctest_blocks(markdown: str, *, name: str = "docs") -> List[str]:
     return failures
 
 
+def check_channels_doc(channels_md: str) -> List[str]:
+    """Registered law/policy names missing from docs/CHANNELS.md sections."""
+    from repro.channel.laws import channel_law_names
+    from repro.core.powercontrol import POWER_POLICIES
+
+    problems: List[str] = []
+    law_section = _section(channels_md, "Channel laws")
+    policy_section = _section(channels_md, "Power policies")
+    if not law_section:
+        problems.append(
+            "docs/CHANNELS.md has no '## Channel laws' section (or it is empty)"
+        )
+    if not policy_section:
+        problems.append(
+            "docs/CHANNELS.md has no '## Power policies' section (or it is empty)"
+        )
+    _name_re = re.compile(r"`([a-z0-9_]+)`")
+    documented_laws = set(_name_re.findall(law_section))
+    documented_policies = set(_name_re.findall(policy_section))
+    for name in channel_law_names():
+        if name not in documented_laws:
+            problems.append(
+                f"channel law {name!r} is registered but not documented in the "
+                f"'Channel laws' section of docs/CHANNELS.md"
+            )
+    for name in POWER_POLICIES:
+        if name not in documented_policies:
+            problems.append(
+                f"power policy {name!r} is registered but not documented in the "
+                f"'Power policies' section of docs/CHANNELS.md"
+            )
+    return problems
+
+
 def run_checks(root: Path) -> List[str]:
     """All docs-contract checks for a repo rooted at ``root``."""
     problems: List[str] = []
     obs_md = root / "docs" / "OBSERVABILITY.md"
     api_md = root / "docs" / "API.md"
+    channels_md = root / "docs" / "CHANNELS.md"
     if not obs_md.exists():
         problems.append("docs/OBSERVABILITY.md does not exist")
     else:
@@ -152,6 +194,12 @@ def run_checks(root: Path) -> List[str]:
         problems.append("docs/API.md does not exist")
     else:
         problems.extend(run_doctest_blocks(api_md.read_text(), name="docs/API.md"))
+    if not channels_md.exists():
+        problems.append("docs/CHANNELS.md does not exist")
+    else:
+        text = channels_md.read_text()
+        problems.extend(check_channels_doc(text))
+        problems.extend(run_doctest_blocks(text, name="docs/CHANNELS.md"))
     return problems
 
 

@@ -1,7 +1,10 @@
 """Monte-Carlo transmission simulator.
 
-Replays schedules through the Rayleigh-fading channel to measure what
-the paper's Section V measures: failed transmissions and throughput.
+Replays schedules through a fading channel to measure what the paper's
+Section V measures: failed transmissions and throughput.  The replay
+defaults to the paper's Rayleigh law; every entry point takes a
+``channel=`` spec selecting any registered
+:class:`~repro.channel.laws.ChannelLaw` (``docs/CHANNELS.md``).
 
 - :mod:`repro.sim.montecarlo` — memory-bounded streaming fading trials
   per schedule,

@@ -1,4 +1,4 @@
-"""Monte-Carlo replay of a schedule through the Rayleigh channel.
+"""Monte-Carlo replay of a schedule through a fading channel.
 
 For a schedule (a set of simultaneously transmitting links) we draw
 ``n_trials`` independent fading realisations, compute every receiver's
@@ -18,6 +18,12 @@ Chunking along the trial axis preserves the RNG stream exactly (see the
 stream-layout contract in :mod:`repro.channel.sampling`), so results are
 bit-identical for every chunk size, including the legacy single-draw
 behaviour.
+
+The replay defaults to the paper's Rayleigh channel; ``channel=``
+selects any registered :class:`~repro.channel.laws.ChannelLaw`
+(``"nakagami:m=2"``, ``"shadowing:sigma_db=6"``, ``"deterministic"``).
+The law only changes what the trials sample — the success reduction,
+backend kernels, streaming budget and seeding are shared by every law.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ import numpy as np
 
 from repro.backend import base as backend_base
 from repro.backend.kernels import MCScratch
-from repro.channel.sampling import iter_fading_trials
+from repro.channel.sampling import LawLike, iter_fading_trials
 from repro.core.problem import FadingRLS
 from repro.core.schedule import Schedule
 from repro.obs import metrics as obs_metrics
@@ -65,6 +71,7 @@ def simulate_trials(
     noise: float | None = None,
     seed: SeedLike = None,
     max_bytes: int | None = None,
+    channel: LawLike = None,
 ) -> np.ndarray:
     """Boolean success matrix over fading trials.
 
@@ -87,6 +94,11 @@ def simulate_trials(
         :data:`~repro.channel.sampling.DEFAULT_MAX_BYTES`).  Only the
         ``(T, K)`` success matrix is held for the full run; peak extra
         memory is one chunk.
+    channel:
+        Channel-law spec (string or
+        :class:`~repro.channel.laws.ChannelLaw`); ``None`` is the
+        paper's Rayleigh channel, bit-identical to the historical
+        behaviour.
 
     Returns
     -------
@@ -112,6 +124,7 @@ def simulate_trials(
                 power=problem.tx_powers(),
                 seed=seed,
                 max_bytes=max_bytes,
+                law=channel,
             ):
                 t_c = z.shape[0]
                 # The backend kernel reduces the chunk through the reusable
@@ -141,17 +154,18 @@ def simulate_slot(
     *,
     noise: float | None = None,
     seed: SeedLike = None,
+    channel: LawLike = None,
 ) -> np.ndarray:
     """One fading realisation: per-link success of a single slot.
 
     The slotted queue simulator (:mod:`repro.workload.queues`) calls
     this once per time slot with an identity-derived seed, so each
     slot's channel draw is a pure function of ``(problem, active,
-    seed)`` — independent of backend, process and call order.  Returns
-    a ``(K,)`` bool array over the active links in *sorted index
-    order* (the same convention as :func:`simulate_trials`).
+    seed, channel)`` — independent of backend, process and call order.
+    Returns a ``(K,)`` bool array over the active links in *sorted
+    index order* (the same convention as :func:`simulate_trials`).
     """
-    success = simulate_trials(problem, active, 1, noise=noise, seed=seed)
+    success = simulate_trials(problem, active, 1, noise=noise, seed=seed, channel=channel)
     return success[0]
 
 
@@ -163,6 +177,7 @@ def simulate_schedule(
     noise: float | None = None,
     seed: SeedLike = None,
     max_bytes: int | None = None,
+    channel: LawLike = None,
 ) -> SimulationResult:
     """Replay a schedule and summarise the paper's metrics.
 
@@ -171,6 +186,10 @@ def simulate_schedule(
     success rates.  The analytic cross-check
     (:meth:`FadingRLS.success_probabilities`) should match the empirical
     rates within Monte-Carlo error — the integration tests assert it.
+    That cross-check is Rayleigh-specific: under a non-Rayleigh
+    ``channel`` the empirical rates estimate that law's success
+    probabilities instead (closed forms, where they exist, live on the
+    law — see :meth:`~repro.channel.laws.ChannelLaw.success_probability`).
     ``max_bytes`` bounds the replay's peak memory (see
     :func:`simulate_trials`); the summary is identical for every budget.
     """
@@ -178,7 +197,8 @@ def simulate_schedule(
     mask = problem.active_mask(active)
     idx = np.flatnonzero(mask)
     success = simulate_trials(
-        problem, idx, n_trials, noise=noise, seed=seed, max_bytes=max_bytes
+        problem, idx, n_trials, noise=noise, seed=seed, max_bytes=max_bytes,
+        channel=channel,
     )
     rates = problem.links.rates[idx]
     algorithm = schedule.algorithm if isinstance(schedule, Schedule) else "raw"

@@ -69,6 +69,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.experiments.store import UnitCheckpoint
     from repro.sim.resilient import RetryPolicy
 
+from repro.core.powercontrol import run_scheduler_with_power
 from repro.core.problem import FadingRLS
 from repro.core.schedule import Schedule
 from repro.network.links import LinkSet
@@ -147,6 +148,12 @@ class WorkUnit:
     #: Compute backend the unit executes under (installed in the worker;
     #: not part of the checkpoint key — backends are bit-identical).
     backend: str = "numpy"
+    #: Channel-law spec string (``None`` = Rayleigh).  Part of the
+    #: checkpoint key — the law changes the sampled trials.
+    channel: Optional[str] = None
+    #: Named power policy from :data:`repro.core.powercontrol.POWER_POLICIES`.
+    #: Part of the checkpoint key — re-powering changes the results.
+    power_policy: str = "uniform"
 
 
 def unit_key(unit: WorkUnit) -> str:
@@ -178,6 +185,13 @@ def _describe_callable(fn: Any) -> str:
     return repr(fn)
 
 
+def _canonical_channel(channel: Optional[str]) -> str:
+    """Canonical spec string of a unit's channel (``None`` = Rayleigh)."""
+    from repro.channel.laws import get_channel_law
+
+    return get_channel_law(channel).spec
+
+
 def checkpoint_key(unit: WorkUnit) -> str:
     """Content hash of everything that determines a unit's result.
 
@@ -204,6 +218,11 @@ def checkpoint_key(unit: WorkUnit) -> str:
             "scheduler_kwargs": sorted(
                 (k, repr(v)) for k, v in dict(unit.scheduler_kwargs).items()
             ),
+            # Canonical law spec, so "shadowing:sigma_db=6" and its
+            # fully-spelled form hash the same; None normalises to the
+            # Rayleigh default.
+            "channel": _canonical_channel(unit.channel),
+            "power_policy": unit.power_policy,
         },
     )
 
@@ -238,14 +257,17 @@ def execute_unit(unit: WorkUnit) -> SimulationResult:
             noise=unit.noise,
         )
         with span("scheduler.run", algorithm=unit.name):
-            schedule = unit.scheduler(problem, **dict(unit.scheduler_kwargs))
+            schedule, powered = run_scheduler_with_power(
+                problem, unit.scheduler, unit.power_policy, dict(unit.scheduler_kwargs)
+            )
         obs_metrics.inc("scheduler.links_admitted", schedule.size)
         return simulate_schedule(
-            problem,
+            powered,
             schedule,
             n_trials=unit.n_trials,
             seed=stable_seed("fading", unit.rep, unit.name, root=unit.root_seed),
             max_bytes=unit.max_bytes,
+            channel=unit.channel,
         )
 
 
@@ -507,6 +529,8 @@ def build_units(
     noise: float = 0.0,
     max_bytes: Optional[int] = None,
     backend: str = "numpy",
+    channel: Optional[str] = None,
+    power_policy: str = "uniform",
 ) -> List[WorkUnit]:
     """The ``rep x scheduler`` unit grid for one sweep point.
 
@@ -531,6 +555,8 @@ def build_units(
             noise=noise,
             max_bytes=max_bytes,
             backend=backend,
+            channel=channel,
+            power_policy=power_policy,
         )
         for rep in range(n_repetitions)
         for name, scheduler in schedulers.items()

@@ -109,6 +109,8 @@ def run_schedulers(
     policy: Optional["RetryPolicy"] = None,
     checkpoint: Optional["UnitCheckpoint"] = None,
     backend: str = "numpy",
+    channel: Optional[str] = None,
+    power_policy: str = "uniform",
 ) -> Dict[str, RunResult]:
     """Run every scheduler on ``n_repetitions`` random workloads.
 
@@ -151,6 +153,15 @@ def run_schedulers(
         see :mod:`repro.backend`); unavailable backends fall back to
         ``numpy`` with a warning.  Results are bit-identical across
         backends.
+    channel:
+        Channel-law spec for the Monte-Carlo replay
+        (:func:`repro.channel.laws.get_channel_law`); ``None`` is the
+        paper's Rayleigh channel.
+    power_policy:
+        Named power policy
+        (:data:`repro.core.powercontrol.POWER_POLICIES`) applied around
+        each scheduler run; ``uniform`` (default) keeps the instance's
+        powers untouched.
 
     Returns
     -------
@@ -171,6 +182,8 @@ def run_schedulers(
             scheduler_kwargs=scheduler_kwargs,
             max_bytes=max_bytes,
             backend=backend,
+            channel=channel,
+            power_policy=power_policy,
         )
         obs_metrics.inc("runner.units_built", len(units))
         results = execute_units(units, n_jobs=n_jobs, policy=policy, checkpoint=checkpoint)
@@ -313,6 +326,8 @@ def run_sweep(
     policy: Optional["RetryPolicy"] = None,
     checkpoint: Optional["UnitCheckpoint"] = None,
     backend: str = "numpy",
+    channel: Optional[str] = None,
+    power_policy: str = "uniform",
 ) -> List[Dict[str, RunResult]]:
     """Run a whole sweep as one flat parallel unit list.
 
@@ -320,7 +335,8 @@ def run_sweep(
     :class:`SweepPoint` (same seeds, same results, in order) — but all
     ``point x rep x scheduler`` cells share a single process pool, so
     small per-point grids still saturate the workers.  ``policy``,
-    ``checkpoint`` and ``backend`` behave as in :func:`run_schedulers`.
+    ``checkpoint``, ``backend``, ``channel`` and ``power_policy`` behave
+    as in :func:`run_schedulers`.
     """
     with span("runner.run_sweep", points=len(points), schedulers=len(schedulers)):
         all_units: List[WorkUnit] = []
@@ -339,6 +355,8 @@ def run_sweep(
                     scheduler_kwargs=scheduler_kwargs,
                     max_bytes=max_bytes,
                     backend=backend,
+                    channel=channel,
+                    power_policy=power_policy,
                 )
             )
         obs_metrics.inc("runner.units_built", len(all_units))
@@ -391,5 +409,6 @@ def run_workload(
                 n_slots=config.workload_slots,
                 seed=config.root_seed if seed is None else seed,
                 policy=config.workload_policy,
+                channel=config.channel,
             )
     return result, summarize_workload(result)

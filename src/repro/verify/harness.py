@@ -26,9 +26,11 @@ from repro.verify.differential import CheckFn, DIFFERENTIAL_CHECKS
 from repro.verify.fuzz import FAMILIES, Scenario, make_scenario
 from repro.verify.metamorphic import METAMORPHIC_RELATIONS
 
-# Imported for its registration side-effect: the queue-stability
-# relations live in their own module (they pull in repro.workload) but
-# register into the same METAMORPHIC_RELATIONS registry read above.
+# Imported for their registration side-effects: the queue-stability
+# relations (they pull in repro.workload) and the channel-law oracles
+# (they pull in repro.channel.laws) live in their own modules but
+# register into the same registries read above.
+from repro.verify import channels  # noqa: F401  (registration import)
 from repro.verify import stability  # noqa: F401  (registration import)
 from repro.verify.report import CheckOutcome, VerificationReport
 

@@ -288,6 +288,7 @@ def simulate_workload(
     policy: str = "backlogged",
     max_queue: Optional[int] = None,
     scheduler_kwargs: Optional[dict] = None,
+    channel: Optional[str] = None,
 ) -> WorkloadResult:
     """Run the slotted queue simulation (see the module docstring).
 
@@ -314,6 +315,10 @@ def simulate_workload(
     scheduler_kwargs:
         Extra keyword arguments for the scheduler (forwarded to the
         cover builder under the ``multislot`` policy).
+    channel:
+        Channel-law spec for the per-slot fading draw
+        (:func:`repro.channel.laws.get_channel_law`); ``None`` is the
+        Rayleigh default, bit-identical to the historical behaviour.
 
     Returns
     -------
@@ -367,7 +372,10 @@ def simulate_workload(
             # 3. One fading realisation decides per-link success.
             if chosen.size:
                 success = simulate_slot(
-                    problem, chosen, seed=stable_seed("workload.fading", t, root=seed)
+                    problem,
+                    chosen,
+                    seed=stable_seed("workload.fading", t, root=seed),
+                    channel=channel,
                 )
                 # simulate_slot reports links in sorted-index order and
                 # every policy returns sorted ids, so they align 1:1.

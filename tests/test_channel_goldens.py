@@ -1,0 +1,75 @@
+"""Byte-pinned golden draws for every registered channel law.
+
+The goldens under ``tests/goldens/channel_*.json`` pin the exact
+float64 bits each law's sampler produces for a fixed (topology, active
+set, seed): the JSON stores the full values (``repr`` round-trips
+doubles exactly) plus a SHA-256 of the raw buffer.  Regenerate only on
+a deliberate contract change: ``python tools/regen_channel_goldens.py``.
+
+The cross-process test re-computes one hash in a fresh interpreter, so
+accidental dependence on in-process state (import order, a module-level
+RNG) cannot hide.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+TOOLS_DIR = Path(__file__).parents[1] / "tools"
+sys.path.insert(0, str(TOOLS_DIR))
+
+from regen_channel_goldens import (  # noqa: E402
+    GOLDEN_DIR,
+    SPECS,
+    golden_draw,
+    sha256_of,
+)
+
+GOLDEN_FILES = sorted(GOLDEN_DIR.glob("channel_*.json"))
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+class TestGoldenDraws:
+    def test_one_golden_per_spec(self):
+        assert len(GOLDEN_FILES) == len(SPECS)
+
+    @pytest.mark.parametrize("path", GOLDEN_FILES, ids=lambda p: p.stem)
+    def test_values_bit_identical(self, path):
+        payload = _load(path)
+        z = golden_draw(payload["spec"])
+        assert list(z.shape) == payload["shape"]
+        golden = np.array(payload["values"], dtype=np.float64)
+        # Exact equality: JSON floats round-trip float64 bits.
+        np.testing.assert_array_equal(z, golden)
+
+    @pytest.mark.parametrize("path", GOLDEN_FILES, ids=lambda p: p.stem)
+    def test_buffer_hash_matches(self, path):
+        payload = _load(path)
+        assert sha256_of(golden_draw(payload["spec"])) == payload["sha256"]
+
+    def test_cross_process_hash(self):
+        """A fresh interpreter reproduces the golden bits."""
+        payload = _load(GOLDEN_FILES[0])
+        code = (
+            "import sys; sys.path.insert(0, {tools!r}); "
+            "from regen_channel_goldens import golden_draw, sha256_of; "
+            "print(sha256_of(golden_draw({spec!r})))"
+        ).format(tools=str(TOOLS_DIR), spec=payload["spec"])
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.strip() == payload["sha256"]
+
+    def test_goldens_differ_across_laws(self):
+        hashes = {_load(p)["sha256"] for p in GOLDEN_FILES}
+        assert len(hashes) == len(GOLDEN_FILES)

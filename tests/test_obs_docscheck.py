@@ -46,7 +46,7 @@ def _copy_repo_docs_and_src(tmp_path: Path) -> Path:
     root = tmp_path / "repo"
     (root / "docs").mkdir(parents=True)
     shutil.copytree(REPO_ROOT / "src", root / "src")
-    for page in ("OBSERVABILITY.md", "API.md"):
+    for page in ("OBSERVABILITY.md", "API.md", "CHANNELS.md"):
         shutil.copy(REPO_ROOT / "docs" / page, root / "docs" / page)
     return root
 
@@ -114,6 +114,14 @@ class TestDoctestGate:
         problems = docscheck.run_checks(root)
         assert len(problems) == 1
 
+    def test_failing_channels_snippet_reported(self, tmp_path):
+        root = _copy_repo_docs_and_src(tmp_path)
+        ch = root / "docs" / "CHANNELS.md"
+        ch.write_text(ch.read_text() + "\n```python\n>>> 2 + 2\n5\n```\n")
+        problems = docscheck.run_checks(root)
+        assert len(problems) == 1
+        assert "CHANNELS.md" in problems[0]
+
     def test_blocks_without_prompts_are_ignored(self):
         md = "```python\nraise RuntimeError('not a doctest')\n```\n"
         assert docscheck.doctest_blocks(md) == []
@@ -126,3 +134,38 @@ class TestDoctestGate:
         )
         spans, metrics = docscheck.catalogued_names(md)
         assert spans == {"a.b"} and metrics == {"c.d"}
+
+
+class TestChannelsGate:
+    def test_repo_channels_doc_is_complete(self):
+        problems = docscheck.run_checks(REPO_ROOT)
+        assert problems == []
+
+    def test_fails_when_law_removed_from_table(self, tmp_path):
+        root = _copy_repo_docs_and_src(tmp_path)
+        ch = root / "docs" / "CHANNELS.md"
+        text = ch.read_text()
+        assert "`nakagami`" in text
+        ch.write_text(text.replace("`nakagami`", "`renamed_law`"))
+        problems = docscheck.run_checks(root)
+        assert any("'nakagami'" in p and "Channel laws" in p for p in problems)
+
+    def test_fails_when_policy_removed_from_table(self, tmp_path):
+        root = _copy_repo_docs_and_src(tmp_path)
+        ch = root / "docs" / "CHANNELS.md"
+        ch.write_text(ch.read_text().replace("`min_uniform`", "`gone`"))
+        problems = docscheck.run_checks(root)
+        assert any("'min_uniform'" in p and "Power policies" in p for p in problems)
+
+    def test_fails_when_channels_md_missing(self, tmp_path):
+        root = _copy_repo_docs_and_src(tmp_path)
+        (root / "docs" / "CHANNELS.md").unlink()
+        problems = docscheck.run_checks(root)
+        assert any("docs/CHANNELS.md does not exist" in p for p in problems)
+
+    def test_fails_when_section_heading_renamed(self, tmp_path):
+        root = _copy_repo_docs_and_src(tmp_path)
+        ch = root / "docs" / "CHANNELS.md"
+        ch.write_text(ch.read_text().replace("## Channel laws", "## Laws"))
+        problems = docscheck.run_checks(root)
+        assert any("no '## Channel laws' section" in p for p in problems)

@@ -1,0 +1,131 @@
+"""Named power policies (`repro.core.powercontrol` registry layer).
+
+`apply_power_policy` semantics per policy, and the
+`run_scheduler_with_power` contract — including the documented
+fallback for the paper's uniform-power-only schedulers
+(docs/CHANNELS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.base import SchedulerError, get_scheduler
+from repro.core.powercontrol import (
+    POWER_POLICIES,
+    apply_power_policy,
+    distance_proportional_powers,
+    run_scheduler_with_power,
+)
+from repro.core.problem import FadingRLS
+from repro.network.topology import paper_topology
+
+
+def make_problem(n=20, seed=5, noise=0.0):
+    return FadingRLS(links=paper_topology(n, seed=seed), alpha=3.0, noise=noise)
+
+
+class TestApplyPowerPolicy:
+    def test_registry_contents(self):
+        assert POWER_POLICIES == (
+            "uniform",
+            "distance_proportional",
+            "min_uniform",
+            "foschini_miljanic",
+        )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown power policy"):
+            apply_power_policy(make_problem(), "nope")
+
+    def test_uniform_is_identity(self):
+        p = make_problem()
+        assert apply_power_policy(p, "uniform") is p
+
+    def test_distance_proportional_powers(self):
+        p = make_problem()
+        powered = apply_power_policy(p, "distance_proportional")
+        assert powered is not p
+        want = distance_proportional_powers(p.links, p.alpha)
+        np.testing.assert_array_equal(powered.tx_powers(), want)
+        assert not powered.has_uniform_power
+
+    def test_min_uniform_noiseless_is_identity(self):
+        p = make_problem(noise=0.0)
+        assert apply_power_policy(p, "min_uniform") is p
+
+    def test_min_uniform_with_noise_serviceable(self):
+        p = make_problem(noise=1e-6)
+        powered = apply_power_policy(p, "min_uniform")
+        assert powered is not p
+        powers = powered.tx_powers()
+        assert np.all(powers == powers[0]) and powers[0] > 0
+        # Every singleton must be serviceable under the new power.
+        for j in range(powered.n_links):
+            assert powered.is_feasible([j])
+
+    def test_foschini_without_active_is_identity(self):
+        p = make_problem()
+        assert apply_power_policy(p, "foschini_miljanic") is p
+
+    def test_foschini_repowers_feasible_set(self):
+        p = make_problem()
+        schedule = get_scheduler("greedy")(p)
+        powered = apply_power_policy(
+            p, "foschini_miljanic", active=schedule.active
+        )
+        assert powered.is_feasible(schedule.active, tol=1e-6)
+        # Minimal powers are (weakly) below the uniform baseline.
+        assert powered.tx_powers()[schedule.active].max() <= p.tx_powers().max() + 1e-12
+
+
+class TestRunSchedulerWithPower:
+    def test_uniform_runs_on_base_problem(self):
+        p = make_problem()
+        schedule, powered = run_scheduler_with_power(p, get_scheduler("rle"), "uniform")
+        assert powered is p
+        assert schedule.active.tolist() == get_scheduler("rle")(p).active.tolist()
+
+    def test_generalised_scheduler_sees_powers(self):
+        p = make_problem()
+        schedule, powered = run_scheduler_with_power(
+            p, get_scheduler("greedy"), "distance_proportional"
+        )
+        assert not powered.has_uniform_power
+        # The schedule was built on (and is feasible for) the powered instance.
+        assert powered.is_feasible(schedule.active)
+
+    @pytest.mark.parametrize("name", ("ldp", "rle", "approx_logn", "approx_diversity"))
+    def test_uniform_power_scheduler_fallback(self, name):
+        """Paper schedulers reject per-link powers; the runner certifies
+        on the base instance and re-powers only the replay."""
+        p = make_problem()
+        scheduler = get_scheduler(name)
+        with pytest.raises(SchedulerError):
+            scheduler(apply_power_policy(p, "distance_proportional"))
+        schedule, powered = run_scheduler_with_power(
+            p, scheduler, "distance_proportional"
+        )
+        assert not powered.has_uniform_power
+        # The certificate holds on the instance the scheduler saw.
+        assert schedule.active.tolist() == scheduler(p).active.tolist()
+
+    def test_foschini_schedules_first(self):
+        p = make_problem()
+        scheduler = get_scheduler("rle")
+        schedule, powered = run_scheduler_with_power(p, scheduler, "foschini_miljanic")
+        assert schedule.active.tolist() == scheduler(p).active.tolist()
+        assert powered.is_feasible(schedule.active, tol=1e-6)
+
+    def test_scheduler_kwargs_forwarded(self):
+        p = make_problem()
+        sched_a, _ = run_scheduler_with_power(
+            p, get_scheduler("dls"), "uniform", {"seed": 7}
+        )
+        sched_b, _ = run_scheduler_with_power(
+            p, get_scheduler("dls"), "uniform", {"seed": 7}
+        )
+        assert sched_a.active.tolist() == sched_b.active.tolist()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown power policy"):
+            run_scheduler_with_power(make_problem(), get_scheduler("rle"), "bogus")

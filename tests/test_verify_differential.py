@@ -15,6 +15,7 @@ from repro.verify.differential import (
     register_differential,
 )
 from repro.verify.fuzz import FAMILIES, make_scenario
+from repro.verify import channels  # noqa: F401  (registers channel-vs-rayleigh)
 
 
 class TestRegistry:
@@ -28,6 +29,7 @@ class TestRegistry:
             "with-params-cache-carry",
             "incremental-vs-scratch",
             "backend-vs-numpy",
+            "channel-vs-rayleigh",
         }
 
     def test_duplicate_registration_rejected(self):

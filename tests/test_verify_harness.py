@@ -20,7 +20,9 @@ class TestCheckResolution:
         assert "eps-monotonicity" in names  # metamorphic
         assert "backend-vs-numpy" in names  # backend bit-identity
         assert "lambda-drain" in names  # queue stability
-        assert len(names) == 15
+        assert "channel-vs-rayleigh" in names  # channel laws
+        assert "nakagami-unit-closed-form" in names
+        assert len(names) == 19
 
     def test_subset_selection(self):
         selected = resolve_checks(["eps-monotonicity", "cached-vs-certificate"])

@@ -12,6 +12,7 @@ from repro.verify.metamorphic import (
     relation_scale_invariance,
     relation_subset_feasibility,
 )
+from repro.verify import channels  # noqa: F401  (registers channel relations)
 from repro.verify import stability  # noqa: F401  (registers queue relations)
 
 
@@ -26,6 +27,10 @@ class TestRegistry:
             # queue-stability relations (repro.verify.stability)
             "lambda-drain",
             "service-capacity",
+            # channel-law relations (repro.verify.channels)
+            "shadowing-zero-recovers-rayleigh",
+            "nakagami-unit-closed-form",
+            "nakagami-m-monotonicity",
         }
 
     def test_duplicate_registration_rejected(self):

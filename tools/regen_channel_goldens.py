@@ -1,0 +1,81 @@
+"""Regenerate the golden channel-law draws under ``tests/goldens/``.
+
+Run only when the sampling contract *deliberately* changes (a new
+default parameter, a changed stream layout): ``PYTHONPATH=src python
+tools/regen_channel_goldens.py``.  The byte-exact comparison in
+``tests/test_channel_goldens.py`` pins both the JSON float values
+(``repr`` round-trips doubles exactly) and a SHA-256 of the raw
+little-endian float64 buffer, so any bit drift in any registered law's
+sampler — RNG stream order, mean scaling, the shadowing stream split —
+fails loudly, in-process and across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.channel.laws import get_channel_law
+from repro.channel.sampling import sample_fading_trials
+from repro.core.problem import FadingRLS
+from repro.network.topology import paper_topology
+
+SEED, N_LINKS, N_TRIALS, ALPHA = 20170808, 6, 5, 3.0
+ACTIVE = [0, 2, 3, 5]
+SPECS = (
+    "rayleigh",
+    "nakagami:m=2",
+    "nakagami:m=0.5",
+    "shadowing:sigma_db=6",
+    "shadowing:sigma_db=4,static=true",
+    "deterministic",
+)
+GOLDEN_DIR = Path(__file__).parents[1] / "tests" / "goldens"
+
+
+def golden_draw(spec: str):
+    import numpy as np
+
+    problem = FadingRLS(links=paper_topology(N_LINKS, seed=SEED), alpha=ALPHA)
+    z = sample_fading_trials(
+        problem.distances(),
+        np.array(ACTIVE),
+        ALPHA,
+        N_TRIALS,
+        seed=SEED,
+        law=get_channel_law(spec),
+    )
+    return np.ascontiguousarray(z, dtype=np.float64)
+
+
+def sha256_of(arr) -> str:
+    return hashlib.sha256(arr.tobytes()).hexdigest()
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for spec in SPECS:
+        law = get_channel_law(spec)
+        z = golden_draw(spec)
+        payload = {
+            "spec": law.spec,
+            "seed": SEED,
+            "n_links": N_LINKS,
+            "n_trials": N_TRIALS,
+            "alpha": ALPHA,
+            "active": ACTIVE,
+            "shape": list(z.shape),
+            "sha256": sha256_of(z),
+            "values": z.tolist(),
+        }
+        slug = law.spec.replace(":", "_").replace(",", "_").replace("=", "")
+        path = GOLDEN_DIR / f"channel_{slug}.json"
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path} (sha256 {payload['sha256'][:12]}...)")
+
+
+if __name__ == "__main__":
+    main()
