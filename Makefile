@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-smoke bench-traffic bench-channels bench-kernels bench-gate chaos figures verify-fuzz coverage docs-check ci-local
+.PHONY: test lint bench bench-smoke bench-traffic bench-channels bench-cache bench-kernels bench-gate chaos figures verify-fuzz coverage coverage-gate docs-check ci-local
 
 test: lint docs-check ## tier-1 test suite (cheap static gates first)
 	$(PYTHON) -m pytest -x -q
@@ -37,6 +37,9 @@ bench-traffic:   ## traffic-scenario smoke bench (workload stack + stability bis
 bench-channels:  ## channel x power grid smoke bench (pluggable-law replay path)
 	$(PYTHON) -m pytest benchmarks/test_channel_smoke.py -q -s
 
+bench-cache:     ## schedule-cache smoke bench (exact-hit serving vs uncached)
+	$(PYTHON) -m pytest benchmarks/test_cache_smoke.py -q -s
+
 bench-kernels:   ## compute-kernel micro-benchmarks (feasibility/F-build/MC/submit path)
 	$(PYTHON) -m pytest benchmarks/test_kernel_micro.py -q -s
 
@@ -61,6 +64,9 @@ coverage:        ## tier-1 suite under coverage with a floor (needs pytest-cov; 
 		echo "pytest-cov not installed; running plain test suite instead"; \
 		$(PYTHON) -m pytest -q; \
 	fi
+
+coverage-gate:   ## stdlib coverage ratchet vs tools/coverage_baseline.json (+ repro.cache 90% floor)
+	$(PYTHON) tools/coverage_gate.py
 
 ci-local:        ## everything the CI pipeline runs, locally
 	$(MAKE) lint

@@ -1,0 +1,100 @@
+"""Schedule-cache benchmark: exact-hit serving vs uncached scheduling.
+
+Replays a repeated-topology request stream — the serving-scale workload
+shape from ROADMAP O5, where the same instances come back over and
+over — through a warm :class:`~repro.cache.ScheduleCache` and through
+the bare scheduler, asserting every cached answer is the stored
+``Schedule`` object (exact tier, bit-identical by construction) and the
+hit path is at least 5x faster per request, and records both wall
+times (plus the speedup) to ``BENCH_RESULTS.json``.
+
+Runs with the smoke marker so ``make bench-smoke`` / the CI deep run
+leave a data point for ``tools/bench_gate.py`` to regress against.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks import bench_export
+from repro.cache import ScheduleCache
+from repro.core.base import get_scheduler
+from repro.core.problem import FadingRLS
+from repro.network.topology import paper_topology
+
+#: Distinct topologies in the pool x rounds through the pool.  Round 1
+#: is all misses (it warms the cache); the timed stream replays the
+#: pool HIT_ROUNDS more times, all exact hits.
+N_TOPOLOGIES = 6
+HIT_ROUNDS = 5
+#: Large enough that rle's O(N^2) work dwarfs the O(N) exact-key hash.
+N_LINKS = 120
+SEED = 2017
+SCHEDULER = "rle"
+#: Best-of-N wall times; single runs on loaded CI boxes are too noisy
+#: for a ratio assertion.
+REPEATS = 3
+
+
+def _problems():
+    return [
+        FadingRLS(links=paper_topology(N_LINKS, seed=SEED + i))
+        for i in range(N_TOPOLOGIES)
+    ]
+
+
+def _run_cached(problems) -> float:
+    cache = ScheduleCache(capacity=2 * N_TOPOLOGIES)
+    warmed = [cache.schedule(p, SCHEDULER) for p in problems]  # all misses
+    t0 = time.perf_counter()
+    for _ in range(HIT_ROUNDS):
+        for problem, reference in zip(problems, warmed):
+            served = cache.schedule(problem, SCHEDULER)
+            assert served is reference  # exact tier: the stored object back
+    wall = time.perf_counter() - t0
+    assert cache.stats["exact_hits"] == HIT_ROUNDS * N_TOPOLOGIES
+    assert cache.stats["misses"] == N_TOPOLOGIES
+    return wall
+
+
+def _run_fresh(problems) -> float:
+    scheduler = get_scheduler(SCHEDULER)
+    t0 = time.perf_counter()
+    for _ in range(HIT_ROUNDS):
+        for problem in problems:
+            scheduler(problem)
+    return time.perf_counter() - t0
+
+
+@pytest.mark.smoke
+def test_cache_hit_path_speedup():
+    problems = _problems()
+    hit_wall = min(_run_cached(problems) for _ in range(REPEATS))
+    fresh_wall = min(_run_fresh(problems) for _ in range(REPEATS))
+    speedup = fresh_wall / hit_wall if hit_wall > 0 else float("inf")
+
+    n_requests = HIT_ROUNDS * N_TOPOLOGIES
+    bench_export.record(
+        "cache_hit_speedup",
+        hit_wall,
+        {
+            "fresh_wall_seconds": fresh_wall,
+            "speedup": speedup,
+            "n_topologies": N_TOPOLOGIES,
+            "hit_rounds": HIT_ROUNDS,
+            "n_links": N_LINKS,
+            "repeats": REPEATS,
+            "scheduler": SCHEDULER,
+        },
+    )
+    print(
+        f"\ncache hits: {hit_wall * 1000:.1f}ms, uncached: "
+        f"{fresh_wall * 1000:.1f}ms for {n_requests} requests, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, (
+        f"expected the exact-hit path to beat uncached scheduling by >= 5x "
+        f"over {n_requests} repeated {N_LINKS}-link requests, got {speedup:.1f}x"
+    )

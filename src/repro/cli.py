@@ -352,8 +352,24 @@ def cmd_traffic(args: argparse.Namespace) -> int:
             )
         except ValueError as exc:
             raise SystemExit(str(exc))
+    cache = None
+    if args.cache:
+        from repro.cache.store import ScheduleCache
+
+        if scenario.policy != "backlogged":
+            raise SystemExit(
+                f"--cache requires the 'backlogged' policy, got {scenario.policy!r}"
+            )
+        try:
+            cache = ScheduleCache(
+                capacity=args.cache_capacity,
+                policy=args.cache_policy,
+                directory=None if args.cache == "memory" else args.cache,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
     with use_backend(_backend(args)):
-        payload = run_scenario(scenario, n_jobs=_n_jobs(args) or 1)
+        payload = run_scenario(scenario, n_jobs=_n_jobs(args) or 1, cache=cache)
     stats = payload["stats"]
     print(
         f"{scenario.name}: {scenario.scheduler}/{scenario.policy} over "
@@ -374,6 +390,18 @@ def cmd_traffic(args: argparse.Namespace) -> int:
             f"  stability region: lambda* ~ {estimate['lam_star']:.4f} "
             f"pkts/link/slot (x{estimate['factor_star']:.2f} offered load, "
             f"{bound}, {estimate['n_probes']} probes)"
+        )
+    cache_stats = payload.get("cache")
+    if cache_stats is not None:
+        print(
+            f"  cache [{cache_stats['policy']}]: "
+            f"{cache_stats['exact_hits']} exact / "
+            f"{cache_stats['canonical_hits']} canonical / "
+            f"{cache_stats['warm_hits']} warm hits, "
+            f"{cache_stats['misses']} misses "
+            f"({100 * cache_stats['hit_rate']:.1f}% hit rate), "
+            f"{cache_stats['evictions']} evictions, "
+            f"{cache_stats['entries']}/{cache_stats['capacity']} entries"
         )
     if args.output:
         write_json(payload, args.output)
@@ -554,6 +582,33 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(format_trace_summary(trace, top=args.top, path=args.path))
+    return 0
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    """``repro cache stats``: summarize a persisted schedule cache."""
+    from repro.cache.store import cache_dir_stats
+
+    try:
+        stats = cache_dir_stats(args.dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{stats['directory']}: {stats['entries']} cached schedules "
+        f"({stats['damaged']} damaged), {stats['persisted_hits']} persisted hits, "
+        f"mean {stats['mean_links']:.1f} links/entry"
+    )
+    for algorithm, count in stats["algorithms"].items():
+        print(f"  {algorithm}: {count}")
+    counters = stats.get("counters")
+    if counters is not None:
+        print(
+            f"  last session [{stats.get('policy')}]: "
+            f"{counters['exact_hits']} exact / {counters['canonical_hits']} canonical / "
+            f"{counters['warm_hits']} warm hits, {counters['misses']} misses, "
+            f"{counters['evictions']} evictions"
+        )
     return 0
 
 
@@ -782,6 +837,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the stability sweep grid",
     )
     _add_backend_flag(w)
+    w.add_argument(
+        "--cache",
+        metavar="DIR|memory",
+        default=None,
+        help="answer per-slot scheduler runs from a schedule cache "
+        "('memory' = in-process, else a persistence directory; "
+        "backlogged policy only, see docs/CACHING.md)",
+    )
+    w.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=256,
+        help="maximum cached schedules before eviction",
+    )
+    w.add_argument(
+        "--cache-policy",
+        choices=("lru", "repetition_aware"),
+        default="repetition_aware",
+        help="eviction policy of the schedule cache",
+    )
     w.add_argument("--output", help="write the JSON payload here")
     w.set_defaults(fn=cmd_traffic)
 
@@ -932,6 +1007,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10, help="show the N hottest span names"
     )
     ts.set_defaults(fn=cmd_trace)
+
+    ca = sub.add_parser("cache", help="inspect persisted schedule caches")
+    casub = ca.add_subparsers(dest="cache_command", required=True)
+    cs = casub.add_parser(
+        "stats", help="summarize a cache directory's entries and hit counters"
+    )
+    cs.add_argument("dir", help="cache directory (written via --cache DIR)")
+    cs.set_defaults(fn=cmd_cache_stats)
 
     return parser
 

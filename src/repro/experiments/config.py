@@ -138,6 +138,15 @@ class ExperimentConfig:
     #: :data:`repro.core.powercontrol.POWER_POLICIES` ("uniform" is the
     #: paper's setting).
     power_policy: str = "uniform"
+    #: Schedule-cache knob (``docs/CACHING.md``): ``None`` = off,
+    #: ``"memory"`` = in-process only, anything else = a persistence
+    #: directory.  Set via :meth:`with_cache`.
+    cache: Optional[str] = None
+    cache_capacity: int = 256
+    cache_policy: str = "repetition_aware"
+    #: Enable the canonical/warm cache tiers; ``False`` keeps the cache
+    #: fully transparent (bit-identical exact hits only).
+    cache_warm_start: bool = True
 
     def workload(self, n_links: int) -> TopologyWorkload:
         """Per-repetition workload factory for ``n_links`` links.
@@ -286,6 +295,57 @@ class ExperimentConfig:
                 )
             out = replace(out, power_policy=power_policy)
         return out
+
+    def with_cache(
+        self,
+        *,
+        cache: Optional[str] = None,
+        capacity: Optional[int] = None,
+        policy: Optional[str] = None,
+        warm_start: Optional[bool] = None,
+    ) -> "ExperimentConfig":
+        """Copy with schedule-cache knobs replaced (unspecified kept).
+
+        ``cache`` is ``"memory"`` for a process-local cache or a
+        directory path for a persisted one; ``policy`` must name a
+        :data:`repro.cache.policy.CACHE_POLICIES` entry.
+
+        >>> cfg = ExperimentConfig().with_cache(cache="memory", capacity=64)
+        >>> (cfg.cache, cfg.cache_capacity)
+        ('memory', 64)
+        """
+        out = self
+        if cache is not None:
+            out = replace(out, cache=str(cache))
+        if capacity is not None:
+            if capacity < 1:
+                raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+            out = replace(out, cache_capacity=capacity)
+        if policy is not None:
+            from repro.cache.policy import CACHE_POLICIES
+
+            if policy not in CACHE_POLICIES:
+                raise ValueError(
+                    f"unknown cache policy {policy!r}; choose from {CACHE_POLICIES}"
+                )
+            out = replace(out, cache_policy=policy)
+        if warm_start is not None:
+            out = replace(out, cache_warm_start=warm_start)
+        return out
+
+    def schedule_cache(self):
+        """The configured :class:`~repro.cache.store.ScheduleCache`, or ``None``."""
+        if self.cache is None:
+            return None
+        from repro.cache.store import ScheduleCache
+
+        return ScheduleCache(
+            capacity=self.cache_capacity,
+            policy=self.cache_policy,
+            warm_start=self.cache_warm_start,
+            quality_bound=self.quality_bound,
+            directory=None if self.cache == "memory" else self.cache,
+        )
 
     def arrival_process(self):
         """The configured arrival generator, scaled to ``workload_rate``.

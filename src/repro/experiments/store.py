@@ -23,7 +23,6 @@ what lets an interrupted sweep resume from its completed cells (see
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import tempfile
@@ -32,34 +31,22 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
+# The content-hash canonicalisation grew into the shared
+# repro.cache.fingerprint module (the schedule cache keys build on it);
+# config_key is re-exported here so existing imports — and the key
+# bytes of existing result directories — stay unchanged.
+from repro.cache.fingerprint import config_key
 from repro.sim.metrics import SimulationResult
 
+__all__ = [
+    "ResultStore",
+    "UnitCheckpoint",
+    "config_key",
+    "result_from_payload",
+    "result_to_payload",
+]
+
 PathLike = Union[str, Path]
-
-
-def config_key(name: str, params: Mapping[str, Any]) -> str:
-    """Stable hex key for an experiment configuration.
-
-    Parameters are serialised with sorted keys; anything JSON rejects
-    (tuples become lists transparently) raises ``TypeError`` so
-    unhashable configs fail loudly instead of colliding.
-    """
-    canonical = json.dumps({"name": name, "params": params}, sort_keys=True, default=_coerce)
-    return hashlib.sha256(canonical.encode()).hexdigest()[:24]
-
-
-def _coerce(value: Any):
-    if isinstance(value, tuple):
-        return list(value)
-    import numpy as np
-
-    if isinstance(value, (np.integer,)):
-        return int(value)
-    if isinstance(value, (np.floating,)):
-        return float(value)
-    if isinstance(value, np.ndarray):
-        return value.tolist()
-    raise TypeError(f"unserialisable config value: {value!r}")
 
 
 class ResultStore:

@@ -23,6 +23,11 @@ Two gates, both cheap enough to run before every test pass:
    doctest blocks run like API.md's.  Registering a law without
    documenting it fails the build.
 
+4. **Cache reference** — every registered cache eviction policy
+   (:data:`repro.cache.CACHE_POLICIES`) must appear backticked in the
+   ``## Eviction policies`` section of ``docs/CACHING.md``, and its
+   doctest blocks run like API.md's.
+
 The scanner is intentionally literal: instrumented call sites must
 write ``span("dotted.name", ...)`` / ``obs_metrics.inc("dotted.name",
 ...)`` with a **string literal** first argument (this is also the
@@ -180,12 +185,34 @@ def check_channels_doc(channels_md: str) -> List[str]:
     return problems
 
 
+def check_caching_doc(caching_md: str) -> List[str]:
+    """Registered cache eviction policies missing from docs/CACHING.md."""
+    from repro.cache import CACHE_POLICIES
+
+    problems: List[str] = []
+    policy_section = _section(caching_md, "Eviction policies")
+    if not policy_section:
+        problems.append(
+            "docs/CACHING.md has no '## Eviction policies' section (or it is empty)"
+        )
+    _name_re = re.compile(r"`([a-z0-9_]+)`")
+    documented = set(_name_re.findall(policy_section))
+    for name in CACHE_POLICIES:
+        if name not in documented:
+            problems.append(
+                f"cache policy {name!r} is registered but not documented in the "
+                f"'Eviction policies' section of docs/CACHING.md"
+            )
+    return problems
+
+
 def run_checks(root: Path) -> List[str]:
     """All docs-contract checks for a repo rooted at ``root``."""
     problems: List[str] = []
     obs_md = root / "docs" / "OBSERVABILITY.md"
     api_md = root / "docs" / "API.md"
     channels_md = root / "docs" / "CHANNELS.md"
+    caching_md = root / "docs" / "CACHING.md"
     if not obs_md.exists():
         problems.append("docs/OBSERVABILITY.md does not exist")
     else:
@@ -200,6 +227,12 @@ def run_checks(root: Path) -> List[str]:
         text = channels_md.read_text()
         problems.extend(check_channels_doc(text))
         problems.extend(run_doctest_blocks(text, name="docs/CHANNELS.md"))
+    if not caching_md.exists():
+        problems.append("docs/CACHING.md does not exist")
+    else:
+        text = caching_md.read_text()
+        problems.extend(check_caching_doc(text))
+        problems.extend(run_doctest_blocks(text, name="docs/CACHING.md"))
     return problems
 
 

@@ -57,7 +57,6 @@ metrics.
 
 from __future__ import annotations
 
-import functools
 import math
 import os
 import pickle
@@ -69,6 +68,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.experiments.store import UnitCheckpoint
     from repro.sim.resilient import RetryPolicy
 
+from repro.cache.fingerprint import canonical_channel, config_key, describe_callable
 from repro.core.powercontrol import run_scheduler_with_power
 from repro.core.problem import FadingRLS
 from repro.core.schedule import Schedule
@@ -166,30 +166,12 @@ def unit_key(unit: WorkUnit) -> str:
     return f"{unit.tag}/{unit.rep}/{unit.name}"
 
 
-def _describe_callable(fn: Any) -> str:
-    """A stable (address-free) description of a workload/scheduler.
-
-    ``repr`` of a plain function embeds its memory address, which would
-    change every run and defeat checkpoint reuse; dataclass factories
-    like :class:`~repro.experiments.config.TopologyWorkload` have
-    stable field-based reprs and pass through unchanged.
-    """
-    if isinstance(fn, functools.partial):
-        inner = _describe_callable(fn.func)
-        kwargs = sorted((k, repr(v)) for k, v in (fn.keywords or {}).items())
-        return f"partial({inner}, args={fn.args!r}, kwargs={kwargs!r})"
-    module = getattr(fn, "__module__", None)
-    qualname = getattr(fn, "__qualname__", None)
-    if module and qualname:
-        return f"{module}.{qualname}"
-    return repr(fn)
-
-
-def _canonical_channel(channel: Optional[str]) -> str:
-    """Canonical spec string of a unit's channel (``None`` = Rayleigh)."""
-    from repro.channel.laws import get_channel_law
-
-    return get_channel_law(channel).spec
+# The stable callable/channel canonicalisers grew into the shared
+# repro.cache.fingerprint module (the schedule cache keys build on
+# them); the historical underscore names stay importable and the key
+# bytes are pinned unchanged by tests/test_cache_fingerprint.py.
+_describe_callable = describe_callable
+_canonical_channel = canonical_channel
 
 
 def checkpoint_key(unit: WorkUnit) -> str:
@@ -199,8 +181,6 @@ def checkpoint_key(unit: WorkUnit) -> str:
     seeds produces a different key, so a checkpoint directory can never
     serve a stale result to a reconfigured sweep.
     """
-    from repro.experiments.store import config_key
-
     return config_key(
         "workunit",
         {

@@ -387,6 +387,9 @@ def run_workload(
     compute backend come from the same config that drives the figure
     sweeps.  ``links`` defaults to one paper-style topology of
     ``config.n_links_fixed`` links drawn from ``config.root_seed``.
+    When ``config.cache`` is set (``config.with_cache``), the per-slot
+    scheduler runs are answered through a
+    :class:`~repro.cache.store.ScheduleCache`.
     """
     from repro.backend.base import use as use_backend
     from repro.workload.analyzers import summarize_workload
@@ -400,6 +403,7 @@ def run_workload(
         gamma_th=config.gamma_th,
         eps=config.eps,
     )
+    cache = config.schedule_cache()
     with span("runner.run_workload", links=problem.n_links):
         with use_backend(config.backend):
             result = simulate_workload(
@@ -410,5 +414,8 @@ def run_workload(
                 seed=config.root_seed if seed is None else seed,
                 policy=config.workload_policy,
                 channel=config.channel,
+                cache=cache,
             )
+    if cache is not None:
+        cache.flush()
     return result, summarize_workload(result)

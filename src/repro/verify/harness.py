@@ -27,9 +27,11 @@ from repro.verify.fuzz import FAMILIES, Scenario, make_scenario
 from repro.verify.metamorphic import METAMORPHIC_RELATIONS
 
 # Imported for their registration side-effects: the queue-stability
-# relations (they pull in repro.workload) and the channel-law oracles
-# (they pull in repro.channel.laws) live in their own modules but
-# register into the same registries read above.
+# relations (they pull in repro.workload), the channel-law oracles
+# (they pull in repro.channel.laws) and the schedule-cache check (it
+# pulls in repro.cache) live in their own modules but register into
+# the same registries read above.
+from repro.verify import cache  # noqa: F401  (registration import)
 from repro.verify import channels  # noqa: F401  (registration import)
 from repro.verify import stability  # noqa: F401  (registration import)
 from repro.verify.report import CheckOutcome, VerificationReport

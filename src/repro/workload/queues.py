@@ -157,18 +157,30 @@ class WorkloadResult:
 
 
 class _BackloggedPolicy:
-    """Per-slot one-shot scheduling of the backlogged sub-instance."""
+    """Per-slot one-shot scheduling of the backlogged sub-instance.
 
-    def __init__(self, problem: FadingRLS, scheduler, kwargs: dict) -> None:
+    With a :class:`~repro.cache.store.ScheduleCache` attached, each
+    slot's restricted sub-instance is answered through the cache: a
+    heavy-traffic stream keeps re-scheduling the *same* backlogged
+    sets, so steady state serves from bit-identical exact hits instead
+    of scheduler runs.  Schedules do not depend on the fading channel,
+    so the cache is channel-agnostic here by construction.
+    """
+
+    def __init__(self, problem: FadingRLS, scheduler, kwargs: dict, cache=None) -> None:
         self._problem = problem
         self._scheduler = scheduler
         self._kwargs = kwargs
+        self._cache = cache
 
     def choose(self, t: int, backlogged: np.ndarray) -> np.ndarray:
         if not backlogged.size:
             return backlogged
         sub = self._problem.restrict(backlogged)
-        sched = self._scheduler(sub, **self._kwargs)
+        if self._cache is not None:
+            sched = self._cache.schedule(sub, self._scheduler, scheduler_kwargs=self._kwargs)
+        else:
+            sched = self._scheduler(sub, **self._kwargs)
         return backlogged[sched.active]
 
 
@@ -268,9 +280,13 @@ class _IncrementalPolicy:
         return np.sort(self._ids[schedule.active])
 
 
-def _make_policy(policy: str, problem: FadingRLS, scheduler, kwargs: dict):
+def _make_policy(policy: str, problem: FadingRLS, scheduler, kwargs: dict, cache=None):
+    if cache is not None and policy != "backlogged":
+        raise ValueError(
+            f"cache= is only supported with the 'backlogged' policy, got {policy!r}"
+        )
     if policy == "backlogged":
-        return _BackloggedPolicy(problem, scheduler, kwargs)
+        return _BackloggedPolicy(problem, scheduler, kwargs, cache)
     if policy == "multislot":
         return _MultislotPolicy(problem, scheduler, kwargs)
     if policy == "incremental":
@@ -289,6 +305,7 @@ def simulate_workload(
     max_queue: Optional[int] = None,
     scheduler_kwargs: Optional[dict] = None,
     channel: Optional[str] = None,
+    cache=None,
 ) -> WorkloadResult:
     """Run the slotted queue simulation (see the module docstring).
 
@@ -319,6 +336,12 @@ def simulate_workload(
         Channel-law spec for the per-slot fading draw
         (:func:`repro.channel.laws.get_channel_law`); ``None`` is the
         Rayleigh default, bit-identical to the historical behaviour.
+    cache:
+        Optional :class:`~repro.cache.store.ScheduleCache` answering
+        the per-slot scheduler runs (``backlogged`` policy only).
+        With ``warm_start=False`` the trajectory is bit-identical to
+        the uncached run; warm-started caches may serve different (but
+        feasibility-certified) schedules.
 
     Returns
     -------
@@ -334,7 +357,7 @@ def simulate_workload(
     name = scheduler if isinstance(scheduler, str) else getattr(fn, "__name__", "custom")
     kwargs = dict(scheduler_kwargs or {})
     n = problem.n_links
-    chooser = _make_policy(policy, problem, fn, kwargs)
+    chooser = _make_policy(policy, problem, fn, kwargs, cache)
 
     trace = arrivals.sample(n, n_slots, seed=stable_seed("workload.arrivals", root=seed))
 

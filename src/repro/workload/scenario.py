@@ -201,6 +201,7 @@ def run_scenario(
     scenario: WorkloadScenario,
     *,
     n_jobs: Optional[int] = 1,
+    cache=None,
 ) -> Dict[str, Any]:
     """Execute one scenario end-to-end; returns the JSON-ready payload.
 
@@ -208,7 +209,11 @@ def run_scenario(
     trajectory's summary statistics, and — when the scenario enables it
     — the stability-region estimate.  Every random draw derives from
     the scenario's seeds, so the payload is bit-reproducible for any
-    ``n_jobs``.
+    ``n_jobs``.  ``cache`` optionally routes the base trajectory's
+    per-slot scheduler runs through a
+    :class:`~repro.cache.store.ScheduleCache` (its hit/miss statistics
+    join the payload; the stability sweep stays uncached — it fans out
+    over processes).
     """
     problem = scenario.build_problem()
     with span("workload.scenario", scenario=scenario.name, links=problem.n_links):
@@ -221,6 +226,7 @@ def run_scenario(
             policy=scenario.policy,
             max_queue=scenario.max_queue,
             scheduler_kwargs=scenario.scheduler_kwargs,
+            cache=cache,
         )
         stats = summarize_workload(result, warmup=scenario.warmup)
         options = scenario.stability_options()
@@ -239,8 +245,12 @@ def run_scenario(
                 **options,
             )
     obs_metrics.inc("workload.scenarios_run")
-    return {
+    payload = {
         "scenario": scenario.to_dict(),
         "stats": stats.to_dict(),
         "stability": None if estimate is None else estimate.to_dict(),
     }
+    if cache is not None:
+        cache.flush()
+        payload["cache"] = cache.stats
+    return payload

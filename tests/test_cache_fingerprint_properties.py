@@ -1,0 +1,170 @@
+"""Property-based tests (Hypothesis) for fingerprint canonicalization.
+
+The invariance contract of
+:func:`repro.cache.fingerprint.topology_fingerprint`, probed over
+random instances and random transforms:
+
+- **relabeling** — any permutation of the link labels maps to the same
+  fingerprint, and the canonical orders align link for link;
+- **rigid motion** — any translation + rotation (+ relabeling) maps to
+  the same fingerprint;
+- **uniform scaling** — noise-free instances are scale-invariant (the
+  same gate the geometry-scale metamorphic relation uses); with
+  ``noise > 0`` the scale re-enters the fingerprint;
+- **distinctness** — perturbing one endpoint by a super-quantum amount
+  changes the fingerprint, and the adversarial fuzzer families of
+  :mod:`repro.verify` produce pairwise-distinct fingerprints (no
+  spurious collisions on realistic geometries).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.fingerprint import fingerprint_with_order, topology_fingerprint
+from repro.core.problem import FadingRLS
+from repro.network.links import LinkSet
+from repro.network.topology import paper_topology
+from repro.verify.fuzz import FAMILIES, fuzz_scenarios
+
+# -- strategies ------------------------------------------------------
+
+
+@st.composite
+def problems(draw, min_links=2, max_links=10, with_noise=False):
+    """Small paper-style instances with optional noise."""
+    n = draw(st.integers(min_links, max_links))
+    seed = draw(st.integers(0, 2_000))
+    noise = draw(st.floats(1e-4, 1e-2)) if with_noise else 0.0
+    return FadingRLS(
+        links=paper_topology(n, seed=seed),
+        alpha=draw(st.sampled_from([2.6, 3.0, 4.0])),
+        gamma_th=1.0,
+        eps=0.05,
+        noise=noise,
+    )
+
+
+def _rebuild(problem, senders, receivers, rates, **overrides):
+    params = dict(
+        alpha=problem.alpha,
+        gamma_th=problem.gamma_th,
+        eps=problem.eps,
+        noise=problem.noise,
+        power=problem.power,
+    )
+    params.update(overrides)
+    return FadingRLS(
+        links=LinkSet(senders=senders, receivers=receivers, rates=rates), **params
+    )
+
+
+def _transform(problem, *, theta=0.0, shift=(0.0, 0.0), scale=1.0, perm=None):
+    rot = np.array([[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]])
+    senders = scale * np.asarray(problem.links.senders) @ rot.T + np.asarray(shift)
+    receivers = scale * np.asarray(problem.links.receivers) @ rot.T + np.asarray(shift)
+    rates = np.asarray(problem.links.rates)
+    if perm is not None:
+        senders, receivers, rates = senders[perm], receivers[perm], rates[perm]
+    return _rebuild(problem, senders, receivers, rates)
+
+
+# -- invariance ------------------------------------------------------
+
+
+@given(
+    problem=problems(),
+    perm_seed=st.integers(0, 10_000),
+)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_relabeling_is_invariant_and_orders_align(problem, perm_seed):
+    perm = np.random.default_rng(perm_seed).permutation(problem.n_links)
+    relabeled = _transform(problem, perm=perm)
+    fp, order = fingerprint_with_order(problem)
+    fp2, order2 = fingerprint_with_order(relabeled)
+    assert fp == fp2
+    assert np.array_equal(perm[order2], order)
+
+
+@given(
+    problem=problems(),
+    theta=st.floats(0.0, 2 * np.pi),
+    shift=st.tuples(st.floats(-1e3, 1e3), st.floats(-1e3, 1e3)),
+    perm_seed=st.integers(0, 10_000),
+)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_rigid_motion_plus_relabeling_is_invariant(problem, theta, shift, perm_seed):
+    perm = np.random.default_rng(perm_seed).permutation(problem.n_links)
+    moved = _transform(problem, theta=theta, shift=shift, perm=perm)
+    assert topology_fingerprint(problem) == topology_fingerprint(moved)
+
+
+@given(problem=problems(), scale=st.floats(0.1, 50.0))
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_uniform_scaling_is_invariant_without_noise(problem, scale):
+    assert problem.noise == 0.0
+    scaled = _transform(problem, scale=scale)
+    assert topology_fingerprint(problem) == topology_fingerprint(scaled)
+
+
+@given(problem=problems(with_noise=True), scale=st.sampled_from([0.5, 2.0, 10.0]))
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_uniform_scaling_is_distinguished_with_noise(problem, scale):
+    assert problem.noise > 0.0
+    scaled = _transform(problem, scale=scale)
+    assert topology_fingerprint(problem) != topology_fingerprint(scaled)
+
+
+# -- distinctness ----------------------------------------------------
+
+
+@given(
+    problem=problems(),
+    link=st.integers(0, 100),
+    dx=st.floats(0.5, 5.0),
+)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_endpoint_perturbation_changes_the_fingerprint(problem, link, dx):
+    senders = np.asarray(problem.links.senders).copy()
+    senders[link % problem.n_links] += (dx, 0.0)
+    perturbed = _rebuild(
+        problem, senders, np.asarray(problem.links.receivers), np.asarray(problem.links.rates)
+    )
+    assert topology_fingerprint(problem) != topology_fingerprint(perturbed)
+
+
+@given(problem=problems(min_links=3))
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_rate_change_changes_the_fingerprint(problem):
+    rates = np.asarray(problem.links.rates).copy()
+    rates[0] *= 2.0
+    changed = _rebuild(
+        problem,
+        np.asarray(problem.links.senders),
+        np.asarray(problem.links.receivers),
+        rates,
+    )
+    assert topology_fingerprint(problem) != topology_fingerprint(changed)
+
+
+def test_fuzzer_families_have_no_spurious_collisions():
+    """Adversarial scenario corpus → pairwise-distinct fingerprints."""
+    scenarios = fuzz_scenarios(25, seed=0, families=FAMILIES)
+    fingerprints = {}
+    for sc in scenarios:
+        fp = topology_fingerprint(sc.problem)
+        fingerprints.setdefault(fp, []).append(sc.name)
+    collisions = {k: v for k, v in fingerprints.items() if len(v) > 1}
+    assert not collisions, f"fingerprint collisions across scenarios: {collisions}"
+    assert len(fingerprints) == 25
+
+
+def test_fuzzer_family_pairs_distinct_across_sizes():
+    """Same family at different sizes/parameters never collides."""
+    scenarios = [s for s in fuzz_scenarios(10, seed=3, families=("near-duplicate",))]
+    for a, b in itertools.combinations(scenarios, 2):
+        assert topology_fingerprint(a.problem) != topology_fingerprint(b.problem)

@@ -1,0 +1,449 @@
+"""Unit tests for the schedule cache: tiers, eviction, persistence.
+
+The transparency contract (``warm_start=False`` answers are
+bit-identical to uncached runs; exact hits always are) is exercised
+here at the unit level; the ``cache-vs-fresh`` differential check and
+the golden-trace test pin the same properties end to end.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache.fingerprint import exact_key, scheduler_identity, topology_fingerprint
+from repro.cache.policy import (
+    CACHE_POLICIES,
+    LRUPolicy,
+    RepetitionAwarePolicy,
+    make_policy,
+)
+from repro.cache.store import ScheduleCache, cache_dir_stats
+from repro.core.incremental import IncrementalScheduler
+from repro.core.problem import FadingRLS
+from repro.core.rle import rle_schedule
+from repro.network.links import LinkSet
+from repro.verify.fuzz import make_scenario
+
+
+def _problem(index=0, n_links=10, **overrides):
+    return make_scenario("paper", index, n_links=n_links, **overrides).problem
+
+
+def _relabeled(problem, seed=7):
+    perm = np.random.default_rng(seed).permutation(problem.n_links)
+    links = problem.links
+    return FadingRLS(
+        links=LinkSet(
+            senders=np.asarray(links.senders)[perm],
+            receivers=np.asarray(links.receivers)[perm],
+            rates=np.asarray(links.rates)[perm],
+        ),
+        alpha=problem.alpha,
+        gamma_th=problem.gamma_th,
+        eps=problem.eps,
+        noise=problem.noise,
+        power=problem.power,
+    )
+
+
+def _jittered(problem, seed=5, sigma_fraction=0.02):
+    """Slightly-moved endpoints: close enough for the warm tier."""
+    links = problem.links
+    senders = np.asarray(links.senders, dtype=float)
+    receivers = np.asarray(links.receivers, dtype=float)
+    mean_len = float(np.linalg.norm(receivers - senders, axis=1).mean())
+    rng = np.random.default_rng(seed)
+    scale = sigma_fraction * mean_len
+    return FadingRLS(
+        links=LinkSet(
+            senders=senders + rng.normal(scale=scale, size=senders.shape),
+            receivers=receivers + rng.normal(scale=scale, size=receivers.shape),
+            rates=np.asarray(links.rates),
+        ),
+        alpha=problem.alpha,
+        gamma_th=problem.gamma_th,
+        eps=problem.eps,
+        noise=problem.noise,
+        power=problem.power,
+    )
+
+
+def _counting_scheduler():
+    """An rle wrapper that counts how many times it actually runs."""
+    calls = []
+
+    def scheduler(problem, **kwargs):
+        calls.append(problem.n_links)
+        return rle_schedule(problem, **kwargs)
+
+    return scheduler, calls
+
+
+# -- tiers ----------------------------------------------------------
+
+
+class TestExactTier:
+    def test_miss_then_exact_hit_returns_the_same_object(self):
+        cache = ScheduleCache(capacity=8)
+        p = _problem()
+        first = cache.schedule(p, "rle")
+        second = cache.schedule(p, "rle")
+        assert second is first  # bit-identical by construction
+        assert cache.stats["misses"] == 1
+        assert cache.stats["exact_hits"] == 1
+        assert [kind for kind, _ in cache.events] == ["miss", "exact"]
+
+    def test_exact_hit_skips_the_scheduler(self):
+        scheduler, calls = _counting_scheduler()
+        cache = ScheduleCache(capacity=8)
+        p = _problem()
+        cache.schedule(p, scheduler)
+        cache.schedule(p, scheduler)
+        cache.schedule(p, scheduler)
+        assert len(calls) == 1
+
+    def test_miss_matches_the_uncached_schedule_bit_for_bit(self):
+        cache = ScheduleCache(capacity=8)
+        p = _problem()
+        cached = cache.schedule(p, "rle")
+        fresh = rle_schedule(p)
+        assert np.array_equal(cached.active, fresh.active)
+        assert cached.algorithm == fresh.algorithm
+
+    def test_scheduler_kwargs_are_part_of_the_key(self):
+        cache = ScheduleCache(capacity=8)
+        p = _problem()
+        cache.schedule(p, "rle")
+        cache.schedule(p, "rle", scheduler_kwargs={"c2": 0.4})
+        assert cache.stats["misses"] == 2
+        assert cache.stats["exact_hits"] == 0
+
+
+class TestCanonicalTier:
+    def test_relabeled_problem_hits_canonically(self):
+        cache = ScheduleCache(capacity=8)
+        p = _problem()
+        cache.schedule(p, "rle")
+        q = _relabeled(p)
+        assert topology_fingerprint(p) == topology_fingerprint(q)
+        result = cache.schedule(q, "rle")
+        assert cache.stats["canonical_hits"] == 1
+        assert result.diagnostics["cache"] == "canonical"
+        assert q.is_feasible(result.active)
+
+    def test_canonical_hit_is_reinserted_under_the_new_exact_key(self):
+        scheduler, calls = _counting_scheduler()
+        cache = ScheduleCache(capacity=8)
+        p = _problem()
+        q = _relabeled(p)
+        cache.schedule(p, scheduler)
+        cache.schedule(q, scheduler)
+        third = cache.schedule(q, scheduler)  # now an exact hit
+        assert len(calls) == 1
+        assert cache.stats["exact_hits"] == 1
+        assert third.diagnostics["cache"] == "canonical"
+
+    def test_canonical_remap_preserves_the_selected_links(self):
+        cache = ScheduleCache(capacity=8)
+        p = _problem()
+        base = cache.schedule(p, "rle")
+        perm = np.random.default_rng(11).permutation(p.n_links)
+        links = p.links
+        q = FadingRLS(
+            links=LinkSet(
+                senders=np.asarray(links.senders)[perm],
+                receivers=np.asarray(links.receivers)[perm],
+                rates=np.asarray(links.rates)[perm],
+            ),
+            alpha=p.alpha,
+            gamma_th=p.gamma_th,
+            eps=p.eps,
+        )
+        mapped = cache.schedule(q, "rle")
+        # The physical links selected are the same set: q's label j is
+        # p's label perm[j].
+        assert set(perm[mapped.active]) == set(np.asarray(base.active))
+
+
+class TestWarmTier:
+    def test_jittered_geometry_hits_warm(self):
+        cache = ScheduleCache(capacity=8)
+        p = _problem()
+        cache.schedule(p, "rle")
+        q = _jittered(p)
+        result = cache.schedule(q, "rle")
+        assert cache.stats["warm_hits"] == 1
+        assert result.diagnostics["cache"] == "warm"
+        assert result.diagnostics["distance"] <= cache.warm_threshold
+        assert q.is_feasible(result.active)
+
+    def test_far_geometry_misses(self):
+        cache = ScheduleCache(capacity=8, warm_threshold=0.05)
+        p = _problem()
+        cache.schedule(p, "rle")
+        q = _jittered(p, sigma_fraction=0.5)
+        cache.schedule(q, "rle")
+        assert cache.stats["warm_hits"] == 0
+        assert cache.stats["misses"] == 2
+
+    def test_different_rates_never_warm_start(self):
+        cache = ScheduleCache(capacity=8)
+        p = _problem()
+        cache.schedule(p, "rle")
+        links = _jittered(p).links
+        q = FadingRLS(
+            links=LinkSet(
+                senders=np.asarray(links.senders),
+                receivers=np.asarray(links.receivers),
+                rates=2.0 * np.asarray(links.rates),
+            ),
+            alpha=p.alpha,
+            gamma_th=p.gamma_th,
+            eps=p.eps,
+        )
+        cache.schedule(q, "rle")
+        assert cache.stats["warm_hits"] == 0
+
+    def test_warm_start_false_disables_both_fuzzy_tiers(self):
+        cache = ScheduleCache(capacity=8, warm_start=False)
+        p = _problem()
+        cache.schedule(p, "rle")
+        for q in (_relabeled(p), _jittered(p)):
+            result = cache.schedule(q, "rle")
+            fresh = rle_schedule(q)
+            assert np.array_equal(result.active, fresh.active)  # transparent
+        assert cache.stats["canonical_hits"] == 0
+        assert cache.stats["warm_hits"] == 0
+        assert cache.stats["misses"] == 3
+
+
+# -- eviction -------------------------------------------------------
+
+
+class TestEviction:
+    def test_lru_evicts_the_least_recently_used(self):
+        cache = ScheduleCache(capacity=2, policy="lru", warm_start=False)
+        a, b, c = (_problem(i) for i in range(3))
+        cache.schedule(a, "rle")
+        cache.schedule(b, "rle")
+        cache.schedule(a, "rle")  # refresh a; b is now LRU
+        cache.schedule(c, "rle")  # evicts b
+        assert len(cache) == 2
+        assert cache.stats["evictions"] == 1
+        sid = scheduler_identity(rle_schedule, {})
+        assert exact_key(a, sid) in cache
+        assert exact_key(c, sid) in cache
+        assert exact_key(b, sid) not in cache
+        # The miss is logged before insertion triggers the eviction.
+        assert cache.events[-1] == ("evict", topology_fingerprint(b)[:12])
+        assert cache.events[-2] == ("miss", topology_fingerprint(c)[:12])
+
+    def test_repetition_aware_protects_the_hot_entry(self):
+        cache = ScheduleCache(capacity=2, policy="repetition_aware", warm_start=False)
+        a, b, c = (_problem(i) for i in range(3))
+        cache.schedule(a, "rle")
+        for _ in range(3):
+            cache.schedule(a, "rle")  # a earns hits
+        cache.schedule(b, "rle")
+        # LRU would now evict a (b is fresher after this next access
+        # pattern); repetition-aware evicts the zero-hit b instead.
+        cache.schedule(c, "rle")
+        sid = scheduler_identity(rle_schedule, {})
+        assert exact_key(a, sid) in cache
+        assert exact_key(b, sid) not in cache
+
+    def test_ghost_memory_seeds_reinserted_fingerprints(self):
+        policy = RepetitionAwarePolicy()
+        cache = ScheduleCache(capacity=1, warm_start=False)
+        cache._policy = policy  # inject to inspect the ghosts
+        a, b = _problem(0), _problem(1)
+        cache.schedule(a, "rle")
+        for _ in range(4):
+            cache.schedule(a, "rle")
+        cache.schedule(b, "rle")  # evicts a -> ghost with 4 hits
+        assert policy.ghosts[topology_fingerprint(a)] == 4
+        cache.schedule(a, "rle")  # re-inserted, seeded from the ghost
+        sid = scheduler_identity(rle_schedule, {})
+        entry = cache._entries[exact_key(a, sid)]
+        assert entry.seeded == 4
+        assert topology_fingerprint(a) not in policy.ghosts  # consumed
+
+    def test_ghost_capacity_is_bounded_fifo(self):
+        policy = RepetitionAwarePolicy(ghost_capacity=2)
+        fake = type("E", (), {})
+        for i in range(4):
+            entry = fake()
+            entry.fingerprint = f"fp{i}"
+            entry.hits, entry.seeded = i, 0
+            policy.record_eviction(entry)
+        assert set(policy.ghosts) == {"fp2", "fp3"}
+
+    def test_eviction_is_deterministic(self):
+        def trace():
+            cache = ScheduleCache(capacity=3, policy="repetition_aware", warm_start=False)
+            for i in range(6):
+                cache.schedule(_problem(i % 4), "rle")
+            return cache.events
+
+        assert trace() == trace()
+
+
+# -- persistence ----------------------------------------------------
+
+
+class TestPersistence:
+    def test_round_trip_exact_hit_without_rerunning(self, tmp_path):
+        first = ScheduleCache(capacity=8, directory=tmp_path)
+        p = _problem()
+        schedule = first.schedule(p, "rle")
+        first.flush()
+
+        second = ScheduleCache(capacity=8, directory=tmp_path)
+        assert len(second) == 1
+        result = second.schedule(p, "rle")
+        assert second.stats["exact_hits"] == 1
+        assert second.stats["misses"] == 0
+        assert np.array_equal(result.active, schedule.active)
+        assert result.diagnostics == {"cache": "persisted"}
+
+    def test_damaged_files_are_skipped(self, tmp_path):
+        first = ScheduleCache(capacity=8, directory=tmp_path)
+        first.schedule(_problem(0), "rle")
+        first.schedule(_problem(1), "rle")
+        files = sorted(tmp_path.glob("*.json"))
+        files[0].write_text("{not json")
+        second = ScheduleCache(capacity=8, directory=tmp_path)
+        assert len(second) == 1
+
+    def test_wrong_schema_is_skipped(self, tmp_path):
+        first = ScheduleCache(capacity=8, directory=tmp_path)
+        first.schedule(_problem(), "rle")
+        path = next(tmp_path.glob("*.json"))
+        payload = json.loads(path.read_text())
+        payload["schema"] = 99
+        path.write_text(json.dumps(payload))
+        assert len(ScheduleCache(capacity=8, directory=tmp_path)) == 0
+
+    def test_load_respects_capacity(self, tmp_path):
+        first = ScheduleCache(capacity=8, directory=tmp_path)
+        for i in range(4):
+            first.schedule(_problem(i), "rle")
+        assert len(ScheduleCache(capacity=2, directory=tmp_path)) == 2
+
+    def test_eviction_removes_the_persisted_file(self, tmp_path):
+        cache = ScheduleCache(capacity=1, warm_start=False, directory=tmp_path)
+        cache.schedule(_problem(0), "rle")
+        cache.schedule(_problem(1), "rle")
+        entries = [p for p in tmp_path.glob("*.json") if p.name != "_stats.json"]
+        assert len(entries) == 1
+
+    def test_cache_dir_stats(self, tmp_path):
+        cache = ScheduleCache(capacity=8, directory=tmp_path)
+        p = _problem()
+        cache.schedule(p, "rle")
+        cache.schedule(p, "rle")
+        cache.flush()
+        stats = cache_dir_stats(tmp_path)
+        assert stats["entries"] == 1
+        assert stats["damaged"] == 0
+        assert stats["persisted_hits"] == 1
+        assert stats["algorithms"] == {"rle": 1}
+        assert stats["mean_links"] == pytest.approx(p.n_links)
+        assert stats["policy"] == "repetition_aware"
+        assert stats["counters"]["exact_hits"] == 1
+
+    def test_cache_dir_stats_counts_damage(self, tmp_path):
+        cache = ScheduleCache(capacity=8, directory=tmp_path)
+        cache.schedule(_problem(), "rle")
+        (tmp_path / "junk.json").write_text("{")
+        assert cache_dir_stats(tmp_path)["damaged"] == 1
+
+    def test_cache_dir_stats_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            cache_dir_stats(tmp_path / "nope")
+
+
+# -- bookkeeping ----------------------------------------------------
+
+
+class TestBookkeeping:
+    def test_stats_and_hit_rate(self):
+        cache = ScheduleCache(capacity=8)
+        assert cache.stats["hit_rate"] == 0.0
+        p = _problem()
+        cache.schedule(p, "rle")
+        cache.schedule(p, "rle")
+        cache.schedule(p, "rle")
+        stats = cache.stats
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+        assert stats["entries"] == 1
+        assert stats["capacity"] == 8
+        assert stats["policy"] == "repetition_aware"
+
+    def test_keys_are_sorted_exact_keys(self):
+        cache = ScheduleCache(capacity=8)
+        for i in range(3):
+            cache.schedule(_problem(i), "rle")
+        keys = cache.keys()
+        assert keys == sorted(keys)
+        assert len(keys) == 3
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ScheduleCache(capacity=0)
+        with pytest.raises(ValueError):
+            ScheduleCache(warm_threshold=-1.0)
+        with pytest.raises(ValueError):
+            ScheduleCache(policy="fifo")
+
+    def test_policy_registry(self):
+        assert CACHE_POLICIES == ("lru", "repetition_aware")
+        assert isinstance(make_policy("lru"), LRUPolicy)
+        assert isinstance(make_policy("repetition_aware"), RepetitionAwarePolicy)
+        with pytest.raises(ValueError):
+            make_policy("arc")
+        with pytest.raises(ValueError):
+            RepetitionAwarePolicy(ghost_capacity=-1)
+
+
+# -- warm-start engine seam -----------------------------------------
+
+
+class TestEngineWarmStart:
+    def test_warm_start_takes_the_repair_path(self):
+        p = _problem()
+        base = rle_schedule(p)
+        engine = IncrementalScheduler(
+            p.links,
+            scheduler="rle",
+            alpha=p.alpha,
+            gamma_th=p.gamma_th,
+            eps=p.eps,
+        )
+        rate = float(np.asarray(p.links.rates)[base.active].sum())
+        engine.warm_start(base.active, rate)
+        result = engine.schedule()
+        assert result.diagnostics["mode"] == "repair"
+        assert np.array_equal(result.active, np.asarray(base.active))
+        assert engine.stats["full_runs"] == 0
+
+    def test_warm_start_with_infeasible_input_repairs(self):
+        p = _problem()
+        engine = IncrementalScheduler(
+            p.links,
+            scheduler="rle",
+            alpha=p.alpha,
+            gamma_th=p.gamma_th,
+            eps=p.eps,
+            quality_bound=1e-9,  # keep the repair result, however small
+        )
+        engine.warm_start(np.arange(p.n_links), reference_rate=0.0)
+        result = engine.schedule()
+        assert p.is_feasible(result.active)
+
+    def test_warm_start_rejects_negative_reference_rate(self):
+        p = _problem()
+        engine = IncrementalScheduler(p.links)
+        with pytest.raises(ValueError):
+            engine.warm_start([0], reference_rate=-1.0)

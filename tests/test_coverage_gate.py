@@ -1,0 +1,196 @@
+"""Unit tests for the stdlib coverage ratchet (tools/coverage_gate.py)."""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import coverage_gate  # noqa: E402
+from coverage_gate import (  # noqa: E402
+    build_report,
+    evaluate,
+    executable_lines,
+    start_tracing,
+)
+
+
+class TestExecutableLines:
+    def test_docstrings_and_blanks_are_not_executable(self, tmp_path):
+        path = tmp_path / "m.py"
+        path.write_text(
+            textwrap.dedent(
+                '''
+                """Module docstring."""
+
+                X = 1
+
+
+                def f():
+                    """Function docstring."""
+                    return X
+                '''
+            )
+        )
+        lines = executable_lines(path)
+        text = path.read_text().splitlines()
+        assert {text[n - 1].strip() for n in lines} == {"X = 1", "def f():", "return X"}
+
+    def test_pragma_no_cover_excludes_the_block(self, tmp_path):
+        path = tmp_path / "m.py"
+        path.write_text(
+            textwrap.dedent(
+                """
+                a = 1
+                if a:  # pragma: no cover
+                    b = 2
+                    c = 3
+                d = 4
+                """
+            )
+        )
+        stripped = {path.read_text().splitlines()[n - 1].strip() for n in executable_lines(path)}
+        assert stripped == {"a = 1", "d = 4"}
+
+    def test_type_checking_body_is_excluded(self, tmp_path):
+        path = tmp_path / "m.py"
+        path.write_text(
+            textwrap.dedent(
+                """
+                from typing import TYPE_CHECKING
+
+                if TYPE_CHECKING:
+                    from fake import Thing
+                x = 1
+                """
+            )
+        )
+        stripped = {path.read_text().splitlines()[n - 1].strip() for n in executable_lines(path)}
+        assert stripped == {"from typing import TYPE_CHECKING", "x = 1"}
+
+    def test_global_and_decorators(self, tmp_path):
+        path = tmp_path / "m.py"
+        path.write_text(
+            textwrap.dedent(
+                """
+                import functools
+
+                @functools.cache
+                def f():
+                    global _state
+                    return 1
+                """
+            )
+        )
+        stripped = {path.read_text().splitlines()[n - 1].strip() for n in executable_lines(path)}
+        assert "global _state" not in stripped
+        assert "@functools.cache" in stripped
+
+
+def _fake_tree(tmp_path, monkeypatch, sources):
+    src = tmp_path / "src" / "repro"
+    src.mkdir(parents=True)
+    monkeypatch.setattr(coverage_gate, "ROOT", tmp_path)
+    monkeypatch.setattr(coverage_gate, "SRC", src)
+    paths = {}
+    for name, body in sources.items():
+        path = src / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(body)
+        paths[name] = path
+    return paths
+
+
+class TestBuildReport:
+    def test_percentages_and_total(self, tmp_path, monkeypatch):
+        paths = _fake_tree(
+            tmp_path,
+            monkeypatch,
+            {"a.py": "x = 1\ny = 2\n", "cache/b.py": "z = 3\nw = 4\n"},
+        )
+        executed = {
+            str(paths["a.py"]): {1, 2},
+            str(paths["cache/b.py"]): {1},
+        }
+        report = build_report(executed)
+        assert report["files"]["repro/a.py"]["percent"] == 100.0
+        assert report["files"]["repro/cache/b.py"]["percent"] == 50.0
+        assert report["total"] == 75.0
+
+    def test_untraced_file_counts_as_zero(self, tmp_path, monkeypatch):
+        _fake_tree(tmp_path, monkeypatch, {"a.py": "x = 1\n"})
+        report = build_report({})
+        assert report["total"] == 0.0
+
+
+def _report(total, python="3.11", files=None):
+    return {"schema": 1, "python": python, "total": total, "files": files or {}}
+
+
+class TestEvaluate:
+    def test_passes_at_and_above_the_baseline(self):
+        for total in (85.0, 84.6, 90.0):
+            problems, _ = evaluate(_report(total), _report(85.0))
+            assert problems == []
+
+    def test_fails_below_the_tolerance(self):
+        problems, _ = evaluate(_report(84.4), _report(85.0))
+        assert len(problems) == 1
+        assert "fell below" in problems[0]
+
+    def test_version_mismatch_gets_extra_slack(self):
+        current = _report(84.2, python="3.12")
+        baseline = _report(85.0, python="3.11")
+        problems, notes = evaluate(current, baseline)
+        assert problems == []
+        assert any("slack" in n for n in notes)
+        problems, _ = evaluate(_report(83.4, python="3.12"), baseline)
+        assert problems  # beyond even the widened slack
+
+    def test_missing_baseline_is_a_note_not_a_failure(self):
+        problems, notes = evaluate(_report(10.0), None)
+        assert problems == []
+        assert any("--stamp" in n for n in notes)
+
+    def test_cache_module_floor(self):
+        files = {
+            "repro/cache/store.py": {"executable": 100, "covered": 80, "percent": 80.0},
+            "repro/other.py": {"executable": 100, "covered": 10, "percent": 10.0},
+        }
+        problems, _ = evaluate(_report(90.0, files=files), _report(85.0))
+        assert len(problems) == 1
+        assert "repro/cache/store.py" in problems[0]
+        assert "90% floor" in problems[0]
+
+    def test_empty_cache_module_is_exempt(self):
+        files = {"repro/cache/__init__.py": {"executable": 0, "covered": 0, "percent": 100.0}}
+        problems, _ = evaluate(_report(90.0, files=files), _report(85.0))
+        assert problems == []
+
+
+class TestTracer:
+    def test_records_repro_lines_and_restores_the_tracer(self):
+        store = {}
+        if sys.version_info >= (3, 12):
+            try:
+                stop = start_tracing(store)
+            except ValueError:
+                pytest.skip("sys.monitoring COVERAGE_ID already claimed")
+            from repro.cache.fingerprint import config_key
+
+            config_key("t", {"a": 1})
+            stop()
+        else:
+            previous = sys.gettrace()
+            stop = start_tracing(store)
+            from repro.cache.fingerprint import config_key
+
+            config_key("t", {"a": 1})
+            stop()
+            assert sys.gettrace() is previous
+        fingerprint_file = str(coverage_gate.SRC / "cache" / "fingerprint.py")
+        assert store.get(fingerprint_file)

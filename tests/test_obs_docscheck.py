@@ -46,7 +46,7 @@ def _copy_repo_docs_and_src(tmp_path: Path) -> Path:
     root = tmp_path / "repo"
     (root / "docs").mkdir(parents=True)
     shutil.copytree(REPO_ROOT / "src", root / "src")
-    for page in ("OBSERVABILITY.md", "API.md", "CHANNELS.md"):
+    for page in ("OBSERVABILITY.md", "API.md", "CHANNELS.md", "CACHING.md"):
         shutil.copy(REPO_ROOT / "docs" / page, root / "docs" / page)
     return root
 
@@ -169,3 +169,37 @@ class TestChannelsGate:
         ch.write_text(ch.read_text().replace("## Channel laws", "## Laws"))
         problems = docscheck.run_checks(root)
         assert any("no '## Channel laws' section" in p for p in problems)
+
+
+class TestCachingGate:
+    def test_fails_when_policy_removed_from_doc(self, tmp_path):
+        root = _copy_repo_docs_and_src(tmp_path)
+        ca = root / "docs" / "CACHING.md"
+        text = ca.read_text()
+        assert "`repetition_aware`" in text
+        ca.write_text(text.replace("`repetition_aware`", "`renamed_policy`"))
+        problems = docscheck.run_checks(root)
+        assert any(
+            "'repetition_aware'" in p and "Eviction policies" in p for p in problems
+        )
+
+    def test_fails_when_caching_md_missing(self, tmp_path):
+        root = _copy_repo_docs_and_src(tmp_path)
+        (root / "docs" / "CACHING.md").unlink()
+        problems = docscheck.run_checks(root)
+        assert any("docs/CACHING.md does not exist" in p for p in problems)
+
+    def test_fails_when_section_heading_renamed(self, tmp_path):
+        root = _copy_repo_docs_and_src(tmp_path)
+        ca = root / "docs" / "CACHING.md"
+        ca.write_text(ca.read_text().replace("## Eviction policies", "## Victims"))
+        problems = docscheck.run_checks(root)
+        assert any("no '## Eviction policies' section" in p for p in problems)
+
+    def test_failing_caching_snippet_reported(self, tmp_path):
+        root = _copy_repo_docs_and_src(tmp_path)
+        ca = root / "docs" / "CACHING.md"
+        ca.write_text(ca.read_text() + "\n```python\n>>> 3 + 3\n7\n```\n")
+        problems = docscheck.run_checks(root)
+        assert len(problems) == 1
+        assert "CACHING.md" in problems[0]

@@ -15,6 +15,7 @@ from repro.verify.differential import (
     register_differential,
 )
 from repro.verify.fuzz import FAMILIES, make_scenario
+from repro.verify import cache as verify_cache  # noqa: F401  (registers cache-vs-fresh)
 from repro.verify import channels  # noqa: F401  (registers channel-vs-rayleigh)
 
 
@@ -30,6 +31,7 @@ class TestRegistry:
             "incremental-vs-scratch",
             "backend-vs-numpy",
             "channel-vs-rayleigh",
+            "cache-vs-fresh",
         }
 
     def test_duplicate_registration_rejected(self):

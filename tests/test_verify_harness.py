@@ -22,7 +22,8 @@ class TestCheckResolution:
         assert "lambda-drain" in names  # queue stability
         assert "channel-vs-rayleigh" in names  # channel laws
         assert "nakagami-unit-closed-form" in names
-        assert len(names) == 19
+        assert "cache-vs-fresh" in names  # schedule cache
+        assert len(names) == 20
 
     def test_subset_selection(self):
         selected = resolve_checks(["eps-monotonicity", "cached-vs-certificate"])

@@ -1,0 +1,308 @@
+"""Coverage ratchet: fail CI when line coverage drops below the stamp.
+
+Stdlib-only line coverage for ``src/repro`` — no ``coverage.py``
+dependency, so the gate runs identically on a bare interpreter and in
+CI.  Executed lines come from ``sys.monitoring`` (3.12+, near-zero
+steady-state overhead: each recorded location is disabled after its
+first hit) or ``sys.settrace`` (older interpreters); executable lines
+come from the AST (statement line numbers), which keeps the
+denominator identical across interpreter versions.
+
+Usage::
+
+    python tools/coverage_gate.py            # measure + gate vs baseline
+    python tools/coverage_gate.py --stamp    # measure + (re)write baseline
+    python tools/coverage_gate.py --report   # measure + print per-file table
+
+The gate fails when
+
+- total coverage falls more than ``TOLERANCE`` (0.5pt) below the
+  stamped baseline (plus ``VERSION_SLACK`` when the running
+  interpreter's minor version differs from the one that stamped —
+  line-event semantics drift slightly between versions), or
+- any ``src/repro/cache`` module sits below ``CACHE_FLOOR`` (90%).
+
+Raising the stamp is deliberate (run ``--stamp`` and commit the JSON);
+it never auto-ratchets upward, so a lucky run cannot tighten the gate
+on everyone else.
+
+Honors ``# pragma: no cover`` (the flagged statement and, on a block
+header, its whole body) and skips ``if TYPE_CHECKING:`` bodies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import re
+import sys
+import threading
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Set, Tuple
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src" / "repro"
+BASELINE_PATH = Path(__file__).resolve().parent / "coverage_baseline.json"
+
+TOLERANCE = 0.5
+VERSION_SLACK = 1.0
+CACHE_FLOOR = 90.0
+CACHE_PREFIX = "repro/cache/"
+
+_PRAGMA_RE = re.compile(r"#\s*pragma:\s*no\s*cover")
+
+
+# -- executable lines (the denominator) -----------------------------
+
+
+def _is_docstring_stmt(node: ast.stmt) -> bool:
+    return (
+        isinstance(node, ast.Expr)
+        and isinstance(node.value, ast.Constant)
+        and isinstance(node.value.value, str)
+    )
+
+
+def _is_type_checking_if(node: ast.stmt) -> bool:
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def executable_lines(path: Path) -> Set[int]:
+    """AST-statement line numbers of ``path`` (the coverage denominator).
+
+    Statements with no runtime line event (docstrings, ``global`` /
+    ``nonlocal``), ``# pragma: no cover`` regions and
+    ``if TYPE_CHECKING:`` bodies are excluded.
+    """
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    pragma_lines = {
+        i for i, text in enumerate(source.splitlines(), start=1) if _PRAGMA_RE.search(text)
+    }
+    lines: Set[int] = set()
+    skip_ranges: List[Tuple[int, int]] = []
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        if isinstance(node, (ast.Global, ast.Nonlocal)) or _is_docstring_stmt(node):
+            continue
+        if node.lineno in pragma_lines or _is_type_checking_if(node):
+            skip_ranges.append((node.lineno, node.end_lineno or node.lineno))
+            continue
+        lines.add(node.lineno)
+        for deco in getattr(node, "decorator_list", []):
+            lines.add(deco.lineno)
+
+    for lo, hi in skip_ranges:
+        lines -= set(range(lo, hi + 1))
+    return lines
+
+
+def tracked_files() -> List[Path]:
+    """Every ``src/repro`` module the gate measures."""
+    return sorted(SRC.rglob("*.py"))
+
+
+# -- executed lines (the numerator) ---------------------------------
+
+
+def start_tracing(store: Dict[str, Set[int]]) -> Callable[[], None]:
+    """Begin recording executed ``src/repro`` lines; returns a stopper."""
+    prefix = str(SRC) + os.sep
+
+    if sys.version_info >= (3, 12):
+        mon = sys.monitoring
+        mon.use_tool_id(mon.COVERAGE_ID, "coverage-gate")
+
+        def on_line(code, lineno):
+            filename = code.co_filename
+            if filename.startswith(prefix):
+                store.setdefault(filename, set()).add(lineno)
+            return mon.DISABLE  # each location only needs one hit
+
+        mon.register_callback(mon.COVERAGE_ID, mon.events.LINE, on_line)
+        mon.set_events(mon.COVERAGE_ID, mon.events.LINE)
+
+        def stop() -> None:
+            mon.set_events(mon.COVERAGE_ID, 0)
+            mon.register_callback(mon.COVERAGE_ID, mon.events.LINE, None)
+            mon.free_tool_id(mon.COVERAGE_ID)
+
+        return stop
+
+    def tracer(frame, event, arg):
+        filename = frame.f_code.co_filename
+        if not filename.startswith(prefix):
+            return None
+        if event == "line":
+            store.setdefault(filename, set()).add(frame.f_lineno)
+        return tracer
+
+    previous = sys.gettrace()
+    previous_threading = threading.gettrace() if hasattr(threading, "gettrace") else None
+    sys.settrace(tracer)
+    threading.settrace(tracer)
+
+    def stop() -> None:
+        sys.settrace(previous)
+        threading.settrace(previous_threading)
+
+    return stop
+
+
+def measure(pytest_args: Iterable[str]) -> Dict[str, Set[int]]:
+    """Run the test suite under the tracer; returns file -> executed lines.
+
+    Must run in a fresh interpreter *before* ``repro`` is imported, so
+    module-level statements execute under the tracer.
+    """
+    if any(name == "repro" or name.startswith("repro.") for name in sys.modules):
+        raise RuntimeError("measure() must run before repro is imported")
+    # ``python -m pytest`` puts the CWD first on sys.path; replicate
+    # that here so ``tests.*`` cross-imports resolve the same way, and
+    # add ``src/`` so the gate works without an installed package or an
+    # external PYTHONPATH.
+    if str(ROOT) not in sys.path:
+        sys.path.insert(0, str(ROOT))
+    if str(SRC.parent) not in sys.path:
+        sys.path.insert(1, str(SRC.parent))
+    store: Dict[str, Set[int]] = {}
+    stop = start_tracing(store)
+    try:
+        import pytest
+
+        code = pytest.main(list(pytest_args))
+    finally:
+        stop()
+    if code != 0:
+        raise SystemExit(f"test suite failed under coverage (pytest exit {code})")
+    return store
+
+
+# -- reporting and the gate -----------------------------------------
+
+
+def build_report(executed: Dict[str, Set[int]]) -> Dict:
+    """Per-file and total percentages from raw executed-line sets."""
+    files: Dict[str, Dict] = {}
+    total_executable = 0
+    total_covered = 0
+    for path in tracked_files():
+        rel = str(path.relative_to(ROOT / "src"))
+        lines = executable_lines(path)
+        hit = executed.get(str(path), set()) & lines
+        total_executable += len(lines)
+        total_covered += len(hit)
+        files[rel] = {
+            "executable": len(lines),
+            "covered": len(hit),
+            "percent": round(100.0 * len(hit) / len(lines), 2) if lines else 100.0,
+        }
+    total = round(100.0 * total_covered / total_executable, 2) if total_executable else 100.0
+    return {
+        "schema": 1,
+        "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
+        "total": total,
+        "files": files,
+    }
+
+
+def evaluate(
+    current: Dict,
+    baseline: Dict | None,
+    *,
+    tolerance: float = TOLERANCE,
+    version_slack: float = VERSION_SLACK,
+    cache_floor: float = CACHE_FLOOR,
+) -> Tuple[List[str], List[str]]:
+    """Gate verdict: (problems, notes).  Empty problems == pass."""
+    problems: List[str] = []
+    notes: List[str] = []
+
+    if baseline is None:
+        notes.append(
+            f"no baseline at {BASELINE_PATH.name}; run --stamp to start the ratchet"
+        )
+    else:
+        slack = tolerance
+        if baseline.get("python") != current["python"]:
+            slack += version_slack
+            notes.append(
+                f"baseline stamped on python {baseline.get('python')}, running "
+                f"{current['python']}: allowing {slack:.1f}pt total slack"
+            )
+        floor = baseline["total"] - slack
+        if current["total"] < floor:
+            problems.append(
+                f"total coverage {current['total']:.2f}% fell below the stamped "
+                f"baseline {baseline['total']:.2f}% - {slack:.1f}pt = {floor:.2f}%"
+            )
+
+    for rel, info in sorted(current["files"].items()):
+        if rel.startswith(CACHE_PREFIX) and info["executable"] > 0:
+            if info["percent"] < cache_floor:
+                problems.append(
+                    f"{rel}: {info['percent']:.2f}% is below the "
+                    f"{cache_floor:.0f}% floor for repro.cache modules"
+                )
+    return problems, notes
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--stamp",
+        action="store_true",
+        help="write the measured coverage as the new baseline instead of gating",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="print the per-file coverage table after measuring",
+    )
+    parser.add_argument(
+        "--pytest-args",
+        nargs=argparse.REMAINDER,
+        default=["-q", "-p", "no:cacheprovider", "tests"],
+        help="arguments passed to pytest (default: the tier-1 suite)",
+    )
+    args = parser.parse_args(argv)
+
+    report = build_report(measure(args.pytest_args))
+
+    if args.report:
+        for rel, info in sorted(report["files"].items()):
+            print(f"{rel:60s} {info['covered']:5d}/{info['executable']:5d} {info['percent']:6.2f}%")
+    print(f"total: {report['total']:.2f}% (python {report['python']})")
+
+    if args.stamp:
+        BASELINE_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"stamped baseline -> {BASELINE_PATH}")
+        return 0
+
+    baseline = None
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+    problems, notes = evaluate(report, baseline)
+    for note in notes:
+        print(f"note: {note}")
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if problems:
+        return 1
+    print("coverage gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
