@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-smoke bench-traffic bench-channels bench-cache bench-kernels bench-gate chaos figures verify-fuzz coverage coverage-gate docs-check ci-local
+.PHONY: test lint bench bench-smoke bench-traffic bench-channels bench-cache bench-kernels bench-service bench-gate chaos figures verify-fuzz coverage coverage-gate docs-check service-smoke ci-local
 
 test: lint docs-check ## tier-1 test suite (cheap static gates first)
 	$(PYTHON) -m pytest -x -q
@@ -43,6 +43,13 @@ bench-cache:     ## schedule-cache smoke bench (exact-hit serving vs uncached)
 bench-kernels:   ## compute-kernel micro-benchmarks (feasibility/F-build/MC/submit path)
 	$(PYTHON) -m pytest benchmarks/test_kernel_micro.py -q -s
 
+bench-service:   ## serving smoke bench: 1000 concurrent clients vs a live server
+	$(PYTHON) -m pytest benchmarks/test_service_smoke.py -q -s
+
+service-smoke:   ## service tier: unit suites + a self-serving CLI load test
+	$(PYTHON) -m pytest tests/test_service_broker.py tests/test_service_server.py tests/test_service_loadgen.py tests/test_verify_service.py -q
+	$(PYTHON) -m repro loadtest --clients 200 --ticks 2 --seed 7 --min-ok 200 --min-peak 200 --max-transport-errors 0 >/dev/null
+
 bench-gate:      ## bench-smoke + kernel benches against the committed baseline (fails on >50% regression)
 	@cp BENCH_RESULTS.json /tmp/bench_baseline.json
 	$(MAKE) bench-smoke
@@ -65,12 +72,13 @@ coverage:        ## tier-1 suite under coverage with a floor (needs pytest-cov; 
 		$(PYTHON) -m pytest -q; \
 	fi
 
-coverage-gate:   ## stdlib coverage ratchet vs tools/coverage_baseline.json (+ repro.cache 90% floor)
+coverage-gate:   ## stdlib coverage ratchet vs tools/coverage_baseline.json (+ repro.cache 90% / repro.service 85% floors)
 	$(PYTHON) tools/coverage_gate.py
 
 ci-local:        ## everything the CI pipeline runs, locally
 	$(MAKE) lint
 	$(MAKE) docs-check
 	$(PYTHON) -m pytest -x -q
+	$(MAKE) service-smoke
 	$(MAKE) verify-fuzz
 	$(MAKE) bench-gate

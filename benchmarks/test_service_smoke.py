@@ -1,0 +1,127 @@
+"""Service benchmark: 1000 concurrent clients against a live server.
+
+Boots ``repro serve`` as a real subprocess (its own interpreter, its
+own event loop — the deployment shape), then drives the deterministic
+loadgen at 1000 persistent connections firing synchronized bursts.
+Asserts the ISSUE-10 acceptance criteria — peak in-flight >= 1000 and
+zero unaccounted request losses — and records the sustained throughput
+to ``BENCH_RESULTS.json`` as ``smoke_service`` for
+``tools/bench_gate.py`` to regress against.
+
+Runs with the smoke marker so ``make bench-smoke`` / the CI deep run
+leave the data point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks import bench_export
+from repro.service.loadgen import raise_nofile_limit, run_loadgen
+
+CLIENTS = 1000
+TICKS = 2
+SEED = 2017
+N_LINKS = 12
+POOL = 4
+ARRIVAL = "spikes"
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _spawn_server() -> tuple[subprocess.Popen, str, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--quiet"],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    assert proc.stdout is not None
+    deadline = time.monotonic() + 30.0
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if "listening on http://" in line:
+            break
+        if proc.poll() is not None:
+            raise RuntimeError(f"server exited early (rc={proc.returncode})")
+    else:
+        proc.kill()
+        raise RuntimeError("server never reported its address")
+    addr = line.rsplit("http://", 1)[1].strip()
+    host, port = addr.rsplit(":", 1)
+    return proc, host, int(port)
+
+
+@pytest.mark.smoke
+def test_service_sustains_1000_concurrent_clients():
+    raise_nofile_limit()
+    proc, host, port = _spawn_server()
+    try:
+        report = asyncio.run(
+            run_loadgen(
+                host=host,
+                port=port,
+                clients=CLIENTS,
+                ticks=TICKS,
+                arrival=ARRIVAL,
+                pool=POOL,
+                n_links=N_LINKS,
+                seed=SEED,
+                timeout=120.0,
+            )
+        )
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    summary = report.to_dict()
+    bench_export.record(
+        "smoke_service",
+        report.wall_seconds,
+        {
+            "clients": CLIENTS,
+            "ticks": TICKS,
+            "arrival": ARRIVAL,
+            "pool": POOL,
+            "n_links": N_LINKS,
+            "seed": SEED,
+            "sent": summary["sent"],
+            "ok": summary["ok"],
+            "throughput_rps": summary["throughput_rps"],
+            "p50_ms": summary["p50_ms"],
+            "p99_ms": summary["p99_ms"],
+            "peak_inflight": summary["peak_inflight"],
+        },
+    )
+    print(
+        f"\nservice: {summary['sent']} requests from {CLIENTS} clients in "
+        f"{report.wall_seconds:.2f}s ({summary['throughput_rps']:.0f} rps, "
+        f"p99 {summary['p99_ms']:.0f}ms, peak in-flight {summary['peak_inflight']})"
+    )
+    # the ISSUE-10 acceptance criteria
+    assert report.peak_inflight >= CLIENTS, (
+        f"expected >= {CLIENTS} concurrent in-flight requests, "
+        f"got {report.peak_inflight}"
+    )
+    assert report.unaccounted == 0, f"{report.unaccounted} requests unaccounted for"
+    assert report.transport_errors == 0, (
+        f"{report.transport_errors} transport-level failures"
+    )
+    assert report.ok >= CLIENTS  # every client's tick-0 request served

@@ -44,6 +44,7 @@ closed form (``docs/CHANNELS.md``).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -612,6 +613,150 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the scheduling service until interrupted."""
+    import asyncio
+
+    from repro.backend.base import use as use_backend
+    from repro.cache.store import ScheduleCache
+    from repro.service.broker import ScheduleBroker
+    from repro.service.loadgen import raise_nofile_limit
+    from repro.service.server import ScheduleServer
+
+    raise_nofile_limit()
+    cache = None
+    use_cache = not args.no_cache
+    if use_cache and (args.cache_dir or args.cache_warm):
+        cache = ScheduleCache(
+            capacity=args.cache_capacity,
+            warm_start=args.cache_warm,
+            directory=args.cache_dir,
+        )
+
+    async def _serve() -> int:
+        broker = ScheduleBroker(
+            scheduler=args.scheduler,
+            queue_limit=args.queue_limit,
+            batch_max=args.batch_max,
+            n_workers=args.workers,
+            tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+            cache=cache,
+            use_cache=use_cache,
+            max_sessions=args.max_sessions,
+        )
+        access = None if args.quiet else (lambda line: print(line, file=sys.stderr))
+        server = ScheduleServer(broker, host=args.host, port=args.port, access_log=access)
+        await broker.start()
+        host, port = await server.start()
+        print(f"repro-service listening on http://{host}:{port}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            import signal
+
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(sig, stop.set)
+        except (ImportError, NotImplementedError, RuntimeError):
+            pass
+        try:
+            await stop.wait()
+        finally:
+            await server.close()
+            await broker.close(drain=False)
+            print(json.dumps(broker.stats, default=str), file=sys.stderr)
+        return 0
+
+    with use_backend(args.backend or "numpy"):
+        try:
+            return asyncio.run(_serve())
+        except KeyboardInterrupt:
+            return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """``repro loadtest``: drive a deterministic load and gate the outcome."""
+    import asyncio
+    from urllib.parse import urlparse
+
+    from repro.service.broker import ScheduleBroker
+    from repro.service.loadgen import raise_nofile_limit, run_loadgen
+    from repro.service.server import ScheduleServer
+
+    raise_nofile_limit()
+
+    async def _drive() -> "LoadReport":  # noqa: F821 - forward ref for mypy-free repo
+        if args.url:
+            parsed = urlparse(args.url)
+            if parsed.hostname is None or parsed.port is None:
+                raise SystemExit(f"--url must look like http://host:port, got {args.url!r}")
+            return await run_loadgen(
+                host=parsed.hostname,
+                port=parsed.port,
+                clients=args.clients,
+                ticks=args.ticks,
+                arrival=args.arrival,
+                pool=args.pool,
+                n_links=args.n_links,
+                scheduler=args.scheduler,
+                tenants=args.tenants,
+                seed=args.seed,
+                tick_seconds=args.tick_seconds,
+                timeout=args.timeout,
+            )
+        # self-serve: boot an in-process server and aim the clients at it
+        broker = ScheduleBroker(scheduler=args.scheduler)
+        server = ScheduleServer(broker)
+        await broker.start()
+        host, port = await server.start()
+        try:
+            return await run_loadgen(
+                host=host,
+                port=port,
+                clients=args.clients,
+                ticks=args.ticks,
+                arrival=args.arrival,
+                pool=args.pool,
+                n_links=args.n_links,
+                scheduler=args.scheduler,
+                tenants=args.tenants,
+                seed=args.seed,
+                tick_seconds=args.tick_seconds,
+                timeout=args.timeout,
+            )
+        finally:
+            await server.close()
+            await broker.close(drain=False)
+
+    report = asyncio.run(_drive())
+    summary = report.to_dict()
+    print(json.dumps(summary, indent=2))
+    if args.output:
+        Path(args.output).write_text(json.dumps(summary, indent=2) + "\n")
+    failures = []
+    if report.unaccounted != 0:
+        failures.append(f"{report.unaccounted} requests unaccounted for")
+    if report.transport_errors > args.max_transport_errors:
+        failures.append(
+            f"{report.transport_errors} transport errors "
+            f"(allowed {args.max_transport_errors})"
+        )
+    if args.min_ok and report.ok < args.min_ok:
+        failures.append(f"only {report.ok} requests succeeded (need {args.min_ok})")
+    if args.min_peak and report.peak_inflight < args.min_peak:
+        failures.append(
+            f"peak in-flight {report.peak_inflight} below --min-peak {args.min_peak}"
+        )
+    if args.max_p99_ms and report.percentile_ms(0.99) > args.max_p99_ms:
+        failures.append(
+            f"p99 {report.percentile_ms(0.99):.1f}ms exceeds "
+            f"--max-p99-ms {args.max_p99_ms:.1f}"
+        )
+    for failure in failures:
+        print(f"loadtest: FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _add_backend_flag(p: argparse.ArgumentParser) -> None:
     """Attach the compute-backend selector shared by sweep commands."""
     p.add_argument(
@@ -1015,6 +1160,146 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cs.add_argument("dir", help="cache directory (written via --cache DIR)")
     cs.set_defaults(fn=cmd_cache_stats)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the scheduling service (async HTTP, docs/SERVICE.md)",
+    )
+    sv.add_argument("--host", default="127.0.0.1", help="bind address")
+    sv.add_argument(
+        "--port", type=int, default=8323, help="bind port (0 = ephemeral)"
+    )
+    sv.add_argument(
+        "--scheduler",
+        default="rle",
+        choices=list_schedulers(),
+        help="default scheduler for requests that omit one",
+    )
+    sv.add_argument(
+        "--workers", type=int, default=2, help="broker worker tasks / threads"
+    )
+    sv.add_argument(
+        "--queue-limit",
+        type=int,
+        default=1024,
+        help="max distinct pending requests before 503 queue-full",
+    )
+    sv.add_argument(
+        "--batch-max", type=int, default=32, help="max requests drained per batch"
+    )
+    sv.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=None,
+        help="per-tenant token-bucket refill (req/s); omit to disable 429s",
+    )
+    sv.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=64.0,
+        help="per-tenant token-bucket burst capacity",
+    )
+    sv.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="compute every request from scratch (no ScheduleCache front)",
+    )
+    sv.add_argument(
+        "--cache-warm",
+        action="store_true",
+        help="enable the cache's canonical/warm tiers (answers may be "
+        "remapped/repaired instead of bit-identical to direct runs)",
+    )
+    sv.add_argument(
+        "--cache-dir", default=None, help="persist the schedule cache under DIR"
+    )
+    sv.add_argument(
+        "--cache-capacity", type=int, default=512, help="schedule-cache capacity"
+    )
+    sv.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="max concurrently open delta sessions before 503",
+    )
+    sv.add_argument(
+        "--quiet", action="store_true", help="suppress the per-request access log"
+    )
+    _add_backend_flag(sv)
+    sv.set_defaults(fn=cmd_serve)
+
+    lt = sub.add_parser(
+        "loadtest",
+        help="drive a deterministic open-loop load against the service",
+    )
+    lt.add_argument(
+        "--url",
+        default=None,
+        help="target service, e.g. http://127.0.0.1:8323; omitted = "
+        "self-serve an in-process server",
+    )
+    lt.add_argument(
+        "--clients", type=int, default=100, help="concurrent persistent clients"
+    )
+    lt.add_argument(
+        "--ticks", type=int, default=2, help="synchronized burst rounds"
+    )
+    lt.add_argument(
+        "--arrival",
+        default="spikes",
+        choices=("poisson", "onoff", "diurnal", "spikes"),
+        help="workload arrival family shaping per-tick request counts",
+    )
+    lt.add_argument(
+        "--pool", type=int, default=4, help="distinct topologies in the request mix"
+    )
+    lt.add_argument(
+        "--n-links", type=int, default=12, help="links per request topology"
+    )
+    lt.add_argument(
+        "--scheduler", default="rle", choices=list_schedulers(), help="scheduler"
+    )
+    lt.add_argument(
+        "--tenants", type=int, default=1, help="tenant labels cycled across clients"
+    )
+    lt.add_argument("--seed", type=int, default=0, help="trace + topology seed")
+    lt.add_argument(
+        "--tick-seconds",
+        type=float,
+        default=0.0,
+        help="pause between burst rounds (0 = back-to-back)",
+    )
+    lt.add_argument(
+        "--timeout", type=float, default=60.0, help="per-request client timeout"
+    )
+    lt.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=None,
+        help="fail when p99 latency exceeds this many milliseconds",
+    )
+    lt.add_argument(
+        "--min-ok",
+        type=int,
+        default=None,
+        help="fail when fewer than N requests got a 2xx schedule",
+    )
+    lt.add_argument(
+        "--min-peak",
+        type=int,
+        default=None,
+        help="fail when peak concurrent in-flight requests stays below N",
+    )
+    lt.add_argument(
+        "--max-transport-errors",
+        type=int,
+        default=0,
+        help="tolerated connection-level failures (default 0)",
+    )
+    lt.add_argument(
+        "--output", default=None, help="also write the JSON report to this path"
+    )
+    lt.set_defaults(fn=cmd_loadtest)
 
     return parser
 

@@ -28,6 +28,14 @@ Two gates, both cheap enough to run before every test pass:
    ``## Eviction policies`` section of ``docs/CACHING.md``, and its
    doctest blocks run like API.md's.
 
+5. **Service reference** — every HTTP route template
+   (:data:`repro.service.ROUTE_TEMPLATES`) must appear backticked in
+   the ``## Endpoints`` section of ``docs/SERVICE.md``, every wire
+   error code (:data:`repro.service.WIRE_ERROR_CODES`) in the
+   ``## Error codes`` section, and its doctest blocks run like
+   API.md's.  Adding a route or error code without documenting it
+   fails the build.
+
 The scanner is intentionally literal: instrumented call sites must
 write ``span("dotted.name", ...)`` / ``obs_metrics.inc("dotted.name",
 ...)`` with a **string literal** first argument (this is also the
@@ -206,6 +214,38 @@ def check_caching_doc(caching_md: str) -> List[str]:
     return problems
 
 
+def check_service_doc(service_md: str) -> List[str]:
+    """Routes / wire error codes missing from docs/SERVICE.md sections."""
+    from repro.service import ROUTE_TEMPLATES, WIRE_ERROR_CODES
+
+    problems: List[str] = []
+    endpoint_section = _section(service_md, "Endpoints")
+    error_section = _section(service_md, "Error codes")
+    if not endpoint_section:
+        problems.append(
+            "docs/SERVICE.md has no '## Endpoints' section (or it is empty)"
+        )
+    if not error_section:
+        problems.append(
+            "docs/SERVICE.md has no '## Error codes' section (or it is empty)"
+        )
+    _code_re = re.compile(r"`([a-z0-9-]+)`")
+    documented_codes = set(_code_re.findall(error_section))
+    for route in ROUTE_TEMPLATES:
+        if f"`{route}`" not in endpoint_section:
+            problems.append(
+                f"route {route!r} is served but not documented in the "
+                f"'Endpoints' section of docs/SERVICE.md"
+            )
+    for code in WIRE_ERROR_CODES:
+        if code not in documented_codes:
+            problems.append(
+                f"wire error code {code!r} is emitted but not documented in the "
+                f"'Error codes' section of docs/SERVICE.md"
+            )
+    return problems
+
+
 def run_checks(root: Path) -> List[str]:
     """All docs-contract checks for a repo rooted at ``root``."""
     problems: List[str] = []
@@ -213,6 +253,7 @@ def run_checks(root: Path) -> List[str]:
     api_md = root / "docs" / "API.md"
     channels_md = root / "docs" / "CHANNELS.md"
     caching_md = root / "docs" / "CACHING.md"
+    service_md = root / "docs" / "SERVICE.md"
     if not obs_md.exists():
         problems.append("docs/OBSERVABILITY.md does not exist")
     else:
@@ -233,6 +274,12 @@ def run_checks(root: Path) -> List[str]:
         text = caching_md.read_text()
         problems.extend(check_caching_doc(text))
         problems.extend(run_doctest_blocks(text, name="docs/CACHING.md"))
+    if not service_md.exists():
+        problems.append("docs/SERVICE.md does not exist")
+    else:
+        text = service_md.read_text()
+        problems.extend(check_service_doc(text))
+        problems.extend(run_doctest_blocks(text, name="docs/SERVICE.md"))
     return problems
 
 

@@ -151,7 +151,7 @@ def snapshot() -> Dict[str, Any]:
 #: ``docs/PERFORMANCE.md``) describe the *execution plan*: the same
 #: sweep attaches a different number of segments at ``n_jobs=4`` than
 #: serially while producing bit-identical results.
-VOLATILE_PREFIXES = ("resilience.", "backend.")
+VOLATILE_PREFIXES = ("resilience.", "backend.", "service.")
 
 
 def stable_snapshot(snap: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:

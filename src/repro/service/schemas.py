@@ -1,0 +1,233 @@
+"""JSON wire schemas for :mod:`repro.service`.
+
+Parsing lives here — between the transport (:mod:`repro.service.server`)
+and the scheduling brain (:mod:`repro.service.broker`) — so both the
+HTTP layer and in-process callers (the load generator, tests) speak the
+same dialect.  All failures raise
+:class:`repro.utils.validation.ValidationError`, whose stable ``code``
+the server copies verbatim into the 400 response body; clients match on
+codes, never on messages.
+
+A schedule request::
+
+    {"topology": {"senders": [[x, y], ...], "receivers": [[x, y], ...],
+                  "rates": [r, ...],             # optional, default 1.0
+                  "alpha": 3.0, "gamma_th": 1.0, # optional channel params
+                  "eps": 0.01, "noise": 0.0, "power": 1.0},
+     "scheduler": "rle",                         # optional
+     "tenant": "default"}                        # optional
+
+A session request is either ``{"topology": ..., "scheduler": ...}``
+(opens the session and returns the initial schedule) or
+``{"delta": {"moves": [i, ...], "new_senders": [[x, y], ...],
+"new_receivers": [...], "removes": [...], "inserts": {...}}}``
+(streams one :class:`~repro.network.delta.LinkDelta` into the session's
+:class:`~repro.core.incremental.IncrementalScheduler`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import list_schedulers
+from repro.core.problem import FadingRLS
+from repro.core.schedule import Schedule
+from repro.network.delta import LinkDelta
+from repro.network.links import LinkSet
+from repro.utils.validation import ValidationError, require
+
+#: Stable reason codes for request-validation failures (400 responses).
+CODE_BAD_JSON = "bad-json"
+CODE_BAD_TOPOLOGY = "bad-topology"
+CODE_BAD_DELTA = "bad-delta"
+CODE_BAD_SESSION_REQUEST = "bad-session-request"
+CODE_UNKNOWN_SCHEDULER = "unknown-scheduler"
+CODE_TOO_MANY_LINKS = "too-many-links"
+
+#: Hard per-request size cap; a topology larger than this is refused at
+#: the door rather than scheduled (rle is O(N^2) — one pathological
+#: request must not starve the worker pool).
+MAX_LINKS = 4096
+
+
+def _points(payload: Mapping[str, Any], field: str) -> np.ndarray:
+    raw = payload.get(field)
+    require(raw is not None, f"topology.{field} is required", code=CODE_BAD_TOPOLOGY)
+    try:
+        arr = np.asarray(raw, dtype=float)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"topology.{field} must be a list of [x, y] pairs",
+            code=CODE_BAD_TOPOLOGY,
+            param=field,
+        ) from None
+    if arr.ndim != 2 or arr.shape[1] != 2 or not np.all(np.isfinite(arr)):
+        raise ValidationError(
+            f"topology.{field} must be a finite (N, 2) array, got shape {arr.shape}",
+            code=CODE_BAD_TOPOLOGY,
+            param=field,
+        )
+    return arr
+
+
+def _scalar(payload: Mapping[str, Any], field: str, default: float) -> float:
+    raw = payload.get(field, default)
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"topology.{field} must be a number, got {raw!r}",
+            code=CODE_BAD_TOPOLOGY,
+            param=field,
+        ) from None
+    return value
+
+
+def parse_topology(payload: Any) -> FadingRLS:
+    """A :class:`FadingRLS` problem from its JSON ``topology`` object."""
+    require(
+        isinstance(payload, Mapping),
+        "topology must be a JSON object",
+        code=CODE_BAD_TOPOLOGY,
+    )
+    senders = _points(payload, "senders")
+    receivers = _points(payload, "receivers")
+    require(
+        senders.shape == receivers.shape,
+        f"senders {senders.shape} and receivers {receivers.shape} must match",
+        code=CODE_BAD_TOPOLOGY,
+    )
+    require(
+        senders.shape[0] <= MAX_LINKS,
+        f"topology has {senders.shape[0]} links; the service caps requests "
+        f"at {MAX_LINKS}",
+        code=CODE_TOO_MANY_LINKS,
+    )
+    rates = payload.get("rates")
+    if rates is not None:
+        try:
+            rates = np.asarray(rates, dtype=float).reshape(-1)
+        except (TypeError, ValueError):
+            raise ValidationError(
+                "topology.rates must be a list of numbers",
+                code=CODE_BAD_TOPOLOGY,
+                param="rates",
+            ) from None
+    try:
+        links = LinkSet(senders=senders, receivers=receivers, rates=rates)
+        return FadingRLS(
+            links=links,
+            alpha=_scalar(payload, "alpha", 3.0),
+            gamma_th=_scalar(payload, "gamma_th", 1.0),
+            eps=_scalar(payload, "eps", 0.01),
+            noise=_scalar(payload, "noise", 0.0),
+            power=_scalar(payload, "power", 1.0),
+        )
+    except ValidationError:
+        raise
+    except ValueError as exc:
+        raise ValidationError(str(exc), code=CODE_BAD_TOPOLOGY) from None
+
+
+def parse_scheduler(payload: Mapping[str, Any]) -> str:
+    """The validated scheduler name from a request payload."""
+    name = payload.get("scheduler", "rle")
+    available = list_schedulers()
+    if name not in available:
+        raise ValidationError(
+            f"unknown scheduler {name!r}; available: {available}",
+            code=CODE_UNKNOWN_SCHEDULER,
+            param="scheduler",
+        )
+    return name
+
+
+def parse_tenant(payload: Mapping[str, Any]) -> str:
+    """The tenant label (defaults to ``"default"``)."""
+    tenant = payload.get("tenant", "default")
+    require(
+        isinstance(tenant, str) and 0 < len(tenant) <= 64,
+        "tenant must be a non-empty string of at most 64 characters",
+        code=CODE_BAD_SESSION_REQUEST,
+    )
+    return tenant
+
+
+def parse_schedule_request(payload: Any) -> Tuple[FadingRLS, str, str]:
+    """``(problem, scheduler, tenant)`` from a ``POST /v1/schedule`` body."""
+    require(
+        isinstance(payload, Mapping),
+        "request body must be a JSON object",
+        code=CODE_BAD_JSON,
+    )
+    problem = parse_topology(payload.get("topology"))
+    return problem, parse_scheduler(payload), parse_tenant(payload)
+
+
+def parse_delta(payload: Any) -> LinkDelta:
+    """A :class:`LinkDelta` from its JSON ``delta`` object."""
+    require(
+        isinstance(payload, Mapping),
+        "delta must be a JSON object",
+        code=CODE_BAD_DELTA,
+    )
+    inserts: Optional[LinkSet] = None
+    raw_inserts = payload.get("inserts")
+    if raw_inserts is not None:
+        require(
+            isinstance(raw_inserts, Mapping),
+            "delta.inserts must be a JSON object with senders/receivers",
+            code=CODE_BAD_DELTA,
+        )
+        try:
+            rates = raw_inserts.get("rates")
+            inserts = LinkSet(
+                senders=np.asarray(raw_inserts.get("senders", []), dtype=float),
+                receivers=np.asarray(raw_inserts.get("receivers", []), dtype=float),
+                rates=np.asarray(rates, dtype=float) if rates is not None else None,
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"bad delta.inserts: {exc}", code=CODE_BAD_DELTA
+            ) from None
+    try:
+        return LinkDelta(
+            moves=np.asarray(payload.get("moves", []), dtype=np.int64),
+            new_senders=np.asarray(payload.get("new_senders", []), dtype=float).reshape(-1, 2),
+            new_receivers=np.asarray(payload.get("new_receivers", []), dtype=float).reshape(-1, 2),
+            removes=np.asarray(payload.get("removes", []), dtype=np.int64),
+            inserts=inserts,
+        )
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"bad delta: {exc}", code=CODE_BAD_DELTA) from None
+
+
+def schedule_payload(
+    schedule: Schedule,
+    problem: FadingRLS,
+    *,
+    trace_id: str,
+    tier: str,
+    coalesced: bool,
+    wall_seconds: float,
+) -> Dict[str, Any]:
+    """The JSON body of a successful ``POST /v1/schedule`` response."""
+    return {
+        "trace_id": trace_id,
+        "algorithm": schedule.algorithm,
+        "active": [int(i) for i in schedule.active],
+        "n_links": int(problem.n_links),
+        "n_active": int(schedule.size),
+        "tier": tier,
+        "coalesced": bool(coalesced),
+        "wall_seconds": round(float(wall_seconds), 6),
+    }
+
+
+def error_payload(code: str, message: str, **extra: Any) -> Dict[str, Any]:
+    """The JSON body of every non-2xx response."""
+    body: Dict[str, Any] = {"error": {"code": code, "message": message}}
+    body["error"].update({k: v for k, v in extra.items() if v is not None})
+    return body

@@ -33,6 +33,7 @@ from repro.verify.metamorphic import METAMORPHIC_RELATIONS
 # the same registries read above.
 from repro.verify import cache  # noqa: F401  (registration import)
 from repro.verify import channels  # noqa: F401  (registration import)
+from repro.verify import service  # noqa: F401  (registration import)
 from repro.verify import stability  # noqa: F401  (registration import)
 from repro.verify.report import CheckOutcome, VerificationReport
 

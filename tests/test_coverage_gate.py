@@ -171,6 +171,24 @@ class TestEvaluate:
         problems, _ = evaluate(_report(90.0, files=files), _report(85.0))
         assert problems == []
 
+    def test_service_module_floor(self):
+        files = {
+            "repro/service/broker.py": {"executable": 200, "covered": 160, "percent": 80.0},
+            "repro/service/server.py": {"executable": 150, "covered": 140, "percent": 93.33},
+        }
+        problems, _ = evaluate(_report(90.0, files=files), _report(85.0))
+        assert len(problems) == 1
+        assert "repro/service/broker.py" in problems[0]
+        assert "85% floor" in problems[0]
+        assert "repro.service" in problems[0]
+
+    def test_empty_service_module_is_exempt(self):
+        files = {
+            "repro/service/__init__.py": {"executable": 0, "covered": 0, "percent": 100.0}
+        }
+        problems, _ = evaluate(_report(90.0, files=files), _report(85.0))
+        assert problems == []
+
 
 class TestTracer:
     def test_records_repro_lines_and_restores_the_tracer(self):

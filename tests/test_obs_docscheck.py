@@ -46,7 +46,7 @@ def _copy_repo_docs_and_src(tmp_path: Path) -> Path:
     root = tmp_path / "repo"
     (root / "docs").mkdir(parents=True)
     shutil.copytree(REPO_ROOT / "src", root / "src")
-    for page in ("OBSERVABILITY.md", "API.md", "CHANNELS.md", "CACHING.md"):
+    for page in ("OBSERVABILITY.md", "API.md", "CHANNELS.md", "CACHING.md", "SERVICE.md"):
         shutil.copy(REPO_ROOT / "docs" / page, root / "docs" / page)
     return root
 
@@ -203,3 +203,46 @@ class TestCachingGate:
         problems = docscheck.run_checks(root)
         assert len(problems) == 1
         assert "CACHING.md" in problems[0]
+
+
+class TestServiceGate:
+    def test_fails_when_route_removed_from_doc(self, tmp_path):
+        root = _copy_repo_docs_and_src(tmp_path)
+        sv = root / "docs" / "SERVICE.md"
+        text = sv.read_text()
+        assert "`POST /v1/schedule`" in text
+        sv.write_text(text.replace("`POST /v1/schedule`", "`POST /v1/renamed`"))
+        problems = docscheck.run_checks(root)
+        assert any(
+            "'POST /v1/schedule'" in p and "Endpoints" in p for p in problems
+        )
+
+    def test_fails_when_error_code_removed_from_doc(self, tmp_path):
+        root = _copy_repo_docs_and_src(tmp_path)
+        sv = root / "docs" / "SERVICE.md"
+        text = sv.read_text()
+        assert "`queue-full`" in text
+        sv.write_text(text.replace("`queue-full`", "`renamed-code`"))
+        problems = docscheck.run_checks(root)
+        assert any("'queue-full'" in p and "Error codes" in p for p in problems)
+
+    def test_fails_when_service_md_missing(self, tmp_path):
+        root = _copy_repo_docs_and_src(tmp_path)
+        (root / "docs" / "SERVICE.md").unlink()
+        problems = docscheck.run_checks(root)
+        assert any("docs/SERVICE.md does not exist" in p for p in problems)
+
+    def test_fails_when_section_heading_renamed(self, tmp_path):
+        root = _copy_repo_docs_and_src(tmp_path)
+        sv = root / "docs" / "SERVICE.md"
+        sv.write_text(sv.read_text().replace("## Endpoints", "## Routes"))
+        problems = docscheck.run_checks(root)
+        assert any("no '## Endpoints' section" in p for p in problems)
+
+    def test_failing_service_snippet_reported(self, tmp_path):
+        root = _copy_repo_docs_and_src(tmp_path)
+        sv = root / "docs" / "SERVICE.md"
+        sv.write_text(sv.read_text() + "\n```python\n>>> 5 + 5\n11\n```\n")
+        problems = docscheck.run_checks(root)
+        assert len(problems) == 1
+        assert "SERVICE.md" in problems[0]

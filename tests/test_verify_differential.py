@@ -32,6 +32,7 @@ class TestRegistry:
             "backend-vs-numpy",
             "channel-vs-rayleigh",
             "cache-vs-fresh",
+            "service-vs-direct",
         }
 
     def test_duplicate_registration_rejected(self):

@@ -23,7 +23,8 @@ class TestCheckResolution:
         assert "channel-vs-rayleigh" in names  # channel laws
         assert "nakagami-unit-closed-form" in names
         assert "cache-vs-fresh" in names  # schedule cache
-        assert len(names) == 20
+        assert "service-vs-direct" in names  # serving layer
+        assert len(names) == 21
 
     def test_subset_selection(self):
         selected = resolve_checks(["eps-monotonicity", "cached-vs-certificate"])

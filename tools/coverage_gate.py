@@ -20,7 +20,8 @@ The gate fails when
   stamped baseline (plus ``VERSION_SLACK`` when the running
   interpreter's minor version differs from the one that stamped —
   line-event semantics drift slightly between versions), or
-- any ``src/repro/cache`` module sits below ``CACHE_FLOOR`` (90%).
+- any ``src/repro/cache`` module sits below ``CACHE_FLOOR`` (90%), or
+- any ``src/repro/service`` module sits below ``SERVICE_FLOOR`` (85%).
 
 Raising the stamp is deliberate (run ``--stamp`` and commit the JSON);
 it never auto-ratchets upward, so a lucky run cannot tighten the gate
@@ -50,6 +51,8 @@ TOLERANCE = 0.5
 VERSION_SLACK = 1.0
 CACHE_FLOOR = 90.0
 CACHE_PREFIX = "repro/cache/"
+SERVICE_FLOOR = 85.0
+SERVICE_PREFIX = "repro/service/"
 
 _PRAGMA_RE = re.compile(r"#\s*pragma:\s*no\s*cover")
 
@@ -224,6 +227,7 @@ def evaluate(
     tolerance: float = TOLERANCE,
     version_slack: float = VERSION_SLACK,
     cache_floor: float = CACHE_FLOOR,
+    service_floor: float = SERVICE_FLOOR,
 ) -> Tuple[List[str], List[str]]:
     """Gate verdict: (problems, notes).  Empty problems == pass."""
     problems: List[str] = []
@@ -248,13 +252,18 @@ def evaluate(
                 f"baseline {baseline['total']:.2f}% - {slack:.1f}pt = {floor:.2f}%"
             )
 
+    floors = (
+        (CACHE_PREFIX, cache_floor, "repro.cache"),
+        (SERVICE_PREFIX, service_floor, "repro.service"),
+    )
     for rel, info in sorted(current["files"].items()):
-        if rel.startswith(CACHE_PREFIX) and info["executable"] > 0:
-            if info["percent"] < cache_floor:
-                problems.append(
-                    f"{rel}: {info['percent']:.2f}% is below the "
-                    f"{cache_floor:.0f}% floor for repro.cache modules"
-                )
+        for prefix, floor, label in floors:
+            if rel.startswith(prefix) and info["executable"] > 0:
+                if info["percent"] < floor:
+                    problems.append(
+                        f"{rel}: {info['percent']:.2f}% is below the "
+                        f"{floor:.0f}% floor for {label} modules"
+                    )
     return problems, notes
 
 
